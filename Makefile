@@ -1,0 +1,27 @@
+# Convenience targets for the IPS reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples smoke clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script"; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+smoke:
+	$(PYTHON) -m repro run ItalyPowerDemand --method IPS --max-train 16 --max-test 20 --k 3
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,39 @@
+"""Shared constants for the benchmark harness (caps, dataset lists)."""
+
+from __future__ import annotations
+
+#: Default laptop-scale caps applied to every dataset load.
+CAPS = dict(max_train=20, max_test=40, max_length=120)
+
+#: Smaller caps for the expensive sweeps (Table IV / Fig. 9).
+SMALL_CAPS = dict(max_train=16, max_test=30, max_length=100)
+
+#: Representative subset used when a full 46-dataset sweep is infeasible
+#: in the time budget; spans the paper's Image / Sensor / Simulated /
+#: Motion / ECG / Device categories.
+SWEEP_DATASETS = (
+    "ArrowHead",
+    "BeetleFly",
+    "CBF",
+    "Coffee",
+    "ECG200",
+    "GunPoint",
+    "ItalyPowerDemand",
+    "ShapeletSim",
+    "SyntheticControl",
+    "ToeSegmentation1",
+)
+
+#: The ten datasets of the paper's Table III / Table VII.
+TEN_DATASETS = (
+    "ArrowHead",
+    "BeetleFly",
+    "Coffee",
+    "ECG200",
+    "FordA",
+    "GunPoint",
+    "ItalyPowerDemand",
+    "Meat",
+    "Symbols",
+    "ToeSegmentation1",
+)

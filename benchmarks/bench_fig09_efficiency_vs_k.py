@@ -1,0 +1,63 @@
+"""Figure 9: runtime and accuracy vs the shapelet number k.
+
+On BeetleFly and TwoLeadECG, for k in {1, 2, 5, 10, 20}: BASE and IPS
+runtimes grow roughly linearly and stay close to each other; BSPCOVER is
+clearly slower; BASE's accuracy trails IPS's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.bspcover import BSPCover
+from repro.baselines.mp_base import MPBaseline
+from repro.benchlib.timing import timed
+from repro.core.config import IPSConfig
+from repro.core.pipeline import IPSClassifier
+from repro.datasets.loader import load_dataset
+
+from _bench_common import SMALL_CAPS
+
+DATASETS = ("BeetleFly", "TwoLeadECG")
+K_GRID = (1, 2, 5, 10, 20)
+
+
+def _sweep(name: str):
+    data = load_dataset(name, seed=0, **SMALL_CAPS)
+    y_test = data.test.classes_[data.test.y]
+    rows = []
+    for k in K_GRID:
+        base = MPBaseline(k=k, seed=0)
+        _, t_base = timed(lambda: base.fit_dataset(data.train))
+        acc_base = 100.0 * base.score(data.test.X, y_test)
+        ips = IPSClassifier(IPSConfig(q_n=10, q_s=3, k=k, seed=0))
+        _, t_ips = timed(lambda: ips.fit_dataset(data.train))
+        acc_ips = 100.0 * ips.score(data.test.X, y_test)
+        bsp = BSPCover(k=k, seed=0)
+        _, t_bsp = timed(lambda: bsp.fit_dataset(data.train))
+        acc_bsp = 100.0 * bsp.score(data.test.X, y_test)
+        rows.append(
+            [f"{name} k={k}", t_base, t_ips, t_bsp, acc_base, acc_ips, acc_bsp]
+        )
+    return rows
+
+
+def test_fig09_efficiency_vs_k(benchmark, report):
+    all_rows = benchmark.pedantic(lambda: _sweep(DATASETS[0]), rounds=1)
+    all_rows = list(all_rows) + _sweep(DATASETS[1])
+    report(
+        "Fig. 9: time (s) and accuracy (%) vs k for BASE / IPS / BSPCOVER",
+        ["dataset/k", "t BASE", "t IPS", "t BSP", "acc BASE", "acc IPS", "acc BSP"],
+        all_rows,
+        precision=2,
+        notes=(
+            "Paper shape: BASE and IPS times stay close and grow slowly "
+            "with k; BSPCOVER is the slowest; IPS accuracy >= BASE."
+        ),
+    )
+    times_bsp = np.array([row[3] for row in all_rows])
+    times_ips = np.array([row[2] for row in all_rows])
+    assert times_bsp.mean() > times_ips.mean()
+    acc_ips = np.mean([row[5] for row in all_rows])
+    acc_base = np.mean([row[4] for row in all_rows])
+    assert acc_ips >= acc_base - 5.0

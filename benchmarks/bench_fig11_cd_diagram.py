@@ -1,0 +1,47 @@
+"""Figure 11: the critical-difference diagram over the 13 methods.
+
+Friedman test over the 46x13 Table VI matrix (p = 0.00 in the paper, so
+the null is rejected), then the pairwise Wilcoxon-Holm post-hoc grouping.
+The paper's reading: IPS significantly outperforms everything except COTE,
+COTE-IPS, ResNet, ST and BSPCOVER.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.published import accuracy_matrix
+from repro.stats.cd_diagram import cd_groups, render_cd
+from repro.stats.friedman import friedman_test
+
+
+def test_fig11_cd_diagram(benchmark, report, capsys):
+    values, _datasets, methods = accuracy_matrix()
+    result = benchmark.pedantic(lambda: friedman_test(values), rounds=1)
+    assert result.p_value < 0.05, "the paper rejects the Friedman null"
+
+    mean_ranks, groups = cd_groups(values, method="wilcoxon-holm")
+    order = np.argsort(mean_ranks)
+    rows = [
+        [i + 1, methods[idx], float(mean_ranks[idx])]
+        for i, idx in enumerate(order)
+    ]
+    report(
+        "Fig. 11: average ranks (Friedman p = %.2e)" % result.p_value,
+        ["rank", "method", "avg rank"],
+        rows,
+        precision=3,
+    )
+    diagram = render_cd(methods, values, method="wilcoxon-holm")
+    with capsys.disabled():
+        print(diagram)
+        print()
+
+    # The paper's grouping claim: IPS shares a clique with the ensembles.
+    ips_sorted_pos = [methods[i] for i in order].index("IPS")
+    in_top_group = any(lo <= ips_sorted_pos <= hi for lo, hi in groups)
+    assert in_top_group
+    ranked = [methods[i] for i in order]
+    assert ranked[0] == "COTE-IPS"
+    assert ranked.index("IPS") == 3
+    assert ranked[-1] == "BASE"

@@ -1,0 +1,45 @@
+"""Figure 12: IPS accuracy vs the shapelet number k.
+
+On ArrowHead, MoteStrain, ShapeletSim and ToeSegmentation1, for k in
+{1, 2, 5, 10, 20}: accuracy rises from k=1 and then stabilizes (the paper
+reads k=5 off these curves as the default).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import IPSConfig
+from repro.core.pipeline import IPSClassifier
+from repro.datasets.loader import load_dataset
+
+from _bench_common import CAPS
+
+DATASETS = ("ArrowHead", "MoteStrain", "ShapeletSim", "ToeSegmentation1")
+K_GRID = (1, 2, 5, 10, 20)
+
+
+def _k_sweep(name: str):
+    data = load_dataset(name, seed=0, **CAPS)
+    y_test = data.test.classes_[data.test.y]
+    row: list = [name]
+    for k in K_GRID:
+        clf = IPSClassifier(IPSConfig(q_n=10, q_s=3, k=k, seed=0))
+        clf.fit_dataset(data.train)
+        row.append(100.0 * clf.score(data.test.X, y_test))
+    return row
+
+
+def test_fig12_accuracy_vs_k(benchmark, report):
+    rows = [_k_sweep(name) for name in DATASETS[1:]]
+    rows.insert(0, benchmark.pedantic(lambda: _k_sweep(DATASETS[0]), rounds=1))
+    report(
+        "Fig. 12: IPS accuracy (%) vs shapelet number k",
+        ["dataset"] + [f"k={k}" for k in K_GRID],
+        rows,
+        notes="Paper shape: accuracy rises from k=1, then stabilizes by k~5.",
+    )
+    for row in rows:
+        accs = np.array(row[1:], dtype=float)
+        # Later-k accuracy should not collapse below the k=1 start.
+        assert accs[2:].max() >= accs[0] - 10.0, row

@@ -1,0 +1,72 @@
+"""Figure 13: the interpretability case study on ItalyPowerDemand.
+
+The paper shows the shapelets discovered by IPS and BSPCOVER both isolate
+the morning heating bump that separates winter (class 2) from summer
+(class 1) days — and that IPS found its shapelet ~4x faster. Regenerated
+here: both methods' top shapelets are located on the 24-hour axis and
+checked to overlap the morning window where the class means diverge most.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.bspcover import BSPCover
+from repro.benchlib.timing import timed
+from repro.core.config import IPSConfig
+from repro.core.pipeline import IPSClassifier
+from repro.datasets.loader import load_dataset
+
+
+def _hour_of(index: int, length: int) -> float:
+    return 24.0 * index / length
+
+
+def test_fig13_interpretability(benchmark, report):
+    data = load_dataset("ItalyPowerDemand", seed=0, max_train=40, max_test=80)
+    train = data.train
+    length = train.series_length
+
+    ips = IPSClassifier(IPSConfig(q_n=10, q_s=3, k=5, seed=0))
+    _, t_ips = timed(lambda: benchmark.pedantic(
+        lambda: ips.fit_dataset(train), rounds=1
+    ))
+    bsp = BSPCover(k=5, seed=0)
+    _, t_bsp = timed(lambda: bsp.fit_dataset(train))
+
+    # Where do the class means diverge? (ground truth: the morning bump)
+    summer = train.series_of_class(0).mean(axis=0)
+    winter = train.series_of_class(1).mean(axis=0)
+    gap = np.abs(winter - summer)
+    peak_hour = _hour_of(int(np.argmax(gap)), length)
+
+    rows = []
+    morning_hits = {"IPS": 0, "BSPCOVER": 0}
+    for method, model in (("IPS", ips), ("BSPCOVER", bsp)):
+        for shp in model.shapelets_[:4]:
+            start_h = _hour_of(shp.start, length)
+            end_h = _hour_of(shp.start + shp.length, length)
+            covers = start_h - 1.0 <= peak_hour <= end_h + 1.0
+            morning_hits[method] += bool(covers)
+            rows.append(
+                [
+                    f"{method} class={shp.label}",
+                    start_h,
+                    end_h,
+                    "yes" if covers else "no",
+                ]
+            )
+    rows.append(["(class-mean gap peak hour)", peak_hour, peak_hour, "-"])
+    report(
+        "Fig. 13: shapelet locations on the 24h axis (ItalyPowerDemand)",
+        ["shapelet", "start hour", "end hour", "covers peak gap"],
+        rows,
+        notes=(
+            f"IPS fit {t_bsp / max(t_ips, 1e-9):.1f}x faster than BSPCOVER "
+            f"(paper: ~4x). Both should place shapelets over the morning "
+            f"heating bump."
+        ),
+    )
+    # At least one shapelet from each method must cover the peak-gap hour.
+    assert morning_hits["IPS"] >= 1
+    assert morning_hits["BSPCOVER"] >= 1

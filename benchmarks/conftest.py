@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at
+laptop scale (dataset sizes are capped; see DESIGN.md). Tables are printed
+straight to the terminal (bypassing capture) and appended to
+``benchmarks/results/`` so ``bench_output.txt`` contains every row.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.benchlib.tables import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print a table uncaptured and persist it under benchmarks/results/."""
+
+    def _report(title: str, headers, rows, precision: int = 2, notes: str = ""):
+        text = format_table(headers, rows, precision=precision, title=title)
+        if notes:
+            text = f"{text}\n{notes}"
+        with capsys.disabled():
+            print()
+            print(text)
+            print()
+        RESULTS_DIR.mkdir(exist_ok=True)
+        slug = "".join(c if c.isalnum() else "_" for c in title.lower())[:60]
+        (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+
+    return _report

@@ -1,0 +1,68 @@
+"""Use the IPS API on your own numpy arrays.
+
+Run:  python examples/custom_data.py
+
+Shows the minimal integration path for a downstream user: build a labelled
+dataset from raw ``(M, N)`` arrays, tune the IPS configuration, inspect
+each pipeline stage (candidate pool, DABF pruning report, utilities), and
+reuse the discovered shapelets for transform-only feature extraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Dataset, IPSConfig
+from repro.core import IPS, ShapeletTransform
+from repro.classify import OneVsRestSVM, StandardScaler
+
+
+def make_sensor_like_data(n: int, length: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """Fake 'vibration sensor' data: class 1 contains a fault signature."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(scale=0.5, size=(n, length))
+    y = rng.integers(0, 2, size=n)
+    t = np.linspace(0, 3 * np.pi, length // 4)
+    fault = np.sin(5 * t) * np.exp(-t / 3) * 3.0
+    for i in np.flatnonzero(y == 1):
+        start = rng.integers(0, length - fault.size)
+        X[i, start : start + fault.size] += fault
+    return X, y
+
+
+def main() -> None:
+    X, y = make_sensor_like_data(n=40, length=160, seed=7)
+    dataset = Dataset(X=X[:24], y=y[:24], name="vibration")
+    holdout_X, holdout_y = X[24:], y[24:]
+    print(dataset.describe())
+
+    # 1. Discovery only: run the pipeline stages by hand.
+    config = IPSConfig(k=3, q_n=10, q_s=3, length_ratios=(0.15, 0.25), seed=0)
+    discoverer = IPS(config)
+    result = discoverer.discover(dataset)
+    prune_report = result.extra["prune_report"]
+    print(
+        f"\ncandidates {result.n_candidates_generated} -> "
+        f"{result.n_candidates_after_pruning} "
+        f"(removed per class: {prune_report.removed_per_class})"
+    )
+    for shapelet in result.shapelets:
+        print(
+            f"  shapelet class={shapelet.label} len={shapelet.length} "
+            f"u={shapelet.score:.4f}"
+        )
+
+    # 2. Reuse the shapelets for feature extraction + your own classifier.
+    transform = ShapeletTransform(result.shapelets)
+    scaler = StandardScaler()
+    train_features = scaler.fit_transform(transform.transform(dataset.X))
+    model = OneVsRestSVM(C=1.0, seed=0).fit(train_features, dataset.y)
+
+    holdout_features = scaler.transform(transform.transform(holdout_X))
+    predictions = dataset.classes_[model.predict(holdout_features)]
+    accuracy = float(np.mean(predictions == holdout_y))
+    print(f"\nholdout accuracy with custom stack: {accuracy:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Interpretability case study (the paper's Fig. 13): ItalyPowerDemand.
+
+Run:  python examples/interpretability_italypower.py
+
+Discovers shapelets with both IPS and BSPCOVER on daily electricity-load
+curves (class 1 = summer, class 2 = winter), then renders where on the
+24-hour axis the shapelets fall as ASCII sparklines. The paper's reading:
+both methods isolate the *morning heating bump* that separates winter
+from summer, and IPS finds it several times faster.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import IPSClassifier, IPSConfig, load_dataset
+from repro.baselines import BSPCover
+
+_SPARK = " .:-=+*#%@"
+
+
+def sparkline(values: np.ndarray, width: int = 48) -> str:
+    """Render a series as a one-line ASCII sparkline."""
+    from repro.ts.preprocessing import linear_interpolate_resample
+
+    resampled = linear_interpolate_resample(np.asarray(values, float), width)
+    lo, hi = resampled.min(), resampled.max()
+    span = hi - lo if hi > lo else 1.0
+    levels = ((resampled - lo) / span * (len(_SPARK) - 1)).astype(int)
+    return "".join(_SPARK[level] for level in levels)
+
+
+def main() -> None:
+    data = load_dataset("ItalyPowerDemand", seed=0, max_train=40, max_test=100)
+    train = data.train
+    hours_per_sample = 24.0 / train.series_length
+
+    summer = train.series_of_class(0).mean(axis=0)
+    winter = train.series_of_class(1).mean(axis=0)
+    print("class means over the day (summer vs winter):")
+    print(f"  summer |{sparkline(summer)}|")
+    print(f"  winter |{sparkline(winter)}|")
+    gap_hour = float(np.argmax(np.abs(winter - summer))) * hours_per_sample
+    print(f"  largest class gap at ~{gap_hour:.0f}:00 (the morning heating bump)\n")
+
+    start = time.perf_counter()
+    ips = IPSClassifier(IPSConfig(k=5, q_n=10, q_s=3, seed=0)).fit_dataset(train)
+    t_ips = time.perf_counter() - start
+    start = time.perf_counter()
+    bsp = BSPCover(k=5, seed=0).fit_dataset(train)
+    t_bsp = time.perf_counter() - start
+
+    y_test = data.test.classes_[data.test.y]
+    print(f"IPS:      accuracy {ips.score(data.test.X, y_test):.3f}, fit {t_ips:.2f}s")
+    print(f"BSPCOVER: accuracy {bsp.score(data.test.X, y_test):.3f}, fit {t_bsp:.2f}s")
+    print(f"IPS is {t_bsp / max(t_ips, 1e-9):.1f}x faster (paper reports ~4x)\n")
+
+    for name, model in (("IPS", ips), ("BSPCOVER", bsp)):
+        print(f"{name} shapelets (class, hours covered, shape):")
+        for shapelet in model.shapelets_[:4]:
+            start_h = shapelet.start * hours_per_sample
+            end_h = (shapelet.start + shapelet.length) * hours_per_sample
+            print(
+                f"  class {shapelet.label}  {start_h:4.1f}h-{end_h:4.1f}h  "
+                f"|{sparkline(shapelet.values, width=24)}|"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

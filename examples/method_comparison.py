@@ -1,0 +1,45 @@
+"""Compare every runnable method on one dataset (a mini Table VI row).
+
+Run:  python examples/method_comparison.py [dataset]
+
+Evaluates IPS against the implemented baselines — BASE, BSPCOVER, Fast
+Shapelets, LTS, ST, SD, Rotation Forest, 1NN-ED, 1NN-DTW — on a synthetic
+UCR stand-in, reporting accuracy and discovery time side by side.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.benchlib import evaluate_method, method_names, print_table
+from repro.datasets import load_dataset
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "GunPoint"
+    data = load_dataset(name, seed=0, max_train=24, max_test=60, max_length=120)
+    print(f"dataset: {data.train.describe()}")
+
+    overrides = {
+        "IPS": {"q_n": 10, "q_s": 3},
+        "LTS": {"epochs": 200},
+        "ST": {"max_candidates": 200},
+    }
+    rows = []
+    for method in method_names():
+        result = evaluate_method(
+            method, data, k=5, seed=0, **overrides.get(method, {})
+        )
+        rows.append(
+            [method, 100.0 * result.accuracy, result.discovery_seconds, result.total_seconds]
+        )
+    rows.sort(key=lambda row: -row[1])
+    print_table(
+        ["method", "accuracy %", "discovery (s)", "fit total (s)"],
+        rows,
+        title=f"Method comparison on {name}",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Robustness study: IPS accuracy under deployment perturbations.
+
+Run:  python examples/robustness_noise.py
+
+Trains IPS once on clean data, then evaluates on test sets corrupted by
+the perturbations a deployed sensor pipeline produces — Gaussian noise,
+spikes, dropouts, baseline drift, and clock warp — at increasing severity.
+
+The measured pattern is instructive and perhaps counter-intuitive:
+
+* **structural** corruption (dropout with interpolation, mild clock warp)
+  barely touches IPS — the sliding Def.-4 distance still finds the class
+  pattern;
+* **additive** corruption (point noise, spikes, drift) hurts IPS *faster*
+  than whole-series 1NN-ED: a length-L shapelet window averages noise over
+  only L samples while 1NN-ED averages over the full series, and the
+  transform's absolute distance features shift under any additive energy.
+
+The practical mitigation is smoothing the input (``repro.ts.moving_average``)
+or training with noise augmentation — both one-liners with this API.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import IPSClassifier, IPSConfig, load_dataset
+from repro.classify import OneNearestNeighbor
+from repro.datasets.perturb import (
+    add_baseline_drift,
+    add_dropout,
+    add_gaussian_noise,
+    add_spikes,
+    time_warp,
+)
+from repro.benchlib import print_table
+
+
+def main() -> None:
+    data = load_dataset("GunPoint", seed=0, max_train=30, max_test=80, max_length=120)
+    y_test = data.test.classes_[data.test.y]
+
+    ips = IPSClassifier(IPSConfig(k=5, q_n=10, q_s=3, seed=0)).fit_dataset(data.train)
+    nn = OneNearestNeighbor("euclidean").fit(data.train.X, data.train.y)
+
+    def nn_score(X: np.ndarray) -> float:
+        return float(
+            np.mean(data.train.classes_[nn.predict(X)] == y_test)
+        )
+
+    perturbations = [
+        ("clean", lambda X: X),
+        ("noise sd=0.1", lambda X: add_gaussian_noise(X, 0.1, seed=1)),
+        ("noise sd=0.3", lambda X: add_gaussian_noise(X, 0.3, seed=1)),
+        ("spikes 2%", lambda X: add_spikes(X, rate=0.02, seed=1)),
+        ("spikes 10%", lambda X: add_spikes(X, rate=0.10, seed=1)),
+        ("dropout 10%", lambda X: add_dropout(X, rate=0.10, seed=1)),
+        ("dropout 30%", lambda X: add_dropout(X, rate=0.30, seed=1)),
+        ("drift x0.5", lambda X: add_baseline_drift(X, magnitude=0.5, seed=1)),
+        ("warp 10%", lambda X: time_warp(X, max_warp=0.10, seed=1)),
+    ]
+    rows = []
+    for label, perturb in perturbations:
+        X_corrupt = perturb(data.test.X)
+        rows.append(
+            [
+                label,
+                100.0 * ips.score(X_corrupt, y_test),
+                100.0 * nn_score(X_corrupt),
+            ]
+        )
+    print_table(
+        ["perturbation", "IPS acc %", "1NN-ED acc %"],
+        rows,
+        title="Robustness on GunPoint-like data (trained clean, tested corrupted)",
+    )
+    print(
+        "Reading: IPS shrugs off structural corruption (dropout, warp) but\n"
+        "additive noise/spikes/drift hit its short-window distance features\n"
+        "harder than whole-series 1NN-ED; smooth or augment when deploying\n"
+        "on noisy sensors."
+    )
+
+    # The one-line mitigation: smooth the corrupted input before scoring.
+    from repro.ts import moving_average
+
+    noisy = add_gaussian_noise(data.test.X, 0.3, seed=1)
+    smoothed = np.vstack([moving_average(row, 5) for row in noisy])
+    print(
+        f"\nmitigation check (noise sd=0.3): raw {100 * ips.score(noisy, y_test):.1f}% "
+        f"-> smoothed {100 * ips.score(smoothed, y_test):.1f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro: a full reproduction of *IPS: Instance Profile for Shapelet
+Discovery for Time Series Classification* (Li et al., ICDE 2022).
+
+Quickstart
+----------
+>>> from repro import IPSClassifier, IPSConfig, load_dataset
+>>> data = load_dataset("ItalyPowerDemand", max_train=30, max_test=50)
+>>> clf = IPSClassifier(IPSConfig(k=5, q_n=10, seed=0)).fit_dataset(data.train)
+>>> accuracy = clf.score(data.test.X, data.test.classes_[data.test.y])
+
+Package map
+-----------
+* :mod:`repro.core` — the paper's contribution: IPS pipeline (instance
+  profile, DABF pruning, utility scoring with DT & CR, top-k selection,
+  shapelet transform + linear SVM);
+* :mod:`repro.matrixprofile` / :mod:`repro.instanceprofile` — profile
+  substrates (MASS, STOMP, bagged instance profiles);
+* :mod:`repro.lsh` / :mod:`repro.filters` — LSH families, Bloom filters,
+  the distribution-aware bloom filter;
+* :mod:`repro.baselines` — BASE, BSPCOVER, FS, LTS, ST, SD + published
+  Table VI constants;
+* :mod:`repro.classify` — 1NN-ED/DTW, linear SVM, CART, rotation forest;
+* :mod:`repro.datasets` — synthetic UCR-archive substitute (46 datasets);
+* :mod:`repro.stats` — Friedman / Wilcoxon-Holm / critical-difference.
+"""
+
+from repro._version import __version__
+from repro.core.config import IPSConfig
+from repro.core.pipeline import IPS, IPSClassifier
+from repro.datasets.loader import load_dataset
+from repro.ts.series import Dataset
+from repro.types import Candidate, CandidateKind, DiscoveryResult, Shapelet
+
+__all__ = [
+    "IPS",
+    "Candidate",
+    "CandidateKind",
+    "Dataset",
+    "DiscoveryResult",
+    "IPSClassifier",
+    "IPSConfig",
+    "Shapelet",
+    "__version__",
+    "load_dataset",
+]

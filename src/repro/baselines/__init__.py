@@ -1,0 +1,58 @@
+"""Compared methods (Section IV-A of the paper).
+
+Runnable implementations:
+
+* :class:`MPBaseline` (BASE) — the matrix-profile baseline of Yeh et al.
+  [37]: concatenate each class, take the top-k largest profile differences
+  (Formula 4);
+* :class:`BSPCover` — bloom-filter pruning + p-cover selection (Li et al.,
+  TKDE 2020), the paper's efficiency state of the art;
+* :class:`FastShapelets` — SAX words + random masking (Rakthanmanon &
+  Keogh, SDM 2013);
+* :class:`LearningShapelets` (LTS) — gradient-learned shapelets + logistic
+  model (Grabocka et al., KDD 2014);
+* :class:`ShapeletTransformST` (ST) — information-gain full search (Lines
+  et al., KDD 2012);
+* :class:`ScalableDiscovery` (SD) — clustering-based candidate pruning
+  (Grabocka et al., KAIS 2016).
+
+Quoted methods (COTE, COTE-IPS, ResNet, ELIS, RotF, DTW): per-dataset
+accuracies from the paper's Table VI live in
+:mod:`repro.baselines.published`, consumed by the Table VI / Fig. 11
+harnesses exactly as the paper consumed numbers from other papers.
+"""
+
+from repro.baselines.bag_of_patterns import BagOfPatterns
+from repro.baselines.base import ShapeletTransformClassifier
+from repro.baselines.boss import BOSS
+from repro.baselines.bspcover import BSPCover
+from repro.baselines.elis import ELIS
+from repro.baselines.interval_forest import TimeSeriesForest
+from repro.baselines.fast_shapelets import FastShapelets
+from repro.baselines.learning_shapelets import LearningShapelets
+from repro.baselines.mp_base import MPBaseline
+from repro.baselines.published import PUBLISHED_ACCURACY, published_methods
+from repro.baselines.quality import best_information_gain, entropy
+from repro.baselines.sax import paa, sax_word
+from repro.baselines.scalable_discovery import ScalableDiscovery
+from repro.baselines.shapelet_transform_st import ShapeletTransformST
+
+__all__ = [
+    "BOSS",
+    "BSPCover",
+    "BagOfPatterns",
+    "ELIS",
+    "FastShapelets",
+    "TimeSeriesForest",
+    "LearningShapelets",
+    "MPBaseline",
+    "PUBLISHED_ACCURACY",
+    "ScalableDiscovery",
+    "ShapeletTransformClassifier",
+    "ShapeletTransformST",
+    "best_information_gain",
+    "entropy",
+    "paa",
+    "published_methods",
+    "sax_word",
+]

@@ -1,0 +1,75 @@
+"""Shared scaffolding for shapelet-discovery baselines.
+
+Every runnable baseline produces a list of :class:`repro.types.Shapelet`
+and then classifies through the identical downstream stack used by IPS —
+shapelet transform, standardization, linear SVM — so accuracy differences
+isolate the *discovery* quality, exactly the comparison the paper makes.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.classify.scaler import StandardScaler
+from repro.classify.svm import OneVsRestSVM
+from repro.core.transform import ShapeletTransform
+from repro.exceptions import NotFittedError
+from repro.ts.series import Dataset
+from repro.types import Shapelet
+
+
+class ShapeletTransformClassifier(ABC):
+    """Template: discover shapelets, then transform + scale + linear SVM.
+
+    Subclasses implement :meth:`discover`; everything else (timing,
+    transform, SVM, label round-tripping) is shared.
+    """
+
+    def __init__(self, svm_c: float = 1.0, seed: int | None = 0) -> None:
+        self.svm_c = svm_c
+        self.seed = seed
+        self.shapelets_: list[Shapelet] | None = None
+        self.discovery_seconds_: float = float("nan")
+        self._transform: ShapeletTransform | None = None
+        self._scaler: StandardScaler | None = None
+        self._svm: OneVsRestSVM | None = None
+        self._dataset: Dataset | None = None
+
+    @abstractmethod
+    def discover(self, dataset: Dataset) -> list[Shapelet]:
+        """Return the discovered shapelets for a training dataset."""
+
+    def fit_dataset(self, dataset: Dataset) -> "ShapeletTransformClassifier":
+        """Discover, then fit the shared transform + SVM stack."""
+        start = time.perf_counter()
+        shapelets = self.discover(dataset)
+        self.discovery_seconds_ = time.perf_counter() - start
+        self.shapelets_ = shapelets
+        self._dataset = dataset
+        self._transform = ShapeletTransform(shapelets)
+        self._scaler = StandardScaler()
+        features = self._scaler.fit_transform(self._transform.transform(dataset.X))
+        self._svm = OneVsRestSVM(C=self.svm_c, seed=self.seed)
+        self._svm.fit(features, dataset.y)
+        return self
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "ShapeletTransformClassifier":
+        """Fit on raw arrays."""
+        return self.fit_dataset(Dataset(X=X, y=y))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted labels in the caller's original label values."""
+        if self._svm is None or self._transform is None or self._dataset is None:
+            raise NotFittedError("call fit before predict")
+        features = self._scaler.transform(self._transform.transform(X))
+        internal = self._svm.predict(features)
+        return self._dataset.classes_[internal]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy against original-valued labels."""
+        from repro.classify.metrics import accuracy_score
+
+        return accuracy_score(np.asarray(y, dtype=np.int64), self.predict(X))

@@ -1,0 +1,132 @@
+"""BOSS: Bag-of-SFA-Symbols (Schaefer, DMKD 2015).
+
+The strong dictionary-based classifier: per-series histograms over SFA
+words of sliding windows (with numerosity reduction), classified by 1NN
+under the *BOSS distance* — a non-symmetric squared distance that sums
+only over words present in the query's histogram, making it robust to
+words the query never saw.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.sfa import SFA
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ts.series import Dataset
+
+
+def boss_distance(query_hist: dict, reference_hist: dict) -> float:
+    """Non-symmetric BOSS distance: sum over the query's words only."""
+    return float(
+        sum(
+            (count - reference_hist.get(word, 0.0)) ** 2
+            for word, count in query_hist.items()
+        )
+    )
+
+
+class BOSS:
+    """BOSS classifier.
+
+    Parameters
+    ----------
+    window_ratio:
+        Sliding-window length as a fraction of the series length.
+    n_coefficients, alphabet_size:
+        SFA word shape (the classic BOSS default is word length 8-16 over
+        a 4-letter alphabet).
+    numerosity_reduction:
+        Collapse runs of identical consecutive words.
+    max_fit_windows:
+        Cap on the training subsequences used to learn the SFA bins.
+    """
+
+    def __init__(
+        self,
+        window_ratio: float = 0.3,
+        n_coefficients: int = 8,
+        alphabet_size: int = 4,
+        numerosity_reduction: bool = True,
+        max_fit_windows: int = 2000,
+        seed: int | None = 0,
+    ) -> None:
+        if not 0.0 < window_ratio <= 1.0:
+            raise ValidationError("window_ratio must be in (0, 1]")
+        if max_fit_windows < 2:
+            raise ValidationError("max_fit_windows must be >= 2")
+        self.window_ratio = window_ratio
+        self.n_coefficients = n_coefficients
+        self.alphabet_size = alphabet_size
+        self.numerosity_reduction = numerosity_reduction
+        self.max_fit_windows = max_fit_windows
+        self.seed = seed
+        self._sfa: SFA | None = None
+        self._window: int = 0
+        self._train_histograms: list[dict] | None = None
+        self._train_y: np.ndarray | None = None
+        self._classes: np.ndarray | None = None
+        self.discovery_seconds_: float = 0.0
+
+    def _histogram(self, series: np.ndarray) -> dict:
+        words = self._sfa.words_of_windows(series, self._window)
+        if self.numerosity_reduction:
+            reduced = [words[0]]
+            for word in words[1:]:
+                if word != reduced[-1]:
+                    reduced.append(word)
+            words = reduced
+        histogram: dict = {}
+        for word in words:
+            histogram[word] = histogram.get(word, 0.0) + 1.0
+        return histogram
+
+    def fit_dataset(self, dataset: Dataset) -> "BOSS":
+        """Learn SFA bins from training windows, then build histograms."""
+        self._window = max(
+            self.n_coefficients + 2,
+            int(round(self.window_ratio * dataset.series_length)),
+        )
+        self._window = min(self._window, dataset.series_length)
+        rng = np.random.default_rng(self.seed)
+        n_positions = dataset.series_length - self._window + 1
+        samples = []
+        for _ in range(min(self.max_fit_windows, dataset.n_series * n_positions)):
+            row = int(rng.integers(dataset.n_series))
+            start = int(rng.integers(n_positions))
+            samples.append(dataset.X[row, start : start + self._window])
+        self._sfa = SFA(
+            n_coefficients=min(self.n_coefficients, self._window - 2),
+            alphabet_size=self.alphabet_size,
+        ).fit(np.vstack(samples))
+        self._train_histograms = [self._histogram(row) for row in dataset.X]
+        self._train_y = dataset.y
+        self._classes = dataset.classes_
+        return self
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BOSS":
+        """Fit on raw arrays."""
+        return self.fit_dataset(Dataset(X=X, y=y))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """1NN under the BOSS distance (original label values)."""
+        if self._sfa is None or self._classes is None:
+            raise NotFittedError("call fit before predict")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        out = np.empty(X.shape[0], dtype=np.int64)
+        for i, row in enumerate(X):
+            query = self._histogram(row)
+            distances = [
+                boss_distance(query, reference)
+                for reference in self._train_histograms
+            ]
+            out[i] = self._train_y[int(np.argmin(distances))]
+        return self._classes[out]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy against original-valued labels."""
+        from repro.classify.metrics import accuracy_score
+
+        return accuracy_score(np.asarray(y, dtype=np.int64), self.predict(X))

@@ -1,0 +1,135 @@
+"""Time Series Forest (Deng et al. 2013): the intervals-based category.
+
+The paper's introduction (and the bake-off survey [2] it cites) divides
+classical TSC into whole-series, intervals-based, dictionary-based, and
+model-based approaches; TSF is the canonical intervals method. Each tree
+sees summary statistics (mean, std, slope) of sqrt(N) random intervals;
+the ensemble votes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classify.tree import DecisionTree
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ts.series import Dataset
+
+
+def interval_features(X: np.ndarray, intervals: np.ndarray) -> np.ndarray:
+    """Mean / std / slope of each (start, end) interval, per series.
+
+    Returns ``(M, 3 * n_intervals)``.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValidationError("interval_features expects an (M, N) matrix")
+    blocks = []
+    for start, end in intervals:
+        segment = X[:, start:end]
+        means = segment.mean(axis=1)
+        stds = segment.std(axis=1)
+        width = end - start
+        if width >= 2:
+            t = np.arange(width) - (width - 1) / 2.0
+            denom = float(np.sum(t * t))
+            slopes = (segment * t).sum(axis=1) / denom
+        else:
+            slopes = np.zeros(X.shape[0])
+        blocks.append(np.column_stack([means, stds, slopes]))
+    return np.hstack(blocks)
+
+
+class TimeSeriesForest:
+    """TSF classifier.
+
+    Parameters
+    ----------
+    n_estimators:
+        Trees in the ensemble.
+    n_intervals:
+        Random intervals per tree (``None`` = ``ceil(sqrt(N))``).
+    min_interval:
+        Minimum interval width.
+    max_depth:
+        Depth cap passed to member trees.
+    seed:
+        Reproducibility seed.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 20,
+        n_intervals: int | None = None,
+        min_interval: int = 3,
+        max_depth: int | None = None,
+        seed: int | None = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValidationError("n_estimators must be >= 1")
+        if min_interval < 2:
+            raise ValidationError("min_interval must be >= 2")
+        self.n_estimators = n_estimators
+        self.n_intervals = n_intervals
+        self.min_interval = min_interval
+        self.max_depth = max_depth
+        self.seed = seed
+        self.classes_: np.ndarray | None = None
+        self._members: list[tuple[np.ndarray, DecisionTree]] = []
+        self.discovery_seconds_: float = 0.0
+
+    def _draw_intervals(self, length: int, rng: np.random.Generator) -> np.ndarray:
+        count = self.n_intervals or max(1, int(np.ceil(np.sqrt(length))))
+        min_width = min(self.min_interval, length)
+        intervals = np.empty((count, 2), dtype=np.int64)
+        for i in range(count):
+            width = int(rng.integers(min_width, length + 1))
+            start = int(rng.integers(0, length - width + 1))
+            intervals[i] = (start, start + width)
+        return intervals
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "TimeSeriesForest":
+        """Train the interval-tree ensemble."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if X.ndim != 2 or X.shape[0] != y.shape[0] or X.shape[0] == 0:
+            raise ValidationError("X must be (M, N) with matching non-empty y")
+        rng = np.random.default_rng(self.seed)
+        self.classes_ = np.unique(y)
+        self._members = []
+        for _ in range(self.n_estimators):
+            intervals = self._draw_intervals(X.shape[1], rng)
+            features = interval_features(X, intervals)
+            tree = DecisionTree(max_depth=self.max_depth, max_features="sqrt", seed=rng)
+            tree.fit(features, y)
+            self._members.append((intervals, tree))
+        return self
+
+    def fit_dataset(self, dataset: Dataset) -> "TimeSeriesForest":
+        """Fit on a :class:`Dataset` (internal labels)."""
+        self.fit(dataset.X, dataset.y)
+        self._dataset_classes = dataset.classes_
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority vote over interval trees."""
+        if self.classes_ is None or not self._members:
+            raise NotFittedError("call fit before predict")
+        X = np.asarray(X, dtype=np.float64)
+        class_index = {cls: i for i, cls in enumerate(self.classes_)}
+        votes = np.zeros((X.shape[0], self.classes_.size), dtype=np.int64)
+        for intervals, tree in self._members:
+            features = interval_features(X, intervals)
+            for row, pred in enumerate(tree.predict(features)):
+                votes[row, class_index[int(pred)]] += 1
+        return self.classes_[np.argmax(votes, axis=1)].astype(np.int64)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy against the labels used at fit time."""
+        from repro.classify.metrics import accuracy_score
+
+        # When fitted through fit_dataset, callers pass original labels.
+        predictions = self.predict(X)
+        if hasattr(self, "_dataset_classes"):
+            predictions = self._dataset_classes[predictions]
+        return accuracy_score(np.asarray(y, dtype=np.int64), predictions)

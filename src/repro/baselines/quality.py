@@ -1,0 +1,73 @@
+"""Shapelet quality measures: entropy and information gain.
+
+The classic shapelet literature (Ye & Keogh 2009; Lines et al. 2012) scores
+a candidate by the information gain of the best binary split of the
+training set ordered by distance to the candidate. Shared by the ST, FS,
+SD, and BSPCOVER baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def entropy(labels: np.ndarray) -> float:
+    """Shannon entropy (bits) of a label multiset."""
+    labels = np.asarray(labels)
+    if labels.size == 0:
+        return 0.0
+    _classes, counts = np.unique(labels, return_counts=True)
+    proportions = counts / labels.size
+    return float(-np.sum(proportions * np.log2(proportions)))
+
+
+def best_information_gain(
+    distances: np.ndarray, labels: np.ndarray
+) -> tuple[float, float]:
+    """Best ``(gain, threshold)`` over all binary splits of the order line.
+
+    ``distances[i]`` is the distance of training instance ``i`` to the
+    candidate; candidate thresholds are the midpoints between consecutive
+    distinct sorted distances.
+    """
+    distances = np.asarray(distances, dtype=np.float64)
+    labels = np.asarray(labels)
+    if distances.shape != labels.shape:
+        raise ValidationError("distances and labels must align")
+    n = distances.size
+    if n < 2:
+        return 0.0, float("inf")
+    order = np.argsort(distances, kind="stable")
+    sorted_d = distances[order]
+    sorted_y = labels[order]
+    classes, y_idx = np.unique(sorted_y, return_inverse=True)
+    k = classes.size
+    if k < 2:
+        return 0.0, float(sorted_d[0])
+    parent = entropy(sorted_y)
+    onehot = np.zeros((n, k))
+    onehot[np.arange(n), y_idx] = 1.0
+    left_counts = np.cumsum(onehot, axis=0)
+    total_counts = left_counts[-1]
+    split_points = np.flatnonzero(np.diff(sorted_d) > 0)
+    if split_points.size == 0:
+        return 0.0, float(sorted_d[0])
+    best_gain, best_threshold = 0.0, float(sorted_d[0])
+    left_n = (split_points + 1).astype(np.float64)
+    right_n = n - left_n
+    lc = left_counts[split_points]
+    rc = total_counts - lc
+    with np.errstate(divide="ignore", invalid="ignore"):
+        lp = lc / left_n[:, None]
+        rp = rc / right_n[:, None]
+        le = -np.nansum(np.where(lp > 0, lp * np.log2(lp), 0.0), axis=1)
+        re = -np.nansum(np.where(rp > 0, rp * np.log2(rp), 0.0), axis=1)
+    gains = parent - (left_n * le + right_n * re) / n
+    idx = int(np.argmax(gains))
+    if gains[idx] > best_gain:
+        best_gain = float(gains[idx])
+        pos = split_points[idx]
+        best_threshold = float(0.5 * (sorted_d[pos] + sorted_d[pos + 1]))
+    return best_gain, best_threshold

@@ -1,0 +1,100 @@
+"""SFA: Symbolic Fourier Approximation (Schaefer & Hoegqvist 2012).
+
+The frequency-domain sibling of SAX, and the word generator inside BOSS:
+a subsequence is represented by its first Fourier coefficients, each
+quantized against per-coefficient bin edges learned from the training data
+(MCB, multiple coefficient binning — here equi-depth binning).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ts.preprocessing import znormalize
+
+
+def fourier_coefficients(
+    series: np.ndarray, n_coefficients: int, norm: bool = True
+) -> np.ndarray:
+    """First ``n_coefficients`` real-valued DFT features of a subsequence.
+
+    Features interleave the real and imaginary parts of the low-frequency
+    rFFT bins, skipping the DC term when ``norm`` (z-normalized input has
+    zero mean, making DC uninformative).
+    """
+    arr = np.asarray(series, dtype=np.float64)
+    if arr.ndim != 1 or arr.size < 2:
+        raise ValidationError("fourier_coefficients expects a 1-D series, len >= 2")
+    values = znormalize(arr) if norm else arr
+    spectrum = np.fft.rfft(values)
+    start = 1 if norm else 0
+    parts: list[float] = []
+    idx = start
+    while len(parts) < n_coefficients and idx < spectrum.size:
+        parts.append(spectrum[idx].real)
+        if len(parts) < n_coefficients:
+            parts.append(spectrum[idx].imag)
+        idx += 1
+    while len(parts) < n_coefficients:
+        parts.append(0.0)
+    return np.asarray(parts[:n_coefficients])
+
+
+class SFA:
+    """Learned SFA quantizer.
+
+    Parameters
+    ----------
+    n_coefficients:
+        Word length (DFT features kept).
+    alphabet_size:
+        Symbols per coefficient.
+    norm:
+        z-normalize subsequences before the DFT (amplitude-invariant).
+    """
+
+    def __init__(
+        self, n_coefficients: int = 8, alphabet_size: int = 4, norm: bool = True
+    ) -> None:
+        if n_coefficients < 1:
+            raise ValidationError("n_coefficients must be >= 1")
+        if alphabet_size < 2:
+            raise ValidationError("alphabet_size must be >= 2")
+        self.n_coefficients = n_coefficients
+        self.alphabet_size = alphabet_size
+        self.norm = norm
+        self.bin_edges_: np.ndarray | None = None  # (n_coefficients, a-1)
+
+    def fit(self, subsequences: np.ndarray) -> "SFA":
+        """Learn equi-depth bin edges per coefficient (MCB)."""
+        subsequences = np.asarray(subsequences, dtype=np.float64)
+        if subsequences.ndim != 2 or subsequences.shape[0] < 2:
+            raise ValidationError("fit expects >= 2 subsequences, shape (n, L)")
+        features = np.vstack(
+            [
+                fourier_coefficients(row, self.n_coefficients, self.norm)
+                for row in subsequences
+            ]
+        )
+        quantiles = np.linspace(0.0, 1.0, self.alphabet_size + 1)[1:-1]
+        self.bin_edges_ = np.quantile(features, quantiles, axis=0).T
+        return self
+
+    def word(self, subsequence: np.ndarray) -> tuple[int, ...]:
+        """SFA word of one subsequence."""
+        if self.bin_edges_ is None:
+            raise NotFittedError("call fit before word")
+        features = fourier_coefficients(
+            subsequence, self.n_coefficients, self.norm
+        )
+        return tuple(
+            int(np.searchsorted(self.bin_edges_[i], features[i]))
+            for i in range(self.n_coefficients)
+        )
+
+    def words_of_windows(self, series: np.ndarray, window: int) -> list[tuple[int, ...]]:
+        """SFA words of every sliding window of ``series``."""
+        series = np.asarray(series, dtype=np.float64)
+        windows = np.lib.stride_tricks.sliding_window_view(series, window)
+        return [self.word(w) for w in windows]

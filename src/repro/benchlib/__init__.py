@@ -1,0 +1,14 @@
+"""Shared helpers for the benchmark harness in ``benchmarks/``."""
+
+from repro.benchlib.runners import evaluate_method, make_method, method_names
+from repro.benchlib.tables import format_table, print_table
+from repro.benchlib.timing import timed
+
+__all__ = [
+    "evaluate_method",
+    "format_table",
+    "make_method",
+    "method_names",
+    "print_table",
+    "timed",
+]

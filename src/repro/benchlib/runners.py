@@ -1,0 +1,152 @@
+"""Method factory and evaluation runner shared by the benchmark harness.
+
+``make_method(name)`` instantiates any runnable method by its Table VI
+name; ``evaluate_method`` runs the full fit/score cycle on a loaded
+dataset and reports accuracy plus discovery time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.bag_of_patterns import BagOfPatterns
+from repro.baselines.boss import BOSS
+from repro.baselines.bspcover import BSPCover
+from repro.baselines.elis import ELIS
+from repro.baselines.interval_forest import TimeSeriesForest
+from repro.baselines.fast_shapelets import FastShapelets
+from repro.baselines.learning_shapelets import LearningShapelets
+from repro.baselines.mp_base import MPBaseline
+from repro.baselines.scalable_discovery import ScalableDiscovery
+from repro.baselines.shapelet_transform_st import ShapeletTransformST
+from repro.benchlib.timing import timed
+from repro.classify.neighbors import OneNearestNeighbor
+from repro.classify.rotation_forest import RotationForest
+from repro.core.config import IPSConfig
+from repro.core.pipeline import IPSClassifier
+from repro.datasets.loader import TrainTestData
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class MethodResult:
+    """Accuracy and timing of one method on one dataset."""
+
+    method: str
+    dataset: str
+    accuracy: float
+    discovery_seconds: float
+    total_seconds: float
+
+
+class _NeighborAdapter:
+    """1NN wrapper matching the fit_dataset/score protocol."""
+
+    def __init__(self, metric: str, band: int | None = None) -> None:
+        self._model = OneNearestNeighbor(metric=metric, band=band)
+        self.discovery_seconds_ = 0.0
+        self._classes = None
+
+    def fit_dataset(self, dataset):
+        """Fit on internal labels, remembering the class mapping."""
+        self._model.fit(dataset.X, dataset.y)
+        self._classes = dataset.classes_
+        return self
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy against original-valued labels."""
+        from repro.classify.metrics import accuracy_score
+
+        internal = self._model.predict(X)
+        return accuracy_score(np.asarray(y, dtype=np.int64), self._classes[internal])
+
+
+class _RotationForestAdapter:
+    """Rotation Forest on raw series values (whole-series method)."""
+
+    def __init__(self, seed: int | None = 0) -> None:
+        self._model = RotationForest(n_estimators=10, group_size=8, seed=seed)
+        self.discovery_seconds_ = 0.0
+        self._classes = None
+
+    def fit_dataset(self, dataset):
+        """Fit on internal labels, remembering the class mapping."""
+        self._model.fit(dataset.X, dataset.y)
+        self._classes = dataset.classes_
+        return self
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy against original-valued labels."""
+        from repro.classify.metrics import accuracy_score
+
+        internal = self._model.predict(X)
+        return accuracy_score(np.asarray(y, dtype=np.int64), self._classes[internal])
+
+
+def method_names() -> list[str]:
+    """Runnable method names accepted by :func:`make_method`."""
+    return [
+        "IPS",
+        "BASE",
+        "BSPCOVER",
+        "FS",
+        "LTS",
+        "ELIS",
+        "ST",
+        "SD",
+        "RotF",
+        "TSF",
+        "BOP",
+        "BOSS",
+        "1NN-ED",
+        "1NN-DTW",
+    ]
+
+
+def make_method(name: str, k: int = 5, seed: int | None = 0, **overrides):
+    """Instantiate a runnable method by its Table VI name."""
+    builders = {
+        "IPS": lambda: IPSClassifier(
+            IPSConfig(k=k, seed=seed, **overrides)
+        ),
+        "BASE": lambda: MPBaseline(k=k, seed=seed, **overrides),
+        "BSPCOVER": lambda: BSPCover(k=k, seed=seed, **overrides),
+        "FS": lambda: FastShapelets(k=k, seed=seed, **overrides),
+        "LTS": lambda: LearningShapelets(k_per_class=k, seed=seed, **overrides),
+        "ELIS": lambda: ELIS(k_per_class=k, seed=seed, **overrides),
+        "ST": lambda: ShapeletTransformST(k=k, seed=seed, **overrides),
+        "SD": lambda: ScalableDiscovery(k=k, seed=seed, **overrides),
+        "RotF": lambda: _RotationForestAdapter(seed=seed),
+        "TSF": lambda: TimeSeriesForest(seed=seed, **overrides),
+        "BOP": lambda: BagOfPatterns(seed=seed, **overrides),
+        "BOSS": lambda: BOSS(seed=seed, **overrides),
+        "1NN-ED": lambda: _NeighborAdapter("euclidean"),
+        "1NN-DTW": lambda: _NeighborAdapter("dtw", band=overrides.get("band", 10)),
+    }
+    if name not in builders:
+        raise ValidationError(
+            f"unknown method {name!r}; choose from {method_names()}"
+        )
+    return builders[name]()
+
+
+def evaluate_method(
+    name: str, data: TrainTestData, k: int = 5, seed: int | None = 0, **overrides
+) -> MethodResult:
+    """Fit + score one method on one loaded dataset."""
+    model = make_method(name, k=k, seed=seed, **overrides)
+    _, fit_seconds = timed(lambda: model.fit_dataset(data.train))
+    y_test = data.test.classes_[data.test.y]
+    accuracy = model.score(data.test.X, y_test)
+    discovery = getattr(model, "discovery_seconds_", float("nan"))
+    if name == "IPS" and model.discovery_result_ is not None:
+        discovery = model.discovery_result_.total_time
+    return MethodResult(
+        method=name,
+        dataset=data.name,
+        accuracy=float(accuracy),
+        discovery_seconds=float(discovery),
+        total_seconds=float(fit_seconds),
+    )

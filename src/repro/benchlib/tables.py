@@ -1,0 +1,72 @@
+"""Aligned-table formatting for benchmark output.
+
+The benchmark harnesses print the same rows the paper's tables report;
+these helpers keep the output readable in a terminal and in the captured
+``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import ValidationError
+
+
+def _cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 2,
+    title: str | None = None,
+) -> str:
+    """Monospace table with per-column alignment.
+
+    Floats are fixed to ``precision`` decimals; everything else is
+    str()'d. The first column is left-aligned, the rest right-aligned.
+    """
+    if not headers:
+        raise ValidationError("headers must be non-empty")
+    text_rows = [[_cell(v, precision) for v in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in text_rows)) if text_rows else len(headers[j])
+        for j in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        headers[j].ljust(widths[j]) if j == 0 else headers[j].rjust(widths[j])
+        for j in range(len(headers))
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in text_rows:
+        lines.append(
+            "  ".join(
+                row[j].ljust(widths[j]) if j == 0 else row[j].rjust(widths[j])
+                for j in range(len(headers))
+            )
+        )
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 2,
+    title: str | None = None,
+) -> None:
+    """Print :func:`format_table` with surrounding blank lines."""
+    print()
+    print(format_table(headers, rows, precision=precision, title=title))
+    print()

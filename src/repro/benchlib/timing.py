@@ -1,0 +1,15 @@
+"""Wall-clock timing helper."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+def timed(fn: Callable[[], T]) -> tuple[T, float]:
+    """Run ``fn`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start

@@ -1,0 +1,46 @@
+"""Classification substrate, implemented from scratch on numpy.
+
+The IPS pipeline ends with a shapelet transform fed into a linear-kernel
+SVM (Section III-E "Remarks"); the evaluation additionally needs 1NN-ED,
+1NN-DTW, and Rotation Forest baselines (Table VI). None of scikit-learn is
+available in this environment, so the estimators live here:
+
+* :class:`LinearSVM` / :class:`OneVsRestSVM` — L2-regularized hinge-loss
+  SVM trained by dual coordinate descent (the liblinear algorithm).
+* :class:`OneNearestNeighbor` — 1NN under Euclidean or DTW (with LB_Keogh
+  pruning).
+* :class:`DecisionTree`, :class:`RotationForest`, :class:`PCA`,
+  :class:`KMeans`, :class:`LogisticRegression` — used by baselines.
+
+All estimators follow the ``fit`` / ``predict`` convention and raise
+:class:`repro.exceptions.NotFittedError` when used before fitting.
+"""
+
+from repro.classify.kmeans import KMeans
+from repro.classify.logistic import LogisticRegression
+from repro.classify.metrics import accuracy_score, confusion_matrix
+from repro.classify.model_selection import StratifiedKFold, train_test_split
+from repro.classify.naive_bayes import GaussianNB
+from repro.classify.neighbors import OneNearestNeighbor
+from repro.classify.pca import PCA
+from repro.classify.rotation_forest import RotationForest
+from repro.classify.scaler import StandardScaler
+from repro.classify.svm import LinearSVM, OneVsRestSVM
+from repro.classify.tree import DecisionTree
+
+__all__ = [
+    "GaussianNB",
+    "KMeans",
+    "LinearSVM",
+    "LogisticRegression",
+    "OneNearestNeighbor",
+    "OneVsRestSVM",
+    "PCA",
+    "RotationForest",
+    "StandardScaler",
+    "StratifiedKFold",
+    "DecisionTree",
+    "accuracy_score",
+    "confusion_matrix",
+    "train_test_split",
+]

@@ -1,0 +1,107 @@
+"""Lloyd's k-means with k-means++ seeding (substrate for the SD baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+
+
+class KMeans:
+    """k-means clustering.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of centroids.
+    max_iter:
+        Lloyd iterations cap.
+    tol:
+        Stop when the total centroid shift falls below this.
+    seed:
+        Reproducibility seed.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValidationError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float = float("nan")
+
+    def _init_centers(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding."""
+        n = X.shape[0]
+        centers = [X[rng.integers(n)]]
+        for _ in range(1, self.n_clusters):
+            dists = np.min(
+                [np.einsum("ij,ij->i", X - c, X - c) for c in centers], axis=0
+            )
+            total = dists.sum()
+            if total <= 0.0:
+                centers.append(X[rng.integers(n)])
+                continue
+            probs = dists / total
+            centers.append(X[rng.choice(n, p=probs)])
+        return np.vstack(centers)
+
+    def fit(self, X: np.ndarray) -> "KMeans":
+        """Cluster the rows of ``X``."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise ValidationError("X must be a non-empty 2-D matrix")
+        k = min(self.n_clusters, X.shape[0])
+        rng = (
+            self.seed
+            if isinstance(self.seed, np.random.Generator)
+            else np.random.default_rng(self.seed)
+        )
+        if k < self.n_clusters:
+            self.n_clusters = k
+        centers = self._init_centers(X, rng)
+        labels = np.zeros(X.shape[0], dtype=np.int64)
+        for _ in range(self.max_iter):
+            # Assignment step.
+            dists = (
+                np.einsum("ij,ij->i", X, X)[:, None]
+                - 2.0 * X @ centers.T
+                + np.einsum("ij,ij->i", centers, centers)[None, :]
+            )
+            labels = np.argmin(dists, axis=1)
+            # Update step.
+            new_centers = centers.copy()
+            for c in range(self.n_clusters):
+                members = X[labels == c]
+                if members.shape[0] > 0:
+                    new_centers[c] = members.mean(axis=0)
+            shift = float(np.linalg.norm(new_centers - centers))
+            centers = new_centers
+            if shift < self.tol:
+                break
+        self.centers_ = centers
+        self.labels_ = labels.astype(np.int64)
+        diffs = X - centers[labels]
+        self.inertia_ = float(np.einsum("ij,ij->", diffs, diffs))
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Nearest-centroid assignment for new points."""
+        if self.centers_ is None:
+            raise NotFittedError("call fit before predict")
+        X = np.asarray(X, dtype=np.float64)
+        dists = (
+            np.einsum("ij,ij->i", X, X)[:, None]
+            - 2.0 * X @ self.centers_.T
+            + np.einsum("ij,ij->i", self.centers_, self.centers_)[None, :]
+        )
+        return np.argmin(dists, axis=1).astype(np.int64)

@@ -1,0 +1,42 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValidationError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValidationError("cannot score empty label arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None
+) -> np.ndarray:
+    """Confusion matrix ``M[i, j]`` = count of true class i predicted as j.
+
+    Labels must already be in ``0..n_classes-1``.
+    """
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValidationError("y_true and y_pred must have the same shape")
+    if n_classes is None:
+        n_classes = int(max(y_true.max(), y_pred.max())) + 1
+    if np.any(y_true < 0) or np.any(y_pred < 0):
+        raise ValidationError("labels must be non-negative")
+    if np.any(y_true >= n_classes) or np.any(y_pred >= n_classes):
+        raise ValidationError(f"labels exceed n_classes={n_classes}")
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix

@@ -1,0 +1,82 @@
+"""Train/test splitting and stratified cross-validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.3,
+    stratify: bool = True,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random (optionally stratified) split into train and test parts.
+
+    Returns ``(X_train, y_train, X_test, y_test)``. Stratification keeps at
+    least one instance of every class on each side whenever the class has
+    two or more instances.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0] or X.shape[0] < 2:
+        raise ValidationError("need at least 2 matching samples to split")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValidationError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    test_idx: list[int] = []
+    if stratify:
+        for cls in np.unique(y):
+            rows = np.flatnonzero(y == cls)
+            rng.shuffle(rows)
+            n_test = int(round(test_fraction * rows.size))
+            if rows.size >= 2:
+                n_test = min(max(n_test, 1), rows.size - 1)
+            else:
+                n_test = 0
+            test_idx.extend(rows[:n_test])
+    else:
+        order = rng.permutation(X.shape[0])
+        n_test = max(1, int(round(test_fraction * X.shape[0])))
+        test_idx = list(order[:n_test])
+    test_mask = np.zeros(X.shape[0], dtype=bool)
+    test_mask[test_idx] = True
+    return X[~test_mask], y[~test_mask], X[test_mask], y[test_mask]
+
+
+class StratifiedKFold:
+    """Stratified k-fold index generator.
+
+    Yields ``(train_indices, test_indices)`` pairs with per-class balance.
+    """
+
+    def __init__(self, n_splits: int = 5, seed: int | np.random.Generator | None = 0):
+        if n_splits < 2:
+            raise ValidationError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.seed = seed
+
+    def split(self, y: np.ndarray):
+        """Generate the folds for label vector ``y``."""
+        y = np.asarray(y)
+        if y.shape[0] < self.n_splits:
+            raise ValidationError(
+                f"cannot make {self.n_splits} folds from {y.shape[0]} samples"
+            )
+        rng = (
+            self.seed
+            if isinstance(self.seed, np.random.Generator)
+            else np.random.default_rng(self.seed)
+        )
+        fold_of = np.empty(y.shape[0], dtype=np.int64)
+        for cls in np.unique(y):
+            rows = np.flatnonzero(y == cls)
+            rng.shuffle(rows)
+            fold_of[rows] = np.arange(rows.size) % self.n_splits
+        for fold in range(self.n_splits):
+            test = np.flatnonzero(fold_of == fold)
+            train = np.flatnonzero(fold_of != fold)
+            yield train, test

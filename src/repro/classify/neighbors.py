@@ -1,0 +1,90 @@
+"""One-nearest-neighbour classifiers: 1NN-ED and 1NN-DTW.
+
+These are the classic strong baselines of the UCR benchmark (the ED / DTW
+columns of the paper's Table II and the ``DTW_Rn_1NN`` column of Table VI).
+The DTW variant supports a Sakoe-Chiba band and uses the LB_Keogh lower
+bound to skip full DTW computations during search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ts.dtw import dtw_distance, lb_keogh
+
+
+class OneNearestNeighbor:
+    """1NN classifier under Euclidean or DTW distance.
+
+    Parameters
+    ----------
+    metric:
+        ``"euclidean"`` or ``"dtw"``.
+    band:
+        Sakoe-Chiba half-width for DTW; ``None`` = unconstrained. A common
+        UCR setting is a band of ~10% of the series length.
+    """
+
+    def __init__(self, metric: str = "euclidean", band: int | None = None) -> None:
+        if metric not in ("euclidean", "dtw"):
+            raise ValidationError(f"unknown metric {metric!r}")
+        self.metric = metric
+        self.band = band
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "OneNearestNeighbor":
+        """Memorize the training set."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if X.ndim != 2 or X.shape[0] != y.shape[0] or X.shape[0] == 0:
+            raise ValidationError("X must be (M, N) with matching non-empty y")
+        self._X = X
+        self._y = y
+        return self
+
+    def _check_fitted(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._X is None or self._y is None:
+            raise NotFittedError("call fit before predict")
+        return self._X, self._y
+
+    def _predict_one_euclidean(self, x: np.ndarray) -> int:
+        X, y = self._check_fitted()
+        diffs = X - x
+        dists = np.einsum("ij,ij->i", diffs, diffs)
+        return int(y[np.argmin(dists)])
+
+    def _predict_one_dtw(self, x: np.ndarray) -> int:
+        X, y = self._check_fitted()
+        best = np.inf
+        best_label = int(y[0])
+        band = self.band
+        for row, label in zip(X, y):
+            if band is not None and row.size == x.size:
+                # LB_Keogh prune: skip full DTW when the bound already loses.
+                if lb_keogh(x, row, band) >= best:
+                    continue
+            dist = dtw_distance(x, row, band=band)
+            if dist < best:
+                best = dist
+                best_label = int(label)
+        return best_label
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict labels for every row of ``X``."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        predict_one = (
+            self._predict_one_euclidean
+            if self.metric == "euclidean"
+            else self._predict_one_dtw
+        )
+        return np.array([predict_one(x) for x in X], dtype=np.int64)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy on a labelled set."""
+        from repro.classify.metrics import accuracy_score
+
+        return accuracy_score(np.asarray(y, dtype=np.int64), self.predict(X))

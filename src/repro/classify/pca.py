@@ -1,0 +1,48 @@
+"""Principal component analysis via SVD (substrate for Rotation Forest)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+
+
+class PCA:
+    """Centered PCA keeping ``n_components`` directions.
+
+    ``n_components=None`` keeps every direction (a pure rotation), which is
+    what Rotation Forest needs.
+    """
+
+    def __init__(self, n_components: int | None = None) -> None:
+        if n_components is not None and n_components < 1:
+            raise ValidationError(f"n_components must be >= 1, got {n_components}")
+        self.n_components = n_components
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None  # (k, d)
+        self.explained_variance_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "PCA":
+        """Learn the principal directions of ``X``."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise ValidationError("X must be a non-empty 2-D matrix")
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        _u, s, vt = np.linalg.svd(centered, full_matrices=False)
+        k = vt.shape[0] if self.n_components is None else min(self.n_components, vt.shape[0])
+        self.components_ = vt[:k]
+        denominator = max(X.shape[0] - 1, 1)
+        self.explained_variance_ = (s[:k] ** 2) / denominator
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Project onto the principal directions."""
+        if self.components_ is None or self.mean_ is None:
+            raise NotFittedError("call fit before transform")
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self.mean_) @ self.components_.T
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(X).transform(X)

@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the registered datasets with their (true UCR) metadata.
+``run``
+    Evaluate one method on one dataset and print accuracy/timing.
+``compare``
+    Evaluate several methods on one dataset (a mini Table VI row).
+``shapelets``
+    Discover and print the IPS shapelets of a dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.benchlib.runners import evaluate_method, method_names
+from repro.benchlib.tables import format_table
+from repro.core.config import IPSConfig
+from repro.core.pipeline import IPS
+from repro.datasets.loader import load_dataset
+from repro.datasets.registry import REGISTRY
+
+
+def _add_common_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("dataset", help="registry name, e.g. ArrowHead")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-train", type=int, default=24)
+    parser.add_argument("--max-test", type=int, default=60)
+    parser.add_argument("--max-length", type=int, default=150)
+    parser.add_argument("--k", type=int, default=5, help="shapelets per class")
+
+
+def _load(args: argparse.Namespace):
+    return load_dataset(
+        args.dataset,
+        seed=args.seed,
+        max_train=args.max_train,
+        max_test=args.max_test,
+        max_length=args.max_length,
+    )
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    """``repro list``"""
+    rows = [
+        [p.name, p.n_classes, p.n_train, p.n_test, p.length, p.category, p.generator]
+        for p in sorted(REGISTRY.values(), key=lambda p: p.name)
+    ]
+    print(
+        format_table(
+            ["dataset", "classes", "train", "test", "length", "type", "generator"],
+            rows,
+            title=f"{len(rows)} registered datasets (true UCR metadata)",
+        )
+    )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``repro run <dataset> --method IPS``"""
+    data = _load(args)
+    result = evaluate_method(args.method, data, k=args.k, seed=args.seed)
+    print(
+        f"{result.method} on {result.dataset}: "
+        f"accuracy {100 * result.accuracy:.2f}%, "
+        f"discovery {result.discovery_seconds:.2f}s, "
+        f"fit total {result.total_seconds:.2f}s"
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """``repro compare <dataset> --methods IPS,BASE``"""
+    data = _load(args)
+    wanted = (
+        [m.strip() for m in args.methods.split(",")]
+        if args.methods
+        else method_names()
+    )
+    rows = []
+    for method in wanted:
+        result = evaluate_method(method, data, k=args.k, seed=args.seed)
+        rows.append([method, 100 * result.accuracy, result.total_seconds])
+    rows.sort(key=lambda row: -row[1])
+    print(
+        format_table(
+            ["method", "accuracy %", "fit (s)"],
+            rows,
+            title=f"Comparison on {args.dataset}",
+        )
+    )
+    return 0
+
+
+def cmd_shapelets(args: argparse.Namespace) -> int:
+    """``repro shapelets <dataset>``"""
+    data = _load(args)
+    config = IPSConfig(k=args.k, q_n=10, q_s=3, seed=args.seed)
+    result = IPS(config).discover(data.train)
+    print(
+        f"{args.dataset}: {result.n_candidates_generated} candidates -> "
+        f"{result.n_candidates_after_pruning} after pruning; "
+        f"{len(result.shapelets)} shapelets in {result.total_time:.2f}s"
+    )
+    rows = [
+        [s.label, s.length, s.source_instance, s.start, s.score]
+        for s in result.shapelets
+    ]
+    print(
+        format_table(
+            ["class", "length", "instance", "offset", "utility"],
+            rows,
+            precision=4,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IPS shapelet discovery (ICDE 2022) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered datasets").set_defaults(
+        func=cmd_list
+    )
+
+    run = sub.add_parser("run", help="evaluate one method on one dataset")
+    _add_common_dataset_args(run)
+    run.add_argument("--method", default="IPS", choices=method_names())
+    run.set_defaults(func=cmd_run)
+
+    compare = sub.add_parser("compare", help="evaluate several methods")
+    _add_common_dataset_args(compare)
+    compare.add_argument(
+        "--methods", default="", help="comma-separated subset (default: all)"
+    )
+    compare.set_defaults(func=cmd_compare)
+
+    shapelets = sub.add_parser("shapelets", help="discover and print shapelets")
+    _add_common_dataset_args(shapelets)
+    shapelets.set_defaults(func=cmd_shapelets)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

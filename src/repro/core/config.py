@@ -1,0 +1,108 @@
+"""Configuration of the IPS pipeline (parameter grid of Section IV-A)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ValidationError
+
+#: The paper's candidate-length ratio grid.
+DEFAULT_LENGTH_RATIOS: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+@dataclass
+class IPSConfig:
+    """All tunables of the IPS pipeline.
+
+    Defaults follow Section IV-A: shapelet number ``k = 5``, candidate
+    length ratios {0.1..0.5}, ``Q_N`` from {10, 20, 50, 100} (default 20)
+    and ``Q_S`` from {2, 3, 4, 5, 10} (default 3).
+
+    Attributes
+    ----------
+    k:
+        Number of shapelets selected per class.
+    q_n, q_s:
+        Bagging sample count / size for the instance profile.
+    length_ratios:
+        Candidate lengths as fractions of the series length.
+    lsh_scheme:
+        ``"l2"`` (paper default), ``"cosine"``, or ``"hamming"``
+        (Table VII ablation).
+    n_projections:
+        Hash functions per LSH signature.
+    theta:
+        DABF 3-sigma-rule threshold.
+    bins:
+        Histogram bins for the DABF distribution fit.
+    use_dabf:
+        Toggle Algorithm-3 pruning (off = the Table V "without DABF" arm,
+        which prunes with the naive quadratic method).
+    use_dt_cr:
+        Toggle the DT & CR optimizations (off = brute-force utilities, the
+        Table V / Fig. 10(b) "without DT+CR" arm).
+    normalized_profiles:
+        Distance flavour inside the instance profile.
+    motifs_per_profile, discords_per_profile:
+        Harvest width of Algorithm 1.
+    svm_c:
+        Soft-margin penalty of the final linear SVM.
+    final_classifier:
+        Classifier applied to the shapelet-transformed features:
+        ``"svm"`` (the paper's choice), ``"nb"`` (Gaussian naive Bayes),
+        ``"tree"`` (CART), or ``"1nn"`` — the classic post-transform set
+        of Lines et al. cited in Section I.
+    normalize_utility_sums:
+        Divide utility sums by their term count before the sigmoid
+        (Defs. 11-13 apply the sigmoid to a raw sum, which saturates to 1.0
+        in float64 once the sum exceeds ~40 and erases the ranking; the
+        paper's formula is recovered with ``False``). See DESIGN.md.
+    seed:
+        Master seed; every stochastic stage derives from it.
+    """
+
+    k: int = 5
+    q_n: int = 20
+    q_s: int = 3
+    length_ratios: tuple[float, ...] = DEFAULT_LENGTH_RATIOS
+    lsh_scheme: str = "l2"
+    n_projections: int = 8
+    theta: float = 3.0
+    bins: int = 16
+    use_dabf: bool = True
+    use_dt_cr: bool = True
+    normalized_profiles: bool = True
+    motifs_per_profile: int = 1
+    discords_per_profile: int = 1
+    svm_c: float = 1.0
+    final_classifier: str = "svm"
+    normalize_utility_sums: bool = True
+    seed: int | None = 0
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValidationError(f"k must be >= 1, got {self.k}")
+        if self.q_n < 1 or self.q_s < 1:
+            raise ValidationError("q_n and q_s must be >= 1")
+        if not self.length_ratios:
+            raise ValidationError("length_ratios must be non-empty")
+        for ratio in self.length_ratios:
+            if not 0.0 < ratio <= 1.0:
+                raise ValidationError(f"length ratio {ratio} outside (0, 1]")
+        if self.lsh_scheme not in ("l2", "cosine", "hamming"):
+            raise ValidationError(f"unknown lsh_scheme {self.lsh_scheme!r}")
+        if self.theta <= 0:
+            raise ValidationError(f"theta must be > 0, got {self.theta}")
+        if self.n_projections < 1:
+            raise ValidationError("n_projections must be >= 1")
+        if self.bins < 2:
+            raise ValidationError("bins must be >= 2")
+        if self.motifs_per_profile < 1 or self.discords_per_profile < 0:
+            raise ValidationError("invalid per-profile harvest counts")
+        if self.svm_c <= 0:
+            raise ValidationError("svm_c must be > 0")
+        if self.final_classifier not in ("svm", "nb", "tree", "1nn"):
+            raise ValidationError(
+                f"unknown final_classifier {self.final_classifier!r}"
+            )

@@ -1,0 +1,256 @@
+"""End-to-end IPS: discovery (Fig. 5) and the transform+SVM classifier."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.classify.naive_bayes import GaussianNB
+from repro.classify.scaler import StandardScaler
+from repro.classify.svm import OneVsRestSVM
+from repro.classify.tree import DecisionTree
+from repro.core.config import IPSConfig
+from repro.core.selection import select_top_k_per_class
+from repro.core.transform import ShapeletTransform
+from repro.core.utility import (
+    UtilityScores,
+    _PairDistanceCache,
+    score_candidates_brute,
+    score_candidates_dt,
+)
+from repro.exceptions import NotFittedError, ValidationError
+from repro.filters.dabf import DABF, NaivePruner, PruneReport
+from repro.instanceprofile.candidates import CandidatePool, generate_candidates
+from repro.instanceprofile.sampling import resolve_lengths
+from repro.ts.series import Dataset
+from repro.types import DiscoveryResult, Shapelet
+
+
+def restore_emptied_classes(
+    original: CandidatePool, pruned: CandidatePool
+) -> CandidatePool:
+    """Undo pruning for any class whose motif set it emptied.
+
+    Algorithm 3 has no guard against removing every motif of a class; a
+    class with zero motifs would get zero shapelets and become
+    unclassifiable, so pruning falls back to the unpruned motifs for that
+    class (a safety net the paper leaves implicit).
+    """
+    for label in original.classes:
+        if not pruned.motifs(label):
+            for candidate in original.motifs(label):
+                pruned.add(candidate)
+    return pruned
+
+
+class IPS:
+    """Shapelet discovery with the instance profile (the paper's method).
+
+    Parameters
+    ----------
+    config:
+        Pipeline tunables; see :class:`repro.core.config.IPSConfig`.
+    """
+
+    def __init__(self, config: IPSConfig | None = None) -> None:
+        self.config = config or IPSConfig()
+        self.pool_: CandidatePool | None = None
+        self.pruned_pool_: CandidatePool | None = None
+        self.dabf_: DABF | None = None
+        self.prune_report_: PruneReport | None = None
+
+    def discover(self, dataset: Dataset) -> DiscoveryResult:
+        """Run candidate generation, pruning, and top-k selection."""
+        config = self.config
+        lengths = resolve_lengths(dataset.series_length, config.length_ratios)
+
+        start = time.perf_counter()
+        pool = generate_candidates(
+            dataset,
+            q_n=config.q_n,
+            q_s=config.q_s,
+            lengths=lengths,
+            motifs_per_profile=config.motifs_per_profile,
+            discords_per_profile=config.discords_per_profile,
+            normalized=config.normalized_profiles,
+            seed=config.seed,
+        )
+        time_generation = time.perf_counter() - start
+        self.pool_ = pool
+
+        multi_class = dataset.n_classes > 1
+        start = time.perf_counter()
+        dabf: DABF | None = None
+        if multi_class and config.use_dabf:
+            dabf = DABF.build(
+                pool,
+                scheme=config.lsh_scheme,
+                n_projections=config.n_projections,
+                bins=config.bins,
+                seed=config.seed,
+            )
+            pruned, report = dabf.prune(pool, theta=config.theta)
+            pruned = restore_emptied_classes(pool, pruned)
+        elif multi_class:
+            pruner = NaivePruner(pool, theta=config.theta, seed=config.seed)
+            pruned, report = pruner.prune(pool)
+            pruned = restore_emptied_classes(pool, pruned)
+        else:
+            pruned, report = pool.copy(), PruneReport()
+        time_pruning = time.perf_counter() - start
+        self.pruned_pool_ = pruned
+        self.prune_report_ = report
+
+        start = time.perf_counter()
+        if config.use_dt_cr and dabf is None:
+            # DT needs the bucket tables even when DABF pruning is off.
+            dabf = DABF.build(
+                pool,
+                scheme=config.lsh_scheme,
+                n_projections=config.n_projections,
+                bins=config.bins,
+                seed=config.seed,
+            )
+        self.dabf_ = dabf
+        scores_by_class: dict[int, UtilityScores] = {}
+        shared_cache = _PairDistanceCache()
+        for label in range(dataset.n_classes):
+            if config.use_dt_cr:
+                scores_by_class[label] = score_candidates_dt(
+                    dataset,
+                    pruned,
+                    label,
+                    dabf,
+                    normalize=config.normalize_utility_sums,
+                )
+            else:
+                scores_by_class[label] = score_candidates_brute(
+                    dataset,
+                    pruned,
+                    label,
+                    use_cr=False,
+                    normalize=config.normalize_utility_sums,
+                    cache=shared_cache,
+                )
+        shapelets = select_top_k_per_class(scores_by_class, config.k)
+        time_selection = time.perf_counter() - start
+
+        return DiscoveryResult(
+            shapelets=shapelets,
+            n_candidates_generated=len(pool),
+            n_candidates_after_pruning=len(pruned),
+            time_candidate_generation=time_generation,
+            time_pruning=time_pruning,
+            time_selection=time_selection,
+            extra={
+                "lengths": lengths,
+                "prune_report": report,
+                "scores_by_class": scores_by_class,
+            },
+        )
+
+
+class _Feature1NN:
+    """1NN on the shapelet-feature space (one of the classic choices)."""
+
+    def __init__(self) -> None:
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "_Feature1NN":
+        """Memorize the feature matrix."""
+        self._X = np.asarray(X, dtype=np.float64)
+        self._y = np.asarray(y, dtype=np.int64)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Nearest-neighbour label per feature row."""
+        if self._X is None:
+            raise NotFittedError("call fit before predict")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty(X.shape[0], dtype=np.int64)
+        for i, row in enumerate(X):
+            diffs = self._X - row
+            out[i] = self._y[np.argmin(np.einsum("ij,ij->i", diffs, diffs))]
+        return out
+
+
+def _make_final_classifier(config: IPSConfig):
+    """Instantiate the post-transform classifier chosen in the config."""
+    if config.final_classifier == "svm":
+        return OneVsRestSVM(C=config.svm_c, seed=config.seed)
+    if config.final_classifier == "nb":
+        return GaussianNB()
+    if config.final_classifier == "tree":
+        return DecisionTree(seed=config.seed)
+    return _Feature1NN()
+
+
+class IPSClassifier:
+    """IPS discovery + shapelet transform + standardization + classifier.
+
+    The final classifier defaults to the paper's linear SVM and can be
+    switched via ``IPSConfig(final_classifier=...)``. The
+    ``fit``/``predict``/``score`` interface takes raw ``(M, N)`` arrays
+    with arbitrary integer labels (a :class:`Dataset` is also accepted by
+    :meth:`fit_dataset`).
+    """
+
+    def __init__(self, config: IPSConfig | None = None) -> None:
+        self.config = config or IPSConfig()
+        self.discoverer_ = IPS(self.config)
+        self.shapelets_: list[Shapelet] | None = None
+        self.discovery_result_: DiscoveryResult | None = None
+        self._transform: ShapeletTransform | None = None
+        self._scaler: StandardScaler | None = None
+        self._svm: OneVsRestSVM | None = None
+        self._dataset: Dataset | None = None
+
+    def fit_dataset(self, dataset: Dataset) -> "IPSClassifier":
+        """Fit on an already-constructed :class:`Dataset`."""
+        result = self.discoverer_.discover(dataset)
+        self.discovery_result_ = result
+        self.shapelets_ = result.shapelets
+        self._dataset = dataset
+        self._transform = ShapeletTransform(result.shapelets)
+        features = self._transform.transform(dataset.X)
+        self._scaler = StandardScaler()
+        scaled = self._scaler.fit_transform(features)
+        self._svm = _make_final_classifier(self.config)
+        self._svm.fit(scaled, dataset.y)
+        return self
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "IPSClassifier":
+        """Fit on raw arrays."""
+        return self.fit_dataset(Dataset(X=X, y=y))
+
+    def _check_fitted(self) -> None:
+        if self._svm is None or self._transform is None or self._scaler is None:
+            raise NotFittedError("call fit before predict")
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Shapelet-transform features for ``X`` (unscaled)."""
+        self._check_fitted()
+        return self._transform.transform(X)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted labels (in the caller's original label values)."""
+        self._check_fitted()
+        features = self._scaler.transform(self._transform.transform(X))
+        internal = self._svm.predict(features)
+        return self._dataset.classes_[internal]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy against original-valued labels."""
+        from repro.classify.metrics import accuracy_score
+
+        y = np.asarray(y, dtype=np.int64)
+        if not np.all(np.isin(np.unique(y), self._fitted_classes())):
+            raise ValidationError("test labels contain classes unseen in training")
+        return accuracy_score(y, self.predict(X))
+
+    def _fitted_classes(self) -> np.ndarray:
+        if self._dataset is None:
+            raise NotFittedError("call fit before inspecting classes")
+        return self._dataset.classes_

@@ -1,0 +1,81 @@
+"""Human-readable reports of a discovery run.
+
+``describe_discovery`` turns a :class:`repro.types.DiscoveryResult` into
+the summary a practitioner wants after a run: stage timings, per-class
+candidate and pruning statistics, the selected shapelets with provenance,
+and sparkline renderings of their shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.benchlib.tables import format_table
+from repro.exceptions import ValidationError
+from repro.types import DiscoveryResult
+from repro.viz import sparkline
+
+
+def describe_discovery(result: DiscoveryResult, spark_width: int = 32) -> str:
+    """Multi-section text report of one discovery run."""
+    if not result.shapelets:
+        raise ValidationError("cannot describe a result with no shapelets")
+    lines: list[str] = []
+
+    lines.append("discovery summary")
+    lines.append("-----------------")
+    lines.append(
+        f"candidates: {result.n_candidates_generated} generated -> "
+        f"{result.n_candidates_after_pruning} kept "
+        f"({100 * result.pruning_rate:.1f}% pruned)"
+    )
+    lines.append(
+        f"time: generation {result.time_candidate_generation:.3f}s, "
+        f"pruning {result.time_pruning:.3f}s, "
+        f"selection {result.time_selection:.3f}s "
+        f"(total {result.total_time:.3f}s)"
+    )
+
+    prune_report = result.extra.get("prune_report")
+    if prune_report is not None and prune_report.removed_per_class:
+        rows = [
+            [label, prune_report.removed_per_class.get(label, 0),
+             prune_report.kept_per_class.get(label, 0)]
+            for label in sorted(prune_report.removed_per_class)
+        ]
+        lines.append("")
+        lines.append(
+            format_table(
+                ["class", "pruned", "kept"], rows, title="DABF pruning per class"
+            )
+        )
+
+    lines.append("")
+    shapelet_rows = [
+        [
+            shapelet.label,
+            shapelet.length,
+            shapelet.source_instance,
+            shapelet.start,
+            shapelet.score,
+            sparkline(shapelet.values, width=spark_width),
+        ]
+        for shapelet in result.shapelets
+    ]
+    lines.append(
+        format_table(
+            ["class", "len", "instance", "offset", "utility", "shape"],
+            shapelet_rows,
+            precision=4,
+            title=f"{len(result.shapelets)} selected shapelets",
+        )
+    )
+
+    scores = np.array([s.score for s in result.shapelets], dtype=float)
+    finite = scores[np.isfinite(scores)]
+    if finite.size:
+        lines.append("")
+        lines.append(
+            f"utility range: best {finite.min():.4f}, worst {finite.max():.4f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Algorithm 4: top-k shapelet selection via a priority queue."""
+
+from __future__ import annotations
+
+import heapq
+
+
+from repro.core.utility import UtilityScores
+from repro.exceptions import ValidationError
+from repro.types import Shapelet
+
+
+def select_top_k(scores: UtilityScores, k: int) -> list[Shapelet]:
+    """Poll the k best (lowest-``u``) motif candidates into shapelets.
+
+    Implements Algorithm 4's priority-queue loop: utilities go into a
+    min-heap and the first k polls become the class's shapelets. Exact
+    duplicates (same values, same provenance) are skipped so that k
+    shapelets are k distinct subsequences. Returns fewer than k when the
+    pool is smaller.
+    """
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    combined = scores.combined
+    heap: list[tuple[float, int]] = [
+        (float(u), idx) for idx, u in enumerate(combined)
+    ]
+    heapq.heapify(heap)
+    selected: list[Shapelet] = []
+    seen: set[bytes] = set()
+    while heap and len(selected) < k:
+        u, idx = heapq.heappop(heap)
+        candidate = scores.candidates[idx]
+        fingerprint = candidate.values.tobytes()
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
+        selected.append(Shapelet.from_candidate(candidate, score=u))
+    return selected
+
+
+def select_top_k_per_class(
+    scores_by_class: dict[int, UtilityScores], k: int
+) -> list[Shapelet]:
+    """Run :func:`select_top_k` per class and concatenate (Algorithm 4)."""
+    shapelets: list[Shapelet] = []
+    for label in sorted(scores_by_class):
+        shapelets.extend(select_top_k(scores_by_class[label], k))
+    if not shapelets:
+        raise ValidationError("no shapelets could be selected from any class")
+    return shapelets

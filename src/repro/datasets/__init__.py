@@ -1,0 +1,40 @@
+"""Synthetic UCR-archive substitute.
+
+The paper evaluates on 46 UCR datasets (plus MoteStrain in Table II). The
+archive is public but this environment has no network access, so this
+subpackage substitutes deterministic generators that preserve what shapelet
+methods are sensitive to: localized class-specific subsequences embedded in
+noisy backgrounds, at the true UCR class counts / sizes / lengths (see
+DESIGN.md, substitution table).
+
+* :mod:`repro.datasets.registry` — the true metadata of every evaluated
+  dataset (classes, train/test sizes, series length, type) and its
+  generator binding;
+* :mod:`repro.datasets.generators` — the planted-shapelet generator with a
+  parametric pattern library, amplitude jitter, time warping, distractor
+  patterns, and AR(1) backgrounds;
+* :mod:`repro.datasets.special` — exact generative implementations of the
+  synthetic UCR datasets (CBF, TwoPatterns, SyntheticControl) and
+  domain-shaped generators (ItalyPowerDemand daily load curves, ECG beats,
+  GunPoint motion);
+* :mod:`repro.datasets.loader` — ``load_dataset(name)`` with size caps for
+  laptop-scale benchmarking.
+"""
+
+from repro.datasets.generators import make_multivariate_planted, make_planted_dataset
+from repro.datasets.io import load_ucr_directory, read_ucr_file, write_ucr_file
+from repro.datasets.loader import TrainTestData, dataset_names, load_dataset
+from repro.datasets.registry import REGISTRY, DatasetProfile
+
+__all__ = [
+    "REGISTRY",
+    "DatasetProfile",
+    "TrainTestData",
+    "dataset_names",
+    "load_dataset",
+    "load_ucr_directory",
+    "make_multivariate_planted",
+    "make_planted_dataset",
+    "read_ucr_file",
+    "write_ucr_file",
+]

@@ -1,0 +1,105 @@
+"""Read and write datasets in the UCR archive's on-disk format.
+
+The UCR 2018 archive distributes each dataset as ``<Name>_TRAIN.tsv`` and
+``<Name>_TEST.tsv``: one instance per line, the class label first, then
+the N values, tab-separated (older releases used commas; both are
+handled). With these functions the library runs against the *real*
+archive whenever the files are available — the synthetic registry is only
+the offline fallback (DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.datasets.loader import TrainTestData
+from repro.datasets.registry import REGISTRY, DatasetProfile
+from repro.exceptions import ValidationError
+from repro.ts.series import Dataset
+
+
+def read_ucr_file(path: str | pathlib.Path, name: str = "") -> Dataset:
+    """Parse one UCR TSV/CSV file into a :class:`Dataset`.
+
+    Labels may be arbitrary integers (including negatives, as in some UCR
+    sets); they are remapped by the :class:`Dataset` constructor. Rows must
+    be equal length.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ValidationError(f"no such file: {path}")
+    labels: list[int] = []
+    rows: list[np.ndarray] = []
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            delimiter = "\t" if "\t" in line else ","
+            parts = [p for p in line.split(delimiter) if p != ""]
+            if len(parts) < 2:
+                raise ValidationError(
+                    f"{path}:{line_no}: expected label + values, got {len(parts)} fields"
+                )
+            try:
+                label = float(parts[0])
+                values = np.array([float(p) for p in parts[1:]])
+            except ValueError as exc:
+                raise ValidationError(f"{path}:{line_no}: {exc}") from exc
+            if label != int(label):
+                raise ValidationError(
+                    f"{path}:{line_no}: non-integer class label {label}"
+                )
+            labels.append(int(label))
+            rows.append(values)
+    if not rows:
+        raise ValidationError(f"{path}: no instances found")
+    lengths = {row.size for row in rows}
+    if len(lengths) != 1:
+        raise ValidationError(
+            f"{path}: unequal series lengths {sorted(lengths)} (this loader "
+            f"supports the equal-length UCR datasets the paper evaluates)"
+        )
+    return Dataset(X=np.vstack(rows), y=np.asarray(labels), name=name or path.stem)
+
+
+def write_ucr_file(dataset: Dataset, path: str | pathlib.Path) -> None:
+    """Write a :class:`Dataset` in UCR TSV format (original labels)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        for row, internal in zip(dataset.X, dataset.y):
+            label = dataset.original_label(int(internal))
+            values = "\t".join(f"{v:.10g}" for v in row)
+            handle.write(f"{label}\t{values}\n")
+
+
+def load_ucr_directory(
+    root: str | pathlib.Path, name: str
+) -> TrainTestData:
+    """Load ``<root>/<name>/<name>_TRAIN.tsv`` and ``..._TEST.tsv``.
+
+    Matches the real archive's directory layout. The registry profile is
+    attached when the name is known (for metadata display); unknown names
+    get a synthesized profile from the files themselves.
+    """
+    root = pathlib.Path(root)
+    train = read_ucr_file(root / name / f"{name}_TRAIN.tsv", name=name)
+    test = read_ucr_file(root / name / f"{name}_TEST.tsv", name=name)
+    if train.series_length != test.series_length:
+        raise ValidationError(
+            f"{name}: train length {train.series_length} != test length "
+            f"{test.series_length}"
+        )
+    profile = REGISTRY.get(name) or DatasetProfile(
+        name=name,
+        n_classes=train.n_classes,
+        n_train=train.n_series,
+        n_test=test.n_series,
+        length=train.series_length,
+        category="Unknown",
+        generator="file",
+    )
+    return TrainTestData(train=train, test=test, profile=profile)

@@ -1,0 +1,131 @@
+"""Dataset loader: registry name -> generated train/test split.
+
+``load_dataset`` mimics a UCR loader: given a dataset name it returns a
+train/test pair at the registered sizes, optionally capped for laptop-scale
+benchmarking (the paper ran a 20-core Xeon for hours; the bench harness
+caps sizes so every table regenerates in minutes while preserving the
+relative orderings — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+from repro.classify.model_selection import train_test_split
+from repro.datasets import special
+from repro.datasets.generators import make_planted_dataset
+from repro.datasets.registry import DatasetProfile, get_profile
+from repro.exceptions import ValidationError
+from repro.ts.series import Dataset
+
+#: Simple in-process cache; benchmarks reload the same datasets repeatedly.
+_CACHE: dict[tuple, "TrainTestData"] = {}
+_CACHE_LIMIT = 64
+
+
+@dataclass(frozen=True)
+class TrainTestData:
+    """A generated dataset split plus its registry profile."""
+
+    train: Dataset
+    test: Dataset
+    profile: DatasetProfile
+
+    @property
+    def name(self) -> str:
+        """Dataset name."""
+        return self.profile.name
+
+
+def dataset_names() -> list[str]:
+    """All registered dataset names, sorted."""
+    from repro.datasets.registry import REGISTRY
+
+    return sorted(REGISTRY)
+
+
+def _generate_pool(
+    profile: DatasetProfile, n_total: int, length: int, seed: int
+) -> Dataset:
+    """One combined pool of instances for the profile's generator."""
+    kwargs = dict(profile.gen_kwargs)
+    if profile.generator == "planted":
+        return make_planted_dataset(
+            n_classes=profile.n_classes,
+            n_instances=n_total,
+            length=length,
+            seed=seed,
+            name=profile.name,
+            **kwargs,
+        )
+    if profile.generator == "cbf":
+        return special.make_cbf(n_total, length=length, seed=seed)
+    if profile.generator == "two_patterns":
+        return special.make_two_patterns(n_total, length=length, seed=seed)
+    if profile.generator == "synthetic_control":
+        return special.make_synthetic_control(n_total, length=length, seed=seed)
+    if profile.generator == "italy_power":
+        return special.make_italy_power(n_total, length=length, seed=seed)
+    if profile.generator == "ecg":
+        n_classes = kwargs.pop("n_classes_gen", profile.n_classes)
+        return special.make_ecg(
+            n_total, length=length, n_classes=n_classes, seed=seed, name=profile.name
+        )
+    if profile.generator == "gun_point":
+        return special.make_gun_point(n_total, length=length, seed=seed)
+    raise ValidationError(f"unknown generator {profile.generator!r}")
+
+
+def load_dataset(
+    name: str,
+    seed: int = 0,
+    max_train: int | None = None,
+    max_test: int | None = None,
+    max_length: int | None = None,
+) -> TrainTestData:
+    """Generate (or fetch from cache) a dataset by registry name.
+
+    Parameters
+    ----------
+    name:
+        Registry name, e.g. ``"ArrowHead"``.
+    seed:
+        Generation seed; the same (name, seed, caps) always returns
+        identical data.
+    max_train, max_test, max_length:
+        Optional caps below the registered sizes. Class counts are never
+        reduced; ``max_train`` is clamped upward to at least 2 instances
+        per class so every class is learnable.
+    """
+    profile = get_profile(name)
+    n_train = profile.n_train if max_train is None else min(profile.n_train, max_train)
+    n_test = profile.n_test if max_test is None else min(profile.n_test, max_test)
+    length = profile.length if max_length is None else min(profile.length, max_length)
+    n_train = max(n_train, 2 * profile.n_classes)
+    n_test = max(n_test, profile.n_classes)
+    length = max(length, 24)
+
+    key = (name, seed, n_train, n_test, length)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    pool = _generate_pool(profile, n_train + n_test, length, seed)
+    test_fraction = n_test / (n_train + n_test)
+    X_train, y_train, X_test, y_test = train_test_split(
+        pool.X,
+        pool.classes_[pool.y],
+        test_fraction=test_fraction,
+        stratify=True,
+        seed=seed + 1,
+    )
+    data = TrainTestData(
+        train=Dataset(X=X_train, y=y_train, name=name),
+        test=Dataset(X=X_test, y=y_test, name=name),
+        profile=profile,
+    )
+    if len(_CACHE) >= _CACHE_LIMIT:
+        _CACHE.pop(next(iter(_CACHE)))
+    _CACHE[key] = data
+    return data

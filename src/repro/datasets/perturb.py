@@ -1,0 +1,135 @@
+"""Perturbation utilities for robustness studies.
+
+Deployment-grade shapelet systems face sensor noise, spikes, dropouts,
+baseline drift, and timing jitter; these functions inject each effect into
+an ``(M, N)`` series matrix so robustness curves (accuracy vs severity)
+can be generated — see ``examples/robustness_noise.py`` and the
+``bench_ablation_robustness`` harness.
+
+All functions are pure (the input is never mutated) and deterministic
+given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.ts.preprocessing import linear_interpolate_resample
+
+
+def _check(X: np.ndarray) -> np.ndarray:
+    arr = np.asarray(X, dtype=np.float64)
+    if arr.ndim != 2 or arr.size == 0:
+        raise ValidationError("perturbations expect a non-empty (M, N) matrix")
+    return arr
+
+
+def _rng_of(seed: int | np.random.Generator | None) -> np.random.Generator:
+    return seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+
+def add_gaussian_noise(
+    X: np.ndarray, scale: float, seed: int | np.random.Generator | None = 0
+) -> np.ndarray:
+    """Additive white Gaussian noise with standard deviation ``scale``."""
+    arr = _check(X)
+    if scale < 0:
+        raise ValidationError("scale must be >= 0")
+    rng = _rng_of(seed)
+    return arr + rng.normal(scale=scale, size=arr.shape)
+
+
+def add_spikes(
+    X: np.ndarray,
+    rate: float = 0.01,
+    magnitude: float = 5.0,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Impulse noise: each sample is replaced by a spike with prob ``rate``.
+
+    Spike amplitude is ``magnitude`` times the per-series std, with random
+    sign — the classic electrode-pop / packet-glitch artefact.
+    """
+    arr = _check(X)
+    if not 0.0 <= rate <= 1.0:
+        raise ValidationError("rate must be in [0, 1]")
+    rng = _rng_of(seed)
+    out = arr.copy()
+    stds = arr.std(axis=1, keepdims=True)
+    mask = rng.random(arr.shape) < rate
+    signs = rng.choice([-1.0, 1.0], size=arr.shape)
+    out[mask] = (arr + signs * magnitude * stds)[mask]
+    return out
+
+
+def add_dropout(
+    X: np.ndarray,
+    rate: float = 0.05,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Missing samples, filled by linear interpolation.
+
+    Each sample independently "drops" with probability ``rate``; dropped
+    runs are reconstructed from the surviving neighbours (the standard
+    gap-filling preprocessing), so the output stays NaN-free — but local
+    shape detail inside the gaps is lost.
+    """
+    arr = _check(X)
+    if not 0.0 <= rate < 1.0:
+        raise ValidationError("rate must be in [0, 1)")
+    rng = _rng_of(seed)
+    out = arr.copy()
+    n = arr.shape[1]
+    positions = np.arange(n)
+    for i in range(arr.shape[0]):
+        dropped = rng.random(n) < rate
+        dropped[0] = dropped[-1] = False  # keep anchors for interpolation
+        if not np.any(dropped):
+            continue
+        keep = ~dropped
+        out[i] = np.interp(positions, positions[keep], arr[i, keep])
+    return out
+
+
+def add_baseline_drift(
+    X: np.ndarray,
+    magnitude: float = 1.0,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Slow additive wander: a random low-frequency sinusoid per series."""
+    arr = _check(X)
+    if magnitude < 0:
+        raise ValidationError("magnitude must be >= 0")
+    rng = _rng_of(seed)
+    n = arr.shape[1]
+    t = np.linspace(0.0, 1.0, n)
+    out = arr.copy()
+    for i in range(arr.shape[0]):
+        freq = rng.uniform(0.5, 2.0)
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        out[i] = arr[i] + magnitude * np.sin(2.0 * np.pi * freq * t + phase)
+    return out
+
+
+def time_warp(
+    X: np.ndarray,
+    max_warp: float = 0.1,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Global speed jitter: resample each series by a random factor.
+
+    Each series is stretched/compressed by up to ``max_warp`` and brought
+    back to the original length, simulating clock drift between sensors.
+    """
+    arr = _check(X)
+    if not 0.0 <= max_warp < 1.0:
+        raise ValidationError("max_warp must be in [0, 1)")
+    rng = _rng_of(seed)
+    n = arr.shape[1]
+    out = np.empty_like(arr)
+    for i in range(arr.shape[0]):
+        factor = 1.0 + rng.uniform(-max_warp, max_warp)
+        stretched = linear_interpolate_resample(arr[i], max(4, int(round(n * factor))))
+        out[i] = linear_interpolate_resample(stretched, n)
+    return out

@@ -1,0 +1,127 @@
+"""Registry of the UCR datasets evaluated by the paper.
+
+Each :class:`DatasetProfile` records the *true* UCR-archive metadata
+(class count, train/test sizes, series length, coarse type) together with
+the generator that synthesizes a stand-in (see DESIGN.md's substitution
+table). The 46 datasets of Tables IV/VI plus MoteStrain (Table II) are all
+present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import DatasetError
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """True UCR metadata + generator binding for one dataset."""
+
+    name: str
+    n_classes: int
+    n_train: int
+    n_test: int
+    length: int
+    category: str
+    generator: str = "planted"
+    gen_kwargs: dict = field(default_factory=dict)
+
+
+def _p(
+    name: str,
+    n_classes: int,
+    n_train: int,
+    n_test: int,
+    length: int,
+    category: str,
+    generator: str = "planted",
+    **gen_kwargs,
+) -> DatasetProfile:
+    return DatasetProfile(
+        name=name,
+        n_classes=n_classes,
+        n_train=n_train,
+        n_test=n_test,
+        length=length,
+        category=category,
+        generator=generator,
+        gen_kwargs=gen_kwargs,
+    )
+
+
+#: All evaluated datasets, keyed by name (true UCR 2018 metadata).
+REGISTRY: dict[str, DatasetProfile] = {
+    profile.name: profile
+    for profile in (
+        _p("ArrowHead", 3, 36, 175, 251, "Image"),
+        _p("Beef", 5, 30, 30, 470, "Spectro", noise_scale=0.5),
+        _p("BeetleFly", 2, 20, 20, 512, "Image"),
+        _p("CBF", 3, 30, 900, 128, "Simulated", generator="cbf"),
+        _p("ChlorineConcentration", 3, 467, 3840, 166, "Sensor", noise_scale=0.6),
+        _p("Coffee", 2, 28, 28, 286, "Spectro", noise_scale=0.25),
+        _p("Computers", 2, 250, 250, 720, "Device", noise_scale=0.6),
+        _p("CricketZ", 12, 390, 390, 300, "Motion", warp=0.15),
+        _p("DiatomSizeReduction", 4, 16, 306, 345, "Image", noise_scale=0.2),
+        _p("DistalPhalanxOutlineCorrect", 2, 600, 276, 80, "Image"),
+        _p("Earthquakes", 2, 322, 139, 512, "Sensor", noise_scale=0.8),
+        _p("ECG200", 2, 100, 100, 96, "ECG", generator="ecg"),
+        _p("ECG5000", 5, 500, 4500, 140, "ECG", generator="ecg", n_classes_gen=5),
+        _p("ECGFiveDays", 2, 23, 861, 136, "ECG", generator="ecg"),
+        _p("ElectricDevices", 7, 8926, 7711, 96, "Device", noise_scale=0.7),
+        _p("FaceAll", 14, 560, 1690, 131, "Image"),
+        _p("FaceFour", 4, 24, 88, 350, "Image"),
+        _p("FacesUCR", 14, 200, 2050, 131, "Image"),
+        _p("FordA", 2, 3601, 1320, 500, "Sensor", noise_scale=0.6),
+        _p("GunPoint", 2, 50, 150, 150, "Motion", generator="gun_point"),
+        _p("Ham", 2, 109, 105, 431, "Spectro", noise_scale=0.55),
+        _p("HandOutlines", 2, 1000, 370, 2709, "Image"),
+        _p("Haptics", 5, 155, 308, 1092, "Motion", noise_scale=0.8, warp=0.15),
+        _p("InlineSkate", 7, 100, 550, 1882, "Motion", noise_scale=0.85, warp=0.2),
+        _p("InsectWingbeatSound", 11, 220, 1980, 256, "Sensor", noise_scale=0.7),
+        _p("ItalyPowerDemand", 2, 67, 1029, 24, "Sensor", generator="italy_power"),
+        _p("LargeKitchenAppliances", 3, 375, 375, 720, "Device", noise_scale=0.6),
+        _p("Mallat", 8, 55, 2345, 1024, "Simulated", noise_scale=0.3),
+        _p("Meat", 3, 60, 60, 448, "Spectro", noise_scale=0.25),
+        _p("MoteStrain", 2, 20, 1252, 84, "Sensor", noise_scale=0.6),
+        _p(
+            "NonInvasiveFatalECGThorax1",
+            42,
+            1800,
+            1965,
+            750,
+            "ECG",
+            noise_scale=0.45,
+        ),
+        _p("OSULeaf", 6, 200, 242, 427, "Image", warp=0.15),
+        _p("Phoneme", 39, 214, 1896, 1024, "Sensor", noise_scale=0.95),
+        _p("RefrigerationDevices", 3, 375, 375, 720, "Device", noise_scale=0.75),
+        _p("ShapeletSim", 2, 20, 180, 500, "Simulated", noise_scale=1.0, amplitude=3.5),
+        _p("SonyAIBORobotSurface1", 2, 20, 601, 70, "Sensor"),
+        _p("SonyAIBORobotSurface2", 2, 27, 953, 65, "Sensor"),
+        _p("Strawberry", 2, 613, 370, 235, "Spectro", noise_scale=0.3),
+        _p("Symbols", 6, 25, 995, 398, "Image", noise_scale=0.35),
+        _p("SyntheticControl", 6, 300, 300, 60, "Simulated", generator="synthetic_control"),
+        _p("ToeSegmentation1", 2, 40, 228, 277, "Motion", warp=0.15),
+        _p("TwoLeadECG", 2, 23, 1139, 82, "ECG", generator="ecg"),
+        _p("TwoPatterns", 4, 1000, 4000, 128, "Simulated", generator="two_patterns"),
+        _p("UWaveGestureLibraryY", 8, 896, 3582, 315, "Motion", warp=0.15),
+        _p("Wafer", 2, 1000, 6164, 152, "Sensor", noise_scale=0.4),
+        _p("WormsTwoClass", 2, 181, 77, 900, "Motion", noise_scale=0.8),
+        _p("Yoga", 2, 300, 3000, 426, "Image", noise_scale=0.6),
+    )
+}
+
+#: The 46 datasets of Tables IV and VI (MoteStrain appears only in Table II).
+TABLE_DATASETS: tuple[str, ...] = tuple(
+    name for name in REGISTRY if name != "MoteStrain"
+)
+
+
+def get_profile(name: str) -> DatasetProfile:
+    """Look up a dataset profile; raises :class:`DatasetError` if unknown."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise DatasetError(f"unknown dataset {name!r}; known: {known}") from None

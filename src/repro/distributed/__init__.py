@@ -1,0 +1,34 @@
+"""Distributed shapelet discovery (the paper's stated future work).
+
+The conclusion names "a distributed shapelet discovery version of IPS" as
+future work. Candidate generation dominates discovery cost (it runs the
+O(N^2) instance-profile computation Q_N times per class) and is
+embarrassingly parallel across (class, sample) units, so this subpackage
+distributes exactly that stage:
+
+* work is partitioned into one unit per (class, bagging sample);
+* every unit carries its own seed derived from the master seed via
+  ``numpy.random.SeedSequence.spawn``, so results are bit-identical
+  regardless of executor choice or worker count;
+* executors: in-process serial (reference), thread pool, and process pool
+  (true multi-core, units are picklable).
+
+Pruning and top-k selection still run on the coordinator — they are cheap
+after DABF (Table V).
+"""
+
+from repro.distributed.discovery import DistributedIPS
+from repro.distributed.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    WorkUnit,
+)
+
+__all__ = [
+    "DistributedIPS",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "WorkUnit",
+]

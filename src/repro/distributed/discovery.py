@@ -1,0 +1,175 @@
+"""Coordinator for distributed IPS candidate generation.
+
+``DistributedIPS.discover`` produces the same :class:`DiscoveryResult` as
+the serial pipeline, but fans the (class, sample) candidate-generation
+units out to an executor. Determinism: unit seeds come from
+``SeedSequence(master).spawn``, indexed by unit order, so the serial,
+thread, and process executors return identical candidate pools.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import IPSConfig
+from repro.core.pipeline import restore_emptied_classes
+from repro.core.selection import select_top_k_per_class
+from repro.core.utility import UtilityScores, score_candidates_dt
+from repro.distributed.executor import Executor, SerialExecutor, WorkUnit
+from repro.exceptions import EmptyPoolError, ValidationError
+from repro.filters.dabf import DABF, PruneReport
+from repro.instanceprofile.candidates import CandidatePool
+from repro.instanceprofile.profile import instance_profile
+from repro.instanceprofile.sampling import resolve_lengths
+from repro.matrixprofile.discovery import top_k_discords, top_k_motifs
+from repro.ts.concat import concatenate_series
+from repro.ts.series import Dataset
+from repro.types import Candidate, CandidateKind, DiscoveryResult
+
+
+def generate_unit_candidates(unit: WorkUnit) -> list[Candidate]:
+    """Worker function: Algorithm-1 inner loop for one (class, sample) unit.
+
+    Module-level (picklable) so it can run in a process pool. Returns the
+    motif and discord candidates of the unit's concatenated sample at
+    every requested length.
+    """
+    sample = concatenate_series(unit.X_rows, instance_ids=np.asarray(unit.rows))
+    candidates: list[Candidate] = []
+    min_instance = int(np.diff(sample.boundaries).min())
+    for length in unit.lengths:
+        if length > min_instance:
+            continue
+        ip = instance_profile(sample, length, normalized=unit.normalized)
+        if not np.any(np.isfinite(ip.values)):
+            continue
+        for kind, picker, per in (
+            (CandidateKind.MOTIF, top_k_motifs, unit.motifs_per_profile),
+            (CandidateKind.DISCORD, top_k_discords, unit.discords_per_profile),
+        ):
+            for position, _value in picker(ip.profile, per):
+                instance_id, offset = ip.locate(position)
+                candidates.append(
+                    Candidate(
+                        values=ip.subsequence(position),
+                        label=unit.label,
+                        kind=kind,
+                        source_instance=instance_id,
+                        start=offset,
+                        sample_id=unit.sample_id,
+                    )
+                )
+    return candidates
+
+
+class DistributedIPS:
+    """IPS with distributed candidate generation.
+
+    Parameters
+    ----------
+    config:
+        The usual pipeline configuration (``use_dt_cr`` is always on here;
+        the distributed variant targets throughput).
+    executor:
+        Any :class:`repro.distributed.executor.Executor`; defaults to the
+        in-process serial executor.
+    """
+
+    def __init__(
+        self, config: IPSConfig | None = None, executor: Executor | None = None
+    ) -> None:
+        self.config = config or IPSConfig()
+        self.executor = executor if executor is not None else SerialExecutor()
+
+    def build_work_units(self, dataset: Dataset) -> list[WorkUnit]:
+        """Partition Algorithm 1 into per-(class, sample) units."""
+        config = self.config
+        lengths = tuple(resolve_lengths(dataset.series_length, config.length_ratios))
+        master = np.random.SeedSequence(
+            config.seed if config.seed is not None else 0
+        )
+        n_units = dataset.n_classes * config.q_n
+        child_seeds = master.spawn(n_units)
+        units: list[WorkUnit] = []
+        unit_index = 0
+        for label in range(dataset.n_classes):
+            class_rows = dataset.class_indices(label)
+            for sample_id in range(config.q_n):
+                rng = np.random.default_rng(child_seeds[unit_index])
+                size = min(config.q_s, class_rows.size)
+                if class_rows.size >= 2:
+                    size = max(size, 2)
+                rows = rng.choice(class_rows, size=size, replace=False)
+                units.append(
+                    WorkUnit(
+                        label=label,
+                        sample_id=sample_id,
+                        rows=tuple(int(r) for r in rows),
+                        X_rows=dataset.X[rows].copy(),
+                        lengths=lengths,
+                        seed=int(child_seeds[unit_index].generate_state(1)[0]),
+                        normalized=config.normalized_profiles,
+                        motifs_per_profile=config.motifs_per_profile,
+                        discords_per_profile=config.discords_per_profile,
+                    )
+                )
+                unit_index += 1
+        return units
+
+    def discover(self, dataset: Dataset) -> DiscoveryResult:
+        """Distributed Algorithm 1, then the usual Algorithms 2-4."""
+        if dataset.n_series < 1:
+            raise ValidationError("empty dataset")
+        config = self.config
+
+        start = time.perf_counter()
+        units = self.build_work_units(dataset)
+        per_unit = self.executor.map(generate_unit_candidates, units)
+        pool = CandidatePool()
+        for unit_candidates in per_unit:
+            for candidate in unit_candidates:
+                pool.add(candidate)
+        if len(pool) == 0:
+            raise EmptyPoolError("distributed generation produced no candidates")
+        time_generation = time.perf_counter() - start
+
+        start = time.perf_counter()
+        if dataset.n_classes > 1:
+            dabf = DABF.build(
+                pool,
+                scheme=config.lsh_scheme,
+                n_projections=config.n_projections,
+                bins=config.bins,
+                seed=config.seed,
+            )
+            pruned, report = dabf.prune(pool, theta=config.theta)
+            pruned = restore_emptied_classes(pool, pruned)
+        else:
+            dabf = DABF.build(pool, seed=config.seed)
+            pruned, report = pool.copy(), PruneReport()
+        time_pruning = time.perf_counter() - start
+
+        start = time.perf_counter()
+        scores_by_class: dict[int, UtilityScores] = {}
+        for label in range(dataset.n_classes):
+            scores_by_class[label] = score_candidates_dt(
+                dataset,
+                pruned,
+                label,
+                dabf,
+                normalize=config.normalize_utility_sums,
+            )
+        shapelets = select_top_k_per_class(scores_by_class, config.k)
+        time_selection = time.perf_counter() - start
+
+        return DiscoveryResult(
+            shapelets=shapelets,
+            n_candidates_generated=len(pool),
+            n_candidates_after_pruning=len(pruned),
+            time_candidate_generation=time_generation,
+            time_pruning=time_pruning,
+            time_selection=time_selection,
+            extra={"n_work_units": len(units), "prune_report": report},
+        )

@@ -1,0 +1,102 @@
+"""Executors for distributed candidate generation.
+
+A :class:`WorkUnit` is a self-contained, picklable description of one
+(class, sample) candidate-generation task. Executors map a worker function
+over the units; all three implementations preserve unit order, so the
+merged pool is deterministic.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence, TypeVar
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One candidate-generation task: a sample of one class.
+
+    Attributes
+    ----------
+    label:
+        Class label the unit belongs to.
+    sample_id:
+        Index of the bagging sample within the class (0..Q_N-1).
+    rows:
+        Dataset row indices of the instances in the sample.
+    X_rows:
+        The instance values themselves (so workers need no shared state).
+    lengths:
+        Candidate lengths to profile.
+    seed:
+        Unit-specific seed (derived from the master seed).
+    normalized:
+        Distance flavour for the profile computation.
+    motifs_per_profile, discords_per_profile:
+        Harvest widths (Algorithm 1).
+    """
+
+    label: int
+    sample_id: int
+    rows: tuple[int, ...]
+    X_rows: np.ndarray
+    lengths: tuple[int, ...]
+    seed: int
+    normalized: bool = True
+    motifs_per_profile: int = 1
+    discords_per_profile: int = 1
+
+
+class Executor(Protocol):
+    """Maps a function over work units, preserving order."""
+
+    def map(self, fn: Callable[[WorkUnit], T], units: Sequence[WorkUnit]) -> list[T]:
+        """Apply ``fn`` to every unit and return results in unit order."""
+        ...
+
+
+class SerialExecutor:
+    """Reference executor: plain in-process loop."""
+
+    def map(self, fn: Callable[[WorkUnit], T], units: Sequence[WorkUnit]) -> list[T]:
+        """Apply ``fn`` sequentially."""
+        return [fn(unit) for unit in units]
+
+
+class ThreadExecutor:
+    """Thread-pool executor (useful when numpy releases the GIL in FFTs)."""
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise ValidationError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def map(self, fn: Callable[[WorkUnit], T], units: Sequence[WorkUnit]) -> list[T]:
+        """Apply ``fn`` across a thread pool, preserving order."""
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(fn, units))
+
+
+class ProcessExecutor:
+    """Process-pool executor: true multi-core candidate generation.
+
+    The worker function and units must be picklable (they are: units carry
+    plain arrays, and the worker is a module-level function).
+    """
+
+    def __init__(self, max_workers: int = 2) -> None:
+        if max_workers < 1:
+            raise ValidationError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def map(self, fn: Callable[[WorkUnit], T], units: Sequence[WorkUnit]) -> list[T]:
+        """Apply ``fn`` across a process pool, preserving order."""
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(fn, units))

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library-specific failures with a single ``except`` clause
+while letting programming errors (``TypeError`` from bad call signatures,
+etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input array, length, or parameter failed validation.
+
+    Inherits from :class:`ValueError` so code written against plain numpy
+    conventions (``except ValueError``) keeps working.
+    """
+
+
+class LengthError(ValidationError):
+    """A subsequence length is incompatible with the series it applies to."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a fitted estimator was called before ``fit``."""
+
+
+class EmptyPoolError(ReproError):
+    """A candidate pool was empty where at least one candidate is required."""
+
+
+class DatasetError(ReproError, KeyError):
+    """An unknown dataset name was requested from the registry."""

@@ -1,0 +1,29 @@
+"""Filter structures: Bloom filters and the distribution-aware bloom filter.
+
+The lineage the paper builds on (Section III-B):
+
+* :class:`BloomFilter` — classic membership filter (Bloom 1970): "possibly
+  in the set" / "definitely not in the set".
+* :class:`DistanceSensitiveBloomFilter` — is the query *close to an
+  element*? (Goswami et al., SODA 2017), built here as an LSH-signature
+  Bloom filter.
+* :class:`DABF` — the paper's contribution: is the query *close to most
+  elements*? Per-class LSH bucket tables + a fitted distribution over the
+  bucket-center-to-origin distances, queried with the 3-sigma rule.
+"""
+
+from repro.filters.bloom import BloomFilter
+from repro.filters.dabf import DABF, ClassDABF, NaivePruner, PruneReport
+from repro.filters.distance_sensitive import DistanceSensitiveBloomFilter
+from repro.filters.distribution import DistributionFit, fit_best_distribution
+
+__all__ = [
+    "DABF",
+    "BloomFilter",
+    "ClassDABF",
+    "DistanceSensitiveBloomFilter",
+    "DistributionFit",
+    "NaivePruner",
+    "PruneReport",
+    "fit_best_distribution",
+]

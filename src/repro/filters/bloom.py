@@ -1,0 +1,97 @@
+"""Classic Bloom filter (Bloom 1970), used by the BSPCOVER baseline.
+
+Hashing is ``blake2b`` with per-function salts, so behaviour is fully
+deterministic across processes (unlike Python's builtin ``hash``, which is
+randomized per interpreter run).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def _to_bytes(item: object) -> bytes:
+    """Canonical byte encoding for supported key types."""
+    if isinstance(item, bytes):
+        return item
+    if isinstance(item, str):
+        return item.encode("utf-8")
+    if isinstance(item, (int, float, np.integer, np.floating)):
+        return repr(float(item) if isinstance(item, (float, np.floating)) else int(item)).encode("ascii")
+    if isinstance(item, tuple):
+        return b"(" + b",".join(_to_bytes(part) for part in item) + b")"
+    if isinstance(item, np.ndarray):
+        return item.tobytes()
+    raise ValidationError(f"unsupported Bloom filter key type: {type(item).__name__}")
+
+
+class BloomFilter:
+    """Space-efficient approximate membership filter.
+
+    Parameters
+    ----------
+    n_bits:
+        Size of the bit array ``m``.
+    n_hashes:
+        Number of hash functions ``k``.
+    """
+
+    def __init__(self, n_bits: int, n_hashes: int = 4) -> None:
+        if n_bits < 1:
+            raise ValidationError(f"n_bits must be >= 1, got {n_bits}")
+        if n_hashes < 1:
+            raise ValidationError(f"n_hashes must be >= 1, got {n_hashes}")
+        self.n_bits = int(n_bits)
+        self.n_hashes = int(n_hashes)
+        self._bits = np.zeros(self.n_bits, dtype=bool)
+        self._n_items = 0
+
+    @classmethod
+    def with_capacity(cls, n_items: int, fp_rate: float = 0.01) -> "BloomFilter":
+        """Size the filter for ``n_items`` at the target false-positive rate.
+
+        Uses the textbook optima ``m = -n ln p / (ln 2)^2`` and
+        ``k = (m / n) ln 2``.
+        """
+        if n_items < 1:
+            raise ValidationError(f"n_items must be >= 1, got {n_items}")
+        if not 0.0 < fp_rate < 1.0:
+            raise ValidationError(f"fp_rate must be in (0, 1), got {fp_rate}")
+        n_bits = max(8, int(math.ceil(-n_items * math.log(fp_rate) / math.log(2) ** 2)))
+        n_hashes = max(1, int(round(n_bits / n_items * math.log(2))))
+        return cls(n_bits=n_bits, n_hashes=n_hashes)
+
+    def _positions(self, item: object) -> np.ndarray:
+        data = _to_bytes(item)
+        positions = np.empty(self.n_hashes, dtype=np.int64)
+        for i in range(self.n_hashes):
+            digest = hashlib.blake2b(
+                data, digest_size=8, salt=i.to_bytes(4, "little") + b"repr"
+            ).digest()
+            positions[i] = int.from_bytes(digest, "little") % self.n_bits
+        return positions
+
+    def add(self, item: object) -> None:
+        """Insert an item."""
+        self._bits[self._positions(item)] = True
+        self._n_items += 1
+
+    def __contains__(self, item: object) -> bool:
+        return bool(np.all(self._bits[self._positions(item)]))
+
+    def __len__(self) -> int:
+        return self._n_items
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of bits set."""
+        return float(self._bits.mean())
+
+    def estimated_fp_rate(self) -> float:
+        """Current expected false-positive probability ``(fill)^k``."""
+        return float(self.fill_ratio**self.n_hashes)

@@ -1,0 +1,70 @@
+"""Distance-sensitive Bloom filter (Goswami et al., SODA 2017, simplified).
+
+Answers "is the query *close to some element* of the set?" — the
+intermediate point between the classic Bloom filter (exact membership) and
+the paper's DABF (close to *most* elements). Built as a Bloom filter over
+LSH signatures: nearby points collide in signature space with probability
+``>= p1`` per Def. 10, so a positive answer means "possibly close to an
+element" and a negative answer means "definitely not close" (up to the
+Bloom false-positive rate and the LSH miss rate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.filters.bloom import BloomFilter
+from repro.lsh.base import LSHFamily
+
+
+class DistanceSensitiveBloomFilter:
+    """Bloom filter over LSH signatures.
+
+    Parameters
+    ----------
+    families:
+        One or more LSH families over the same input dimension; multiple
+        independent families boost recall (a near neighbour only needs to
+        collide in one of them).
+    expected_items:
+        Sizing hint for the underlying Bloom filter.
+    fp_rate:
+        Target Bloom false-positive rate.
+    """
+
+    def __init__(
+        self,
+        families: list[LSHFamily],
+        expected_items: int = 1024,
+        fp_rate: float = 0.01,
+    ) -> None:
+        if not families:
+            raise ValidationError("at least one LSH family is required")
+        dims = {fam.dim for fam in families}
+        if len(dims) != 1:
+            raise ValidationError(f"families disagree on input dim: {sorted(dims)}")
+        self.families = list(families)
+        self.dim = self.families[0].dim
+        self._bloom = BloomFilter.with_capacity(
+            max(1, expected_items * len(self.families)), fp_rate
+        )
+        self._n_items = 0
+
+    def add(self, x: np.ndarray) -> None:
+        """Insert an element by all its signatures."""
+        x = np.asarray(x, dtype=np.float64)
+        for idx, family in enumerate(self.families):
+            self._bloom.add((idx,) + family.signature(x))
+        self._n_items += 1
+
+    def query(self, x: np.ndarray) -> bool:
+        """True = "possibly close to an element"; False = "definitely not close"."""
+        x = np.asarray(x, dtype=np.float64)
+        return any(
+            (idx,) + family.signature(x) in self._bloom
+            for idx, family in enumerate(self.families)
+        )
+
+    def __len__(self) -> int:
+        return self._n_items

@@ -1,0 +1,110 @@
+"""Best-fit distribution selection under NMSE (Table III of the paper).
+
+Algorithm 2 z-normalizes the bucket-center distances and fits a parametric
+distribution to their histogram. The paper reports the best fit among
+common families under the normalized mean squared error
+
+    NMSE = sum_i (h_i - p_i)^2 / sum_i h_i^2
+
+between the density histogram ``h`` and the fitted pdf ``p`` evaluated at
+the bin centers. Table III finds the normal distribution wins on 9 of 10
+datasets; the candidate set here matches that experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.exceptions import ValidationError
+
+#: Families considered by the fit, as (name, scipy distribution) pairs.
+CANDIDATE_FAMILIES: tuple[tuple[str, stats.rv_continuous], ...] = (
+    ("norm", stats.norm),
+    ("gamma", stats.gamma),
+    ("lognorm", stats.lognorm),
+    ("expon", stats.expon),
+    ("uniform", stats.uniform),
+)
+
+
+@dataclass(frozen=True)
+class DistributionFit:
+    """Outcome of fitting one family to a sample."""
+
+    name: str
+    params: tuple[float, ...]
+    nmse: float
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        """Fitted probability density evaluated at ``x``."""
+        dist = dict(CANDIDATE_FAMILIES)[self.name]
+        return dist.pdf(x, *self.params)
+
+    def mean_std(self) -> tuple[float, float]:
+        """Mean and standard deviation of the fitted distribution."""
+        dist = dict(CANDIDATE_FAMILIES)[self.name]
+        mean, var = dist.stats(*self.params, moments="mv")
+        return float(mean), float(np.sqrt(var))
+
+
+def nmse(histogram: np.ndarray, fitted: np.ndarray) -> float:
+    """Normalized mean squared error between histogram and fitted densities."""
+    histogram = np.asarray(histogram, dtype=np.float64)
+    fitted = np.asarray(fitted, dtype=np.float64)
+    if histogram.shape != fitted.shape:
+        raise ValidationError("histogram/fit shape mismatch")
+    denom = float(np.sum(histogram * histogram))
+    if denom <= 0.0:
+        return float("inf")
+    return float(np.sum((histogram - fitted) ** 2) / denom)
+
+
+def fit_best_distribution(
+    values: np.ndarray,
+    bins: int = 16,
+    families: tuple[tuple[str, stats.rv_continuous], ...] = CANDIDATE_FAMILIES,
+) -> tuple[DistributionFit, list[DistributionFit]]:
+    """Fit each candidate family; return the NMSE winner and all results.
+
+    Parameters
+    ----------
+    values:
+        The (z-normalized) sample to fit. Must contain at least 2 distinct
+        values; a degenerate sample gets a zero-width normal fit.
+    bins:
+        Histogram bin count (the paper's ``|B|`` segments).
+    families:
+        ``(name, scipy_distribution)`` pairs to try.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ValidationError("cannot fit a distribution to an empty sample")
+    if np.ptp(values) == 0.0:
+        fit = DistributionFit(name="norm", params=(float(values[0]), 0.0), nmse=0.0)
+        return fit, [fit]
+    histogram, edges = np.histogram(values, bins=bins, density=True)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    results: list[DistributionFit] = []
+    for name, dist in families:
+        try:
+            with np.errstate(all="ignore"):
+                params = dist.fit(values)
+                fitted = dist.pdf(centers, *params)
+            if not np.all(np.isfinite(fitted)):
+                continue
+            results.append(
+                DistributionFit(
+                    name=name,
+                    params=tuple(float(p) for p in params),
+                    nmse=nmse(histogram, fitted),
+                )
+            )
+        except (ValueError, RuntimeError, FloatingPointError):
+            continue
+    if not results:
+        raise ValidationError("no candidate distribution could be fitted")
+    results.sort(key=lambda fit: fit.nmse)
+    return results[0], results

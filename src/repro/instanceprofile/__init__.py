@@ -1,0 +1,23 @@
+"""Instance profile (IP): the paper's core data structure (Section III-A).
+
+Whereas the matrix profile annotates *one* series with self-join
+nearest-neighbour distances, the instance profile annotates a *class* of a
+dataset: ``Q_N`` random samples of ``Q_S`` instances are drawn per class
+(bagging, Breiman 1996), each sample is concatenated, and each subsequence
+is annotated with its nearest-neighbour distance among subsequences of
+*other* instances in the sample (Def. 9's ``m' != m``). Motifs (IP minima)
+and discords (IP maxima) become the shapelet-candidate pool (Algorithm 1).
+"""
+
+from repro.instanceprofile.candidates import CandidatePool, generate_candidates
+from repro.instanceprofile.profile import InstanceProfile, instance_profile
+from repro.instanceprofile.sampling import BaggingSampler, resolve_lengths
+
+__all__ = [
+    "BaggingSampler",
+    "CandidatePool",
+    "InstanceProfile",
+    "generate_candidates",
+    "instance_profile",
+    "resolve_lengths",
+]

@@ -1,0 +1,188 @@
+"""Algorithm 1: shapelet-candidate generation with the instance profile.
+
+For every class: draw ``Q_N`` bagging samples of ``Q_S`` instances,
+concatenate each sample, compute the instance profile at every candidate
+length, and harvest the motif (IP minimum) and discord (IP maximum) as
+candidates. Candidates carry full provenance (instance, offset, sample id)
+for interpretability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import EmptyPoolError, ValidationError
+from repro.instanceprofile.profile import instance_profile
+from repro.instanceprofile.sampling import BaggingSampler
+from repro.matrixprofile.discovery import top_k_discords, top_k_motifs
+from repro.ts.concat import concatenate_series
+from repro.ts.series import Dataset
+from repro.types import Candidate, CandidateKind
+
+
+@dataclass
+class CandidatePool:
+    """The paper's candidate pool Phi, organized per class and kind."""
+
+    _motifs: dict[int, list[Candidate]] = field(default_factory=dict)
+    _discords: dict[int, list[Candidate]] = field(default_factory=dict)
+
+    @property
+    def classes(self) -> list[int]:
+        """Class labels present in the pool, sorted."""
+        return sorted(set(self._motifs) | set(self._discords))
+
+    def add(self, candidate: Candidate) -> None:
+        """Insert a candidate under its label and kind."""
+        store = self._motifs if candidate.kind is CandidateKind.MOTIF else self._discords
+        store.setdefault(candidate.label, []).append(candidate)
+
+    def motifs(self, label: int) -> list[Candidate]:
+        """Motif candidates of a class (the paper's Phi_C^motif)."""
+        return list(self._motifs.get(label, []))
+
+    def discords(self, label: int) -> list[Candidate]:
+        """Discord candidates of a class (the paper's Phi_C^discord)."""
+        return list(self._discords.get(label, []))
+
+    def all_of_class(self, label: int) -> list[Candidate]:
+        """Motifs then discords of a class (the paper's Phi_C)."""
+        return self.motifs(label) + self.discords(label)
+
+    def other_classes(self, label: int) -> list[Candidate]:
+        """All candidates of every class except ``label`` (Phi_{C-bar})."""
+        out: list[Candidate] = []
+        for cls in self.classes:
+            if cls != label:
+                out.extend(self.all_of_class(cls))
+        return out
+
+    def remove(self, candidate: Candidate) -> bool:
+        """Remove one candidate (Algorithm 3, lines 6/9). Returns success."""
+        store = self._motifs if candidate.kind is CandidateKind.MOTIF else self._discords
+        bucket = store.get(candidate.label)
+        if not bucket:
+            return False
+        try:
+            bucket.remove(candidate)
+        except ValueError:
+            return False
+        return True
+
+    def counts(self) -> dict[int, tuple[int, int]]:
+        """Per-class ``(n_motifs, n_discords)``."""
+        return {
+            cls: (len(self._motifs.get(cls, [])), len(self._discords.get(cls, [])))
+            for cls in self.classes
+        }
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._motifs.values()) + sum(
+            len(v) for v in self._discords.values()
+        )
+
+    def __iter__(self):
+        for cls in self.classes:
+            yield from self.all_of_class(cls)
+
+    def copy(self) -> "CandidatePool":
+        """Shallow copy (candidates are immutable, lists are fresh)."""
+        out = CandidatePool()
+        out._motifs = {k: list(v) for k, v in self._motifs.items()}
+        out._discords = {k: list(v) for k, v in self._discords.items()}
+        return out
+
+
+def _harvest(
+    pool: CandidatePool,
+    ip,
+    label: int,
+    sample_id: int,
+    kind: CandidateKind,
+    per_profile: int,
+) -> None:
+    """Extract top positions from one instance profile into the pool."""
+    picker = top_k_motifs if kind is CandidateKind.MOTIF else top_k_discords
+    for position, _value in picker(ip.profile, per_profile):
+        instance_id, offset = ip.locate(position)
+        pool.add(
+            Candidate(
+                values=ip.subsequence(position),
+                label=label,
+                kind=kind,
+                source_instance=instance_id,
+                start=offset,
+                sample_id=sample_id,
+            )
+        )
+
+
+def generate_candidates(
+    dataset: Dataset,
+    q_n: int,
+    q_s: int,
+    lengths: list[int],
+    motifs_per_profile: int = 1,
+    discords_per_profile: int = 1,
+    normalized: bool = True,
+    seed: int | np.random.Generator | None = None,
+) -> CandidatePool:
+    """Algorithm 1: generate the candidate pool Phi with the IP.
+
+    Parameters
+    ----------
+    dataset:
+        Training data.
+    q_n, q_s:
+        Sample count and sample size (bagging parameters).
+    lengths:
+        Concrete candidate lengths (use
+        :func:`repro.instanceprofile.sampling.resolve_lengths` to derive
+        them from the paper's ratios).
+    motifs_per_profile, discords_per_profile:
+        How many motifs/discords to harvest per instance profile; the paper
+        takes one of each (min and max of the IP).
+    normalized:
+        Distance flavour for the underlying profile computation.
+    seed:
+        Reproducibility seed for the bagging sampler.
+    """
+    if not lengths:
+        raise ValidationError("at least one candidate length is required")
+    for length in lengths:
+        if not 2 <= length <= dataset.series_length:
+            raise ValidationError(
+                f"candidate length {length} invalid for series of length "
+                f"{dataset.series_length}"
+            )
+    sampler = BaggingSampler(q_n=q_n, q_s=q_s, seed=seed)
+    pool = CandidatePool()
+    for label in range(dataset.n_classes):
+        class_rows = dataset.class_indices(label)
+        for sample_id, rows in enumerate(sampler.samples_for_class(class_rows)):
+            sample = concatenate_series(dataset.X[rows], instance_ids=rows)
+            for length in lengths:
+                if length > min(np.diff(sample.boundaries)):
+                    # Window longer than some instance: skip this length.
+                    continue
+                ip = instance_profile(sample, length, normalized=normalized)
+                if not np.any(np.isfinite(ip.values)):
+                    continue
+                _harvest(
+                    pool, ip, label, sample_id, CandidateKind.MOTIF, motifs_per_profile
+                )
+                _harvest(
+                    pool,
+                    ip,
+                    label,
+                    sample_id,
+                    CandidateKind.DISCORD,
+                    discords_per_profile,
+                )
+    if len(pool) == 0:
+        raise EmptyPoolError(
+            "candidate generation produced no candidates; check lengths and data"
+        )
+    return pool

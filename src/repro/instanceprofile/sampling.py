@@ -1,0 +1,82 @@
+"""Bagging-style instance sampling for the instance profile (Def. 9).
+
+Each of the ``Q_N`` samples draws ``Q_S`` instances of a class uniformly at
+random *without replacement inside the sample* (a sample of identical
+copies would make the cross-instance nearest neighbour trivially zero),
+with replacement *across* samples — the "bagging way" [Breiman 1996] cited
+by Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def resolve_lengths(series_length: int, ratios: tuple[float, ...]) -> list[int]:
+    """Turn the paper's length *ratios* into concrete subsequence lengths.
+
+    §IV-A: "the lengths of shapelet candidates are given as a ratio of the
+    subsequence length to the length of the original time series", ratios in
+    {0.1, ..., 0.5}. Lengths are clipped to [3, N], deduplicated, sorted.
+    """
+    if series_length < 3:
+        raise ValidationError(f"series too short: {series_length}")
+    lengths: set[int] = set()
+    for ratio in ratios:
+        if not 0.0 < ratio <= 1.0:
+            raise ValidationError(f"length ratio must be in (0, 1], got {ratio}")
+        lengths.add(int(min(series_length, max(3, round(ratio * series_length)))))
+    return sorted(lengths)
+
+
+@dataclass
+class BaggingSampler:
+    """Draws the ``Q_N x Q_S`` instance samples of Algorithm 1.
+
+    Parameters
+    ----------
+    q_n:
+        Number of samples per class (paper: from {10, 20, 50, 100}).
+    q_s:
+        Instances per sample (paper: from {2, 3, 4, 5, 10}); clamped to the
+        class size, and at least 2 whenever the class has >= 2 instances so
+        the cross-instance profile is defined.
+    seed:
+        Seed (or Generator) for reproducibility.
+    """
+
+    q_n: int
+    q_s: int
+    seed: int | np.random.Generator | None = None
+
+    def __post_init__(self) -> None:
+        if self.q_n < 1:
+            raise ValidationError(f"q_n must be >= 1, got {self.q_n}")
+        if self.q_s < 1:
+            raise ValidationError(f"q_s must be >= 1, got {self.q_s}")
+        self._rng = (
+            self.seed
+            if isinstance(self.seed, np.random.Generator)
+            else np.random.default_rng(self.seed)
+        )
+
+    def samples_for_class(self, class_indices: np.ndarray) -> list[np.ndarray]:
+        """The ``Q_N`` samples (arrays of dataset row indices) for one class.
+
+        Each sample has ``min(Q_S, |D_C|)`` distinct indices, but at least 2
+        when the class holds at least 2 instances.
+        """
+        class_indices = np.asarray(class_indices, dtype=np.int64)
+        if class_indices.size == 0:
+            raise ValidationError("class has no instances to sample from")
+        size = min(self.q_s, class_indices.size)
+        if class_indices.size >= 2:
+            size = max(size, 2)
+        return [
+            self._rng.choice(class_indices, size=size, replace=False)
+            for _ in range(self.q_n)
+        ]

@@ -1,0 +1,31 @@
+"""Locality-sensitive hashing families (Def. 10 of the paper).
+
+Three schemes, matching the Table VII ablation:
+
+* :class:`PStableL2LSH` — the default; p-stable projections under the L2
+  norm (Datar et al., SoCG 2004).
+* :class:`CosineLSH` — SimHash random hyperplanes.
+* :class:`HammingLSH` — bit sampling over quantized coordinates (shown by
+  the paper to be the weakest for time series).
+
+Every family exposes both a discrete ``signature`` (the bucket key) and a
+continuous ``project`` embedding; by the Johnson-Lindenstrauss lemma the
+projection approximately preserves L2 distances, which is what the DABF's
+distance-to-origin statistic and the DT optimization (Formula 15) rely on.
+"""
+
+from repro.lsh.base import LSHFamily, make_lsh
+from repro.lsh.cosine import CosineLSH
+from repro.lsh.hamming import HammingLSH
+from repro.lsh.pstable import PStableL2LSH
+from repro.lsh.table import Bucket, LSHTable
+
+__all__ = [
+    "Bucket",
+    "CosineLSH",
+    "HammingLSH",
+    "LSHFamily",
+    "LSHTable",
+    "PStableL2LSH",
+    "make_lsh",
+]

@@ -1,0 +1,80 @@
+"""The LSH family interface and the scheme factory."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+@runtime_checkable
+class LSHFamily(Protocol):
+    """Interface implemented by every hashing scheme.
+
+    A family is bound to a fixed input dimension at construction (the
+    candidate length it will hash) and is deterministic given its seed.
+    """
+
+    dim: int
+
+    def project(self, x: np.ndarray) -> np.ndarray:
+        """Continuous embedding of ``x`` (approximately L2-preserving)."""
+        ...
+
+    def signature(self, x: np.ndarray) -> tuple:
+        """Discrete bucket key of ``x`` (hashable tuple)."""
+        ...
+
+
+def validate_input(x: np.ndarray, dim: int) -> np.ndarray:
+    """Shared input validation for all schemes."""
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValidationError(f"LSH input must be 1-D, got shape {arr.shape}")
+    if arr.size != dim:
+        raise ValidationError(f"LSH input has dim {arr.size}, family expects {dim}")
+    return arr
+
+
+def make_lsh(
+    scheme: str,
+    dim: int,
+    n_projections: int = 8,
+    seed: int | np.random.Generator | None = None,
+    **kwargs,
+) -> LSHFamily:
+    """Factory for the three schemes of Table VII.
+
+    Parameters
+    ----------
+    scheme:
+        One of ``"l2"`` (p-stable, the paper's default), ``"cosine"``,
+        ``"hamming"``.
+    dim:
+        Input dimension (the candidate length).
+    n_projections:
+        Number of hash functions composed into one signature.
+    seed:
+        Reproducibility seed.
+    kwargs:
+        Scheme-specific options (e.g. ``width`` for L2, ``n_levels`` for
+        Hamming).
+    """
+    # Imports are local to avoid a circular import at package load.
+    from repro.lsh.cosine import CosineLSH
+    from repro.lsh.hamming import HammingLSH
+    from repro.lsh.pstable import PStableL2LSH
+
+    schemes = {
+        "l2": PStableL2LSH,
+        "cosine": CosineLSH,
+        "hamming": HammingLSH,
+    }
+    key = scheme.lower()
+    if key not in schemes:
+        raise ValidationError(
+            f"unknown LSH scheme {scheme!r}; choose from {sorted(schemes)}"
+        )
+    return schemes[key](dim=dim, n_projections=n_projections, seed=seed, **kwargs)

@@ -1,0 +1,98 @@
+"""The :class:`MatrixProfile` result type and profile differencing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+@dataclass
+class MatrixProfile:
+    """A computed matrix (or AB-join) profile.
+
+    Attributes
+    ----------
+    values:
+        Nearest-neighbour distance of each window; ``inf`` for windows that
+        were masked out or had no valid neighbour.
+    indices:
+        Position of each window's nearest neighbour (``-1`` where masked).
+    window:
+        Subsequence length L.
+    exclusion:
+        Trivial-match exclusion half-width used (0 for AB-joins).
+    normalized:
+        Whether distances are z-normalized.
+    valid_mask:
+        Boolean mask over window starts that were eligible.
+    """
+
+    values: np.ndarray
+    indices: np.ndarray
+    window: int
+    exclusion: int
+    normalized: bool = True
+    valid_mask: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        if self.values.shape != self.indices.shape:
+            raise ValidationError("values and indices must have the same shape")
+        if self.valid_mask is None:
+            self.valid_mask = np.isfinite(self.values)
+        else:
+            self.valid_mask = np.asarray(self.valid_mask, dtype=bool)
+            if self.valid_mask.shape != self.values.shape:
+                raise ValidationError("valid_mask shape mismatch")
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def finite_positions(self) -> np.ndarray:
+        """Window starts with a finite profile value."""
+        return np.flatnonzero(np.isfinite(self.values))
+
+    def motif(self) -> tuple[int, float]:
+        """Position and value of the global minimum (the top motif)."""
+        positions = self.finite_positions
+        if positions.size == 0:
+            raise ValidationError("profile has no finite values")
+        best = positions[np.argmin(self.values[positions])]
+        return int(best), float(self.values[best])
+
+    def discord(self) -> tuple[int, float]:
+        """Position and value of the global maximum (the top discord)."""
+        positions = self.finite_positions
+        if positions.size == 0:
+            raise ValidationError("profile has no finite values")
+        best = positions[np.argmax(self.values[positions])]
+        return int(best), float(self.values[best])
+
+
+def profile_diff(
+    p_ab: MatrixProfile, p_aa: MatrixProfile, absolute: bool = True
+) -> np.ndarray:
+    """``diff(P_AB, P_AA)`` of the paper (Fig. 4 / Formula 4).
+
+    Elementwise difference of two profiles over the same series and window.
+    Positions where either profile is masked become ``-inf`` so they can
+    never win an argmax.
+    """
+    if p_ab.window != p_aa.window:
+        raise ValidationError(
+            f"window mismatch: {p_ab.window} vs {p_aa.window}"
+        )
+    if p_ab.values.shape != p_aa.values.shape:
+        raise ValidationError("profiles cover different numbers of windows")
+    bad = ~(np.isfinite(p_ab.values) & np.isfinite(p_aa.values))
+    left = np.where(bad, 0.0, p_ab.values)
+    right = np.where(bad, 0.0, p_aa.values)
+    diff = left - right
+    if absolute:
+        diff = np.abs(diff)
+    return np.where(bad, -np.inf, diff)

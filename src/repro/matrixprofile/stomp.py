@@ -1,0 +1,254 @@
+"""STOMP: the O(N^2) incremental matrix-profile computation.
+
+Row ``i`` of the all-pairs dot-product matrix follows from row ``i-1`` in
+O(N) via
+
+    QT[i, j] = QT[i-1, j-1] - t[i-1] u[j-1] + t[i+L-1] u[j+L-1]
+
+(Zhu et al., "Matrix Profile II", ICDM 2016). Both the self-join (one series
+against itself, with a trivial-match exclusion zone) and the AB-join (every
+window of A against all of B) are implemented; a validity mask lets callers
+exclude windows that cross instance junctions in concatenated series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.matrixprofile.profile import MatrixProfile
+from repro.ts.distance import sliding_dot_product, sliding_mean_std
+from repro.ts.preprocessing import FLAT_STD
+from repro.ts.windows import num_windows
+
+
+def default_exclusion(window: int) -> int:
+    """Default trivial-match exclusion half-width: ``ceil(L / 4)``.
+
+    The paper's footnote 1 requires excluding neighbours located near the
+    query window; L/4 is the standard choice in the MP literature.
+    """
+    return max(1, int(np.ceil(window / 4)))
+
+
+def _window_stats(series: np.ndarray, window: int, normalized: bool):
+    """Per-window means/stds (normalized) or sums of squares (raw)."""
+    if normalized:
+        means, stds = sliding_mean_std(series, window)
+        return means, stds, None
+    csum2 = np.concatenate([[0.0], np.cumsum(series * series)])
+    ssq = csum2[window:] - csum2[:-window]
+    return None, None, ssq
+
+
+def _row_distances(
+    qt_row: np.ndarray,
+    i: int,
+    window: int,
+    normalized: bool,
+    means: np.ndarray | None,
+    stds: np.ndarray | None,
+    ssq_a: np.ndarray | None,
+    ssq_b: np.ndarray | None,
+    means_a: np.ndarray | None = None,
+    stds_a: np.ndarray | None = None,
+) -> np.ndarray:
+    """Squared distances of window ``i`` (of A) against all windows (of B)."""
+    if normalized:
+        m_a = means_a[i] if means_a is not None else means[i]
+        s_a = stds_a[i] if stds_a is not None else stds[i]
+        a_flat = s_a < FLAT_STD
+        b_flat = stds < FLAT_STD
+        with np.errstate(divide="ignore", invalid="ignore"):
+            corr = (qt_row - window * m_a * means) / (
+                window * max(s_a, FLAT_STD) * np.maximum(stds, FLAT_STD)
+            )
+        corr = np.clip(corr, -1.0, 1.0)
+        sq = 2.0 * window * (1.0 - corr)
+        if a_flat:
+            sq = np.where(b_flat, 0.0, float(window))
+        else:
+            sq = np.where(b_flat, float(window), sq)
+        return np.maximum(sq, 0.0)
+    ssq_i = ssq_a[i] if ssq_a is not None else ssq_b[i]
+    return np.maximum(ssq_b - 2.0 * qt_row + ssq_i, 0.0)
+
+
+def stomp_self_join(
+    series: np.ndarray,
+    window: int,
+    exclusion: int | None = None,
+    valid_mask: np.ndarray | None = None,
+    normalized: bool = True,
+    groups: np.ndarray | None = None,
+) -> MatrixProfile:
+    """Matrix profile of ``series`` against itself (the paper's Def. 5).
+
+    Parameters
+    ----------
+    series:
+        1-D array of length N.
+    window:
+        Subsequence length L.
+    exclusion:
+        Trivial-match exclusion half-width; defaults to
+        :func:`default_exclusion`.
+    valid_mask:
+        Optional boolean array over the ``N - L + 1`` window starts. Invalid
+        windows receive an infinite profile value and are never chosen as
+        anyone's nearest neighbour (used for junction windows in
+        concatenated series).
+    normalized:
+        z-normalized Euclidean distances (default) or raw Euclidean.
+    groups:
+        Optional integer group id per window start. When given, a window's
+        nearest neighbour is restricted to windows of a *different* group.
+        This implements the paper's Def. 9 constraint ``m' != m`` (the
+        instance profile matches only across instances) with the group id
+        being the instance index inside a concatenated sample.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 1:
+        raise ValidationError("stomp_self_join expects a 1-D series")
+    n_out = num_windows(series.size, window)
+    if exclusion is None:
+        exclusion = default_exclusion(window)
+    if valid_mask is None:
+        valid_mask = np.ones(n_out, dtype=bool)
+    else:
+        valid_mask = np.asarray(valid_mask, dtype=bool)
+        if valid_mask.shape != (n_out,):
+            raise ValidationError(
+                f"valid_mask must have shape ({n_out},), got {valid_mask.shape}"
+            )
+
+    if groups is not None:
+        groups = np.asarray(groups, dtype=np.int64)
+        if groups.shape != (n_out,):
+            raise ValidationError(
+                f"groups must have shape ({n_out},), got {groups.shape}"
+            )
+
+    means, stds, ssq = _window_stats(series, window, normalized)
+    invalid_cols = ~valid_mask
+
+    first_row = sliding_dot_product(series[:window], series)
+    qt = first_row.copy()
+    first_col = first_row.copy()  # self-join symmetry: QT[i, 0] == QT[0, i]
+
+    values = np.full(n_out, np.inf)
+    indices = np.full(n_out, -1, dtype=np.int64)
+    for i in range(n_out):
+        if i > 0:
+            qt[1:] = (
+                qt[:-1]
+                - series[i - 1] * series[: n_out - 1]
+                + series[i + window - 1] * series[window : window + n_out - 1]
+            )
+            qt[0] = first_col[i]
+        if not valid_mask[i]:
+            continue
+        sq = _row_distances(qt, i, window, normalized, means, stds, ssq, ssq)
+        lo = max(0, i - exclusion)
+        hi = min(n_out, i + exclusion + 1)
+        sq[lo:hi] = np.inf
+        sq[invalid_cols] = np.inf
+        if groups is not None:
+            sq[groups == groups[i]] = np.inf
+        j = int(np.argmin(sq))
+        if np.isfinite(sq[j]):
+            values[i] = np.sqrt(sq[j])
+            indices[i] = j
+    return MatrixProfile(
+        values=values,
+        indices=indices,
+        window=window,
+        exclusion=exclusion,
+        normalized=normalized,
+        valid_mask=valid_mask,
+    )
+
+
+def ab_join(
+    series_a: np.ndarray,
+    series_b: np.ndarray,
+    window: int,
+    valid_mask_a: np.ndarray | None = None,
+    valid_mask_b: np.ndarray | None = None,
+    normalized: bool = True,
+) -> MatrixProfile:
+    """AB-join profile: for each window of A, its nearest neighbour in B.
+
+    No exclusion zone applies (the series are distinct); this is the
+    ``P_AB`` of the paper's Figures 3-4.
+    """
+    series_a = np.asarray(series_a, dtype=np.float64)
+    series_b = np.asarray(series_b, dtype=np.float64)
+    if series_a.ndim != 1 or series_b.ndim != 1:
+        raise ValidationError("ab_join expects 1-D series")
+    n_a = num_windows(series_a.size, window)
+    n_b = num_windows(series_b.size, window)
+    if valid_mask_a is None:
+        valid_mask_a = np.ones(n_a, dtype=bool)
+    else:
+        valid_mask_a = np.asarray(valid_mask_a, dtype=bool)
+        if valid_mask_a.shape != (n_a,):
+            raise ValidationError("valid_mask_a has wrong shape")
+    if valid_mask_b is None:
+        valid_mask_b = np.ones(n_b, dtype=bool)
+    else:
+        valid_mask_b = np.asarray(valid_mask_b, dtype=bool)
+        if valid_mask_b.shape != (n_b,):
+            raise ValidationError("valid_mask_b has wrong shape")
+
+    means_b, stds_b, ssq_b = _window_stats(series_b, window, normalized)
+    if normalized:
+        means_a, stds_a = sliding_mean_std(series_a, window)
+        ssq_a = None
+    else:
+        means_a = stds_a = None
+        csum2 = np.concatenate([[0.0], np.cumsum(series_a * series_a)])
+        ssq_a = csum2[window:] - csum2[:-window]
+
+    first_row = sliding_dot_product(series_a[:window], series_b)
+    first_col = sliding_dot_product(series_b[:window], series_a)
+    qt = first_row.copy()
+    invalid_cols = ~valid_mask_b
+
+    values = np.full(n_a, np.inf)
+    indices = np.full(n_a, -1, dtype=np.int64)
+    for i in range(n_a):
+        if i > 0:
+            qt[1:] = (
+                qt[:-1]
+                - series_a[i - 1] * series_b[: n_b - 1]
+                + series_a[i + window - 1] * series_b[window : window + n_b - 1]
+            )
+            qt[0] = first_col[i]
+        if not valid_mask_a[i]:
+            continue
+        sq = _row_distances(
+            qt,
+            i,
+            window,
+            normalized,
+            means_b,
+            stds_b,
+            ssq_a,
+            ssq_b,
+            means_a=means_a,
+            stds_a=stds_a,
+        )
+        sq[invalid_cols] = np.inf
+        j = int(np.argmin(sq))
+        if np.isfinite(sq[j]):
+            values[i] = np.sqrt(sq[j])
+            indices[i] = j
+    return MatrixProfile(
+        values=values,
+        indices=indices,
+        window=window,
+        exclusion=0,
+        normalized=normalized,
+        valid_mask=valid_mask_a,
+    )

@@ -1,0 +1,137 @@
+"""STAMPI: incremental matrix profile for streaming time series.
+
+Yeh et al.'s Matrix Profile I paper includes the incremental variant: when
+a new point arrives, one new window appears, its distance profile against
+all existing windows is computed (one MASS call, O(N log N)), the new
+window's profile value is the masked minimum of that row, and existing
+windows' values can only *decrease* where the new window is a closer
+neighbour.
+
+Used here as the substrate for online shapelet monitoring (a deployment
+concern for the paper's method: keep motif/discord structure current as a
+sensor appends data) and exercised by the streaming example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import LengthError, ValidationError
+from repro.matrixprofile.mass import mass
+from repro.matrixprofile.profile import MatrixProfile
+from repro.matrixprofile.stomp import default_exclusion, stomp_self_join
+
+
+class StreamingMatrixProfile:
+    """Incrementally maintained self-join matrix profile.
+
+    Parameters
+    ----------
+    window:
+        Subsequence length L.
+    exclusion:
+        Trivial-match half-width (default ``ceil(L/4)``).
+    normalized:
+        z-normalized (default) or raw Euclidean distances.
+
+    Notes
+    -----
+    Append cost is one MASS call over the current history — O(N log N)
+    per point, versus O(N^2) for recomputing from scratch. The maintained
+    values are exact: they equal a fresh :func:`stomp_self_join` of the
+    full history at all times (asserted by the test suite).
+    """
+
+    def __init__(
+        self, window: int, exclusion: int | None = None, normalized: bool = True
+    ) -> None:
+        if window < 2:
+            raise ValidationError(f"window must be >= 2, got {window}")
+        self.window = window
+        self.exclusion = exclusion if exclusion is not None else default_exclusion(window)
+        self.normalized = normalized
+        self._values = np.empty(0, dtype=np.float64)
+        self._history = np.empty(0, dtype=np.float64)
+        self._profile = np.empty(0, dtype=np.float64)
+        self._indices = np.empty(0, dtype=np.int64)
+
+    @property
+    def n_points(self) -> int:
+        """Points received so far."""
+        return int(self._history.size)
+
+    @property
+    def n_windows(self) -> int:
+        """Windows currently annotated."""
+        return int(self._profile.size)
+
+    def append(self, value: float) -> None:
+        """Receive one new point; update the profile exactly."""
+        if not np.isfinite(value):
+            raise ValidationError("appended values must be finite")
+        self._history = np.append(self._history, float(value))
+        n = self._history.size
+        if n < self.window:
+            return
+        new_pos = n - self.window  # start index of the newly-completed window
+        if new_pos == 0:
+            self._profile = np.array([np.inf])
+            self._indices = np.array([-1], dtype=np.int64)
+            return
+        query = self._history[new_pos:]
+        row = mass(query, self._history, normalized=self.normalized)
+        # Mask the trivial-match zone around the new window itself.
+        lo = max(0, new_pos - self.exclusion)
+        row = row.copy()
+        row[lo : new_pos + 1] = np.inf
+
+        # Grow the stored profile by one slot.
+        self._profile = np.append(self._profile, np.inf)
+        self._indices = np.append(self._indices, -1)
+
+        finite = np.isfinite(row[:new_pos])
+        if np.any(finite):
+            best = int(np.argmin(np.where(finite, row[:new_pos], np.inf)))
+            self._profile[new_pos] = row[best]
+            self._indices[new_pos] = best
+
+        # Existing windows: the new window may be a closer neighbour.
+        old = row[:new_pos]
+        eligible = np.arange(new_pos) < new_pos - self.exclusion
+        improved = eligible & (old < self._profile[:new_pos])
+        self._profile[:new_pos][improved] = old[improved]
+        self._indices[:new_pos][improved] = new_pos
+
+    def extend(self, values: np.ndarray) -> None:
+        """Append many points."""
+        for value in np.asarray(values, dtype=np.float64).ravel():
+            self.append(float(value))
+
+    def profile(self) -> MatrixProfile:
+        """Snapshot of the current profile."""
+        if self.n_windows == 0:
+            raise LengthError(
+                f"need at least {self.window} points, have {self.n_points}"
+            )
+        return MatrixProfile(
+            values=self._profile.copy(),
+            indices=self._indices.copy(),
+            window=self.window,
+            exclusion=self.exclusion,
+            normalized=self.normalized,
+        )
+
+    def check_against_batch(self) -> bool:
+        """True iff the incremental profile matches a fresh STOMP run."""
+        if self.n_windows == 0:
+            return True
+        batch = stomp_self_join(
+            self._history,
+            self.window,
+            exclusion=self.exclusion,
+            normalized=self.normalized,
+        )
+        mine = self._profile
+        both_inf = np.isinf(batch.values) & np.isinf(mine)
+        close = np.isclose(batch.values, mine, atol=1e-6)
+        return bool(np.all(both_inf | close))

@@ -1,0 +1,37 @@
+"""Statistics behind the paper's evaluation (Section IV-C).
+
+* :func:`average_ranks`, :func:`wins_draws_losses`, :func:`best_counts` —
+  the Table VI footer rows;
+* :func:`friedman_test` — the omnibus test over 46 datasets x 13 methods;
+* :func:`wilcoxon_signed_rank` / :func:`holm_correction` — the post-hoc
+  pairwise analysis with Holm's alpha (5%);
+* :func:`critical_difference` / :func:`cd_groups` / :func:`render_cd` —
+  the Fig. 11 critical-difference diagram (ASCII rendering).
+
+All tests are implemented from scratch (rank computation, statistics,
+normal/chi-square approximations) and cross-checked against scipy in the
+test suite.
+"""
+
+from repro.stats.cd_diagram import cd_groups, critical_difference, render_cd
+from repro.stats.friedman import friedman_test
+from repro.stats.ranking import average_ranks, best_counts, rank_rows, wins_draws_losses
+from repro.stats.wilcoxon import (
+    holm_correction,
+    pairwise_wilcoxon_matrix,
+    wilcoxon_signed_rank,
+)
+
+__all__ = [
+    "average_ranks",
+    "best_counts",
+    "cd_groups",
+    "critical_difference",
+    "friedman_test",
+    "holm_correction",
+    "pairwise_wilcoxon_matrix",
+    "rank_rows",
+    "render_cd",
+    "wilcoxon_signed_rank",
+    "wins_draws_losses",
+]

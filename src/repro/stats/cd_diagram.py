@@ -1,0 +1,160 @@
+"""Critical-difference diagram computation and ASCII rendering (Fig. 11).
+
+Two grouping modes:
+
+* **Nemenyi** — methods within ``CD = q_alpha * sqrt(k (k+1) / 6n)`` of
+  each other are connected (classic Demsar 2006 diagram);
+* **Wilcoxon-Holm** — the paper's choice: pairwise Wilcoxon signed-rank
+  tests with Holm's correction; methods not significantly different are
+  connected (cliques are maximal runs of mutually non-different methods
+  in rank order).
+
+The renderer produces a monospace diagram: methods on a rank axis, with
+group bars ("thick horizontal lines") beneath.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.stats.ranking import average_ranks
+from repro.stats.wilcoxon import holm_correction, wilcoxon_signed_rank
+
+#: Two-tailed Nemenyi q_alpha values at alpha = 0.05 for k = 2..20 methods.
+_Q_ALPHA_05: dict[int, float] = {
+    2: 1.960, 3: 2.343, 4: 2.569, 5: 2.728, 6: 2.850, 7: 2.949, 8: 3.031,
+    9: 3.102, 10: 3.164, 11: 3.219, 12: 3.268, 13: 3.313, 14: 3.354,
+    15: 3.391, 16: 3.426, 17: 3.458, 18: 3.489, 19: 3.517, 20: 3.544,
+}
+
+
+def critical_difference(n_methods: int, n_datasets: int) -> float:
+    """Nemenyi critical difference at alpha = 0.05."""
+    if n_methods not in _Q_ALPHA_05:
+        raise ValidationError(
+            f"no q_alpha tabulated for k={n_methods} (supported: 2..20)"
+        )
+    if n_datasets < 2:
+        raise ValidationError("need at least 2 datasets")
+    q = _Q_ALPHA_05[n_methods]
+    return float(q * np.sqrt(n_methods * (n_methods + 1) / (6.0 * n_datasets)))
+
+
+def _merge_to_maximal(groups: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Drop groups contained in another group."""
+    maximal = []
+    for lo, hi in groups:
+        if not any(
+            (olo <= lo and hi <= ohi) and (olo, ohi) != (lo, hi)
+            for olo, ohi in groups
+        ):
+            maximal.append((lo, hi))
+    return sorted(set(maximal))
+
+
+def cd_groups(
+    accuracies: np.ndarray,
+    method: str = "wilcoxon-holm",
+    alpha: float = 0.05,
+) -> tuple[np.ndarray, list[tuple[int, int]]]:
+    """Average ranks plus index ranges of non-significantly-different groups.
+
+    Returns ``(mean_ranks, groups)`` where ``groups`` are (lo, hi) index
+    pairs *into the rank-sorted order* — ``order = argsort(mean_ranks)``;
+    group (lo, hi) connects ``order[lo..hi]`` inclusive.
+    """
+    arr = np.asarray(accuracies, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[1] < 2:
+        raise ValidationError("need a (datasets, methods>=2) matrix")
+    mean_ranks = average_ranks(arr)
+    k = arr.shape[1]
+    order = np.argsort(mean_ranks, kind="stable")
+
+    if method == "nemenyi":
+        cd = critical_difference(k, arr.shape[0])
+        not_different = np.zeros((k, k), dtype=bool)
+        for a in range(k):
+            for b in range(k):
+                not_different[a, b] = abs(mean_ranks[a] - mean_ranks[b]) < cd
+    elif method == "wilcoxon-holm":
+        pairs = [(a, b) for a in range(k) for b in range(a + 1, k)]
+        p_values = np.empty(len(pairs))
+        for idx, (a, b) in enumerate(pairs):
+            col_a, col_b = arr[:, a], arr[:, b]
+            valid = ~(np.isnan(col_a) | np.isnan(col_b))
+            p_values[idx] = wilcoxon_signed_rank(col_a[valid], col_b[valid]).p_value
+        rejected = holm_correction(p_values, alpha=alpha)
+        not_different = np.eye(k, dtype=bool)
+        for idx, (a, b) in enumerate(pairs):
+            if not rejected[idx]:
+                not_different[a, b] = not_different[b, a] = True
+    else:
+        raise ValidationError(f"unknown method {method!r}")
+
+    # Maximal runs (in rank order) of mutually non-different methods.
+    groups: list[tuple[int, int]] = []
+    for lo in range(k):
+        hi = lo
+        while hi + 1 < k and all(
+            not_different[order[i], order[hi + 1]] for i in range(lo, hi + 1)
+        ):
+            hi += 1
+        if hi > lo:
+            groups.append((lo, hi))
+    return mean_ranks, _merge_to_maximal(groups)
+
+
+def render_cd(
+    names: list[str],
+    accuracies: np.ndarray,
+    method: str = "wilcoxon-holm",
+    alpha: float = 0.05,
+    width: int = 72,
+) -> str:
+    """Monospace critical-difference diagram.
+
+    Methods are listed best-rank first; bars of ``=`` beneath connect
+    groups that are not significantly different (the thick lines of the
+    paper's Fig. 11).
+    """
+    arr = np.asarray(accuracies, dtype=np.float64)
+    if len(names) != arr.shape[1]:
+        raise ValidationError("names must match the number of methods")
+    mean_ranks, groups = cd_groups(arr, method=method, alpha=alpha)
+    order = np.argsort(mean_ranks, kind="stable")
+    header = f"Critical-difference diagram ({method}, alpha={alpha})"
+    if method == "nemenyi":
+        cd = critical_difference(arr.shape[1], arr.shape[0])
+        header += f", CD = {cd:.3f}"
+    lines = [header, ""]
+    lo_rank, hi_rank = float(mean_ranks.min()), float(mean_ranks.max())
+    span = max(hi_rank - lo_rank, 1e-9)
+
+    def column(rank: float) -> int:
+        """Axis column of a rank value."""
+        return int(round((rank - lo_rank) / span * (width - 1)))
+
+    axis = [" "] * width
+    for position in order:
+        axis[column(mean_ranks[position])] = "+"
+    lines.append("rank axis: " + "".join(axis))
+    lines.append(
+        "           "
+        + f"{lo_rank:.2f}".ljust(width - 6)
+        + f"{hi_rank:.2f}"
+    )
+    lines.append("")
+    for sorted_pos, method_idx in enumerate(order):
+        lines.append(
+            f"{sorted_pos + 1:2d}. {names[method_idx]:<28s} avg rank {mean_ranks[method_idx]:.3f}"
+        )
+    lines.append("")
+    if groups:
+        lines.append("groups not significantly different:")
+        for lo, hi in groups:
+            members = ", ".join(names[order[i]] for i in range(lo, hi + 1))
+            lines.append(f"  [{members}]")
+    else:
+        lines.append("all pairwise differences significant")
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Rank-based summaries of an accuracy matrix (Table VI footer rows)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def _check_matrix(accuracies: np.ndarray) -> np.ndarray:
+    arr = np.asarray(accuracies, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] == 0 or arr.shape[1] < 2:
+        raise ValidationError("need a (datasets, methods>=2) accuracy matrix")
+    return arr
+
+
+def rank_rows(accuracies: np.ndarray) -> np.ndarray:
+    """Per-dataset ranks (1 = best accuracy), average ranks for ties.
+
+    NaN entries (methods without a published number on a dataset) receive
+    the worst rank of their row, matching the conservative convention used
+    when building critical-difference diagrams over incomplete tables.
+    """
+    arr = _check_matrix(accuracies)
+    n_rows, n_cols = arr.shape
+    ranks = np.empty_like(arr)
+    for i in range(n_rows):
+        row = arr[i]
+        filled = np.where(np.isnan(row), -np.inf, row)
+        # Rank by descending accuracy with average ties.
+        order = np.argsort(-filled, kind="stable")
+        row_ranks = np.empty(n_cols)
+        position = 0
+        while position < n_cols:
+            tie_end = position
+            while (
+                tie_end + 1 < n_cols
+                and filled[order[tie_end + 1]] == filled[order[position]]
+            ):
+                tie_end += 1
+            mean_rank = (position + tie_end) / 2.0 + 1.0
+            for j in range(position, tie_end + 1):
+                row_ranks[order[j]] = mean_rank
+            position = tie_end + 1
+        ranks[i] = row_ranks
+    return ranks
+
+
+def average_ranks(accuracies: np.ndarray) -> np.ndarray:
+    """Mean rank per method over all datasets (lower = better)."""
+    return rank_rows(accuracies).mean(axis=0)
+
+
+def best_counts(accuracies: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+    """How many datasets each method wins (ties count for all winners).
+
+    This is the "Total best acc" footer row of Table VI.
+    """
+    arr = _check_matrix(accuracies)
+    best = np.nanmax(arr, axis=1, keepdims=True)
+    return np.sum(np.abs(arr - best) <= tol, axis=0).astype(np.int64)
+
+
+def wins_draws_losses(
+    accuracies: np.ndarray, reference: int, tol: float = 1e-9
+) -> list[tuple[int, int, int]]:
+    """1-to-1 (wins, draws, losses) of the reference method vs every other.
+
+    The Table VI footer compares IPS against each column: ``wins[j]`` is
+    the number of datasets where the reference beats method j. NaN rows
+    are skipped for that pair.
+    """
+    arr = _check_matrix(accuracies)
+    n_methods = arr.shape[1]
+    if not 0 <= reference < n_methods:
+        raise ValidationError(f"reference {reference} out of range")
+    out: list[tuple[int, int, int]] = []
+    ref_col = arr[:, reference]
+    for j in range(n_methods):
+        if j == reference:
+            out.append((0, 0, 0))
+            continue
+        other = arr[:, j]
+        valid = ~(np.isnan(ref_col) | np.isnan(other))
+        diff = ref_col[valid] - other[valid]
+        wins = int(np.sum(diff > tol))
+        draws = int(np.sum(np.abs(diff) <= tol))
+        losses = int(np.sum(diff < -tol))
+        out.append((wins, draws, losses))
+    return out

@@ -1,0 +1,121 @@
+"""Wilcoxon signed-rank test and Holm's step-down correction.
+
+The paper's post-hoc analysis: pairwise Wilcoxon signed-rank tests between
+methods, with Holm's alpha (5%) controlling the family-wise error rate.
+The test uses the normal approximation with tie and zero corrections
+(Pratt's treatment drops zero differences), matching scipy's default
+``wilcoxon(..., zero_method="wilcox", correction=False)`` asymptotics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class WilcoxonResult:
+    """Outcome of one signed-rank test."""
+
+    statistic: float
+    p_value: float
+    n_effective: int
+
+
+def _signed_ranks(diff: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Average ranks of |diff| and their signs (zero diffs already removed)."""
+    abs_diff = np.abs(diff)
+    order = np.argsort(abs_diff, kind="stable")
+    ranks = np.empty(diff.size)
+    position = 0
+    sorted_abs = abs_diff[order]
+    while position < diff.size:
+        tie_end = position
+        while (
+            tie_end + 1 < diff.size
+            and sorted_abs[tie_end + 1] == sorted_abs[position]
+        ):
+            tie_end += 1
+        mean_rank = (position + tie_end) / 2.0 + 1.0
+        ranks[order[position : tie_end + 1]] = mean_rank
+        position = tie_end + 1
+    return ranks, np.sign(diff)
+
+
+def wilcoxon_signed_rank(x: np.ndarray, y: np.ndarray) -> WilcoxonResult:
+    """Two-sided Wilcoxon signed-rank test for paired samples."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValidationError("x and y must be equal-length 1-D arrays")
+    diff = x - y
+    diff = diff[diff != 0.0]
+    n = diff.size
+    if n < 1:
+        return WilcoxonResult(statistic=0.0, p_value=1.0, n_effective=0)
+    ranks, signs = _signed_ranks(diff)
+    w_plus = float(np.sum(ranks[signs > 0]))
+    w_minus = float(np.sum(ranks[signs < 0]))
+    statistic = min(w_plus, w_minus)
+    mean = n * (n + 1) / 4.0
+    # Tie correction on the variance.
+    _vals, counts = np.unique(np.abs(diff), return_counts=True)
+    tie_term = float(np.sum(counts**3 - counts)) / 48.0
+    variance = n * (n + 1) * (2 * n + 1) / 24.0 - tie_term
+    if variance <= 0:
+        return WilcoxonResult(statistic=statistic, p_value=1.0, n_effective=n)
+    z = (statistic - mean) / np.sqrt(variance)
+    p_value = float(2.0 * stats.norm.sf(abs(z)))
+    return WilcoxonResult(
+        statistic=statistic, p_value=min(p_value, 1.0), n_effective=n
+    )
+
+
+def pairwise_wilcoxon_matrix(accuracies: np.ndarray) -> np.ndarray:
+    """Symmetric matrix of pairwise signed-rank p-values between methods.
+
+    ``accuracies`` is the (datasets x methods) matrix; entry ``[a, b]`` is
+    the two-sided p-value of the test between columns a and b (1.0 on the
+    diagonal). NaN rows are skipped per pair, matching how the paper's
+    post-hoc analysis treats the one blank Table VI cell.
+    """
+    arr = np.asarray(accuracies, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[1] < 2:
+        raise ValidationError("need a (datasets, methods>=2) matrix")
+    k = arr.shape[1]
+    out = np.ones((k, k))
+    for a in range(k):
+        for b in range(a + 1, k):
+            col_a, col_b = arr[:, a], arr[:, b]
+            valid = ~(np.isnan(col_a) | np.isnan(col_b))
+            p = wilcoxon_signed_rank(col_a[valid], col_b[valid]).p_value
+            out[a, b] = out[b, a] = p
+    return out
+
+
+def holm_correction(p_values: np.ndarray, alpha: float = 0.05) -> np.ndarray:
+    """Holm's step-down procedure: which hypotheses are rejected.
+
+    Sort ascending; the i-th smallest p is compared against
+    ``alpha / (m - i)``; the first failure stops all later rejections.
+    Returns a boolean array aligned with the input.
+    """
+    p_values = np.asarray(p_values, dtype=np.float64)
+    if p_values.ndim != 1 or p_values.size == 0:
+        raise ValidationError("p_values must be a non-empty 1-D array")
+    if not 0.0 < alpha < 1.0:
+        raise ValidationError(f"alpha must be in (0, 1), got {alpha}")
+    m = p_values.size
+    order = np.argsort(p_values, kind="stable")
+    reject = np.zeros(m, dtype=bool)
+    for i, idx in enumerate(order):
+        threshold = alpha / (m - i)
+        if p_values[idx] <= threshold:
+            reject[idx] = True
+        else:
+            break
+    return reject

@@ -1,0 +1,137 @@
+"""Concatenation of time-series instances with junction bookkeeping.
+
+Both the MP baseline (Formula 4) and the instance profile (Def. 8) work on
+*concatenated* series: several instances glued into one long series.
+Concatenation creates artificial subsequences spanning the junction between
+two instances; those windows exist in the long series but in no real
+instance, so profile computations must skip them. The paper does not spell
+this out; :class:`ConcatenatedSeries` makes it explicit by recording, for
+each window length, which window start positions cross a junction, and by
+mapping long-series positions back to ``(instance, offset)`` provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import LengthError, ValidationError
+from repro.ts.windows import num_windows
+
+
+@dataclass
+class ConcatenatedSeries:
+    """One long series formed from several instances, with provenance.
+
+    Attributes
+    ----------
+    values:
+        The concatenated series.
+    boundaries:
+        Start offset of each instance inside :attr:`values` plus a final
+        sentinel equal to the total length; instance ``i`` occupies
+        ``values[boundaries[i]:boundaries[i+1]]``.
+    instance_ids:
+        Caller-provided identifier for each concatenated instance (e.g. its
+        row index in the training set).
+    """
+
+    values: np.ndarray
+    boundaries: np.ndarray
+    instance_ids: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        self.boundaries = np.asarray(self.boundaries, dtype=np.int64)
+        if self.boundaries[0] != 0 or self.boundaries[-1] != self.values.size:
+            raise ValidationError("boundaries must start at 0 and end at len(values)")
+        if np.any(np.diff(self.boundaries) <= 0):
+            raise ValidationError("boundaries must be strictly increasing")
+        if self.instance_ids is None:
+            self.instance_ids = np.arange(self.n_instances, dtype=np.int64)
+        else:
+            self.instance_ids = np.asarray(self.instance_ids, dtype=np.int64)
+            if self.instance_ids.size != self.n_instances:
+                raise ValidationError(
+                    "instance_ids length must match the number of instances"
+                )
+
+    @property
+    def n_instances(self) -> int:
+        """Number of concatenated instances."""
+        return int(self.boundaries.size - 1)
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    def valid_window_mask(self, window: int) -> np.ndarray:
+        """Boolean mask over window starts: True where the window stays inside one instance.
+
+        A window starting at position ``p`` is valid iff ``p`` and
+        ``p + window - 1`` fall in the same instance.
+        """
+        n_out = num_windows(self.values.size, window)
+        starts = np.arange(n_out)
+        # Instance index of a position p: searchsorted on the boundary list.
+        start_inst = np.searchsorted(self.boundaries, starts, side="right") - 1
+        end_inst = np.searchsorted(self.boundaries, starts + window - 1, side="right") - 1
+        return start_inst == end_inst
+
+    def locate(self, position: int, window: int) -> tuple[int, int]:
+        """Map a window start in the long series to ``(instance_id, offset)``.
+
+        Raises :class:`LengthError` when the window crosses a junction.
+        """
+        if not 0 <= position <= self.values.size - window:
+            raise LengthError(
+                f"position {position} with window {window} outside series "
+                f"of length {self.values.size}"
+            )
+        inst = int(np.searchsorted(self.boundaries, position, side="right")) - 1
+        end_inst = (
+            int(np.searchsorted(self.boundaries, position + window - 1, side="right"))
+            - 1
+        )
+        if inst != end_inst:
+            raise LengthError(
+                f"window at position {position} crosses the junction between "
+                f"instances {inst} and {end_inst}"
+            )
+        offset = position - int(self.boundaries[inst])
+        return int(self.instance_ids[inst]), offset
+
+    def instance_of_position(self, position: int) -> int:
+        """Index (0-based, local) of the instance containing ``position``."""
+        if not 0 <= position < self.values.size:
+            raise LengthError(f"position {position} outside series")
+        return int(np.searchsorted(self.boundaries, position, side="right")) - 1
+
+
+def concatenate_series(
+    instances: np.ndarray | list[np.ndarray],
+    instance_ids: np.ndarray | None = None,
+) -> ConcatenatedSeries:
+    """Concatenate instances into one long series (the paper's ``T_C``).
+
+    Parameters
+    ----------
+    instances:
+        Either an ``(M, N)`` matrix or a list of 1-D arrays (lengths may
+        differ).
+    instance_ids:
+        Optional identifiers carried into :attr:`ConcatenatedSeries.instance_ids`.
+    """
+    arrays = [np.asarray(inst, dtype=np.float64).ravel() for inst in instances]
+    if not arrays:
+        raise ValidationError("cannot concatenate zero instances")
+    for i, arr in enumerate(arrays):
+        if arr.size == 0:
+            raise ValidationError(f"instance {i} is empty")
+    lengths = np.array([arr.size for arr in arrays], dtype=np.int64)
+    boundaries = np.concatenate([[0], np.cumsum(lengths)])
+    return ConcatenatedSeries(
+        values=np.concatenate(arrays),
+        boundaries=boundaries,
+        instance_ids=instance_ids,
+    )

@@ -1,0 +1,75 @@
+"""Preprocessing primitives: z-normalization, smoothing, resampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+#: Standard deviations below this are treated as zero (constant series).
+FLAT_STD = 1e-12
+
+
+def znormalize(series: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Z-normalize ``series`` along ``axis``: subtract mean, divide by std.
+
+    Constant (zero-variance) slices are mapped to all-zeros instead of
+    dividing by zero, matching the convention used throughout the matrix
+    profile literature.
+    """
+    arr = np.asarray(series, dtype=np.float64)
+    mean = arr.mean(axis=axis, keepdims=True)
+    std = arr.std(axis=axis, keepdims=True)
+    safe_std = np.where(std < FLAT_STD, 1.0, std)
+    out = (arr - mean) / safe_std
+    # Force exactly zero where the slice was constant.
+    flat = np.broadcast_to(std < FLAT_STD, arr.shape)
+    if np.any(flat):
+        out = np.where(flat, 0.0, out)
+    return out
+
+
+def moving_average(series: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving average with edge shrinking.
+
+    The output has the same length as the input; near the edges the window
+    shrinks so no padding values are invented.
+    """
+    arr = np.asarray(series, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValidationError("moving_average expects a 1-D series")
+    if window < 1:
+        raise ValidationError(f"window must be >= 1, got {window}")
+    if window == 1 or arr.size == 0:
+        return arr.copy()
+    # Cumulative-sum trick with half-window edge handling.
+    half = window // 2
+    padded = np.concatenate([np.zeros(1), np.cumsum(arr)])
+    n = arr.size
+    starts = np.clip(np.arange(n) - half, 0, n)
+    ends = np.clip(np.arange(n) + (window - half), 0, n)
+    sums = padded[ends] - padded[starts]
+    counts = ends - starts
+    return sums / counts
+
+
+def linear_interpolate_resample(series: np.ndarray, new_length: int) -> np.ndarray:
+    """Resample ``series`` to ``new_length`` points by linear interpolation.
+
+    Used to bring variable-length shapelet candidates to a common dimension
+    before LSH hashing (see DESIGN.md, "Per-length LSH" note: the library
+    defaults to per-length tables, but resampling is available for the
+    shared-table variant and for plotting).
+    """
+    arr = np.asarray(series, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValidationError("resample expects a non-empty 1-D series")
+    if new_length < 1:
+        raise ValidationError(f"new_length must be >= 1, got {new_length}")
+    if new_length == arr.size:
+        return arr.copy()
+    if arr.size == 1:
+        return np.full(new_length, arr[0])
+    old_x = np.linspace(0.0, 1.0, arr.size)
+    new_x = np.linspace(0.0, 1.0, new_length)
+    return np.interp(new_x, old_x, arr)

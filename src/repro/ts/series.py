@@ -1,0 +1,162 @@
+"""Containers and validation for time series and labelled datasets.
+
+Following the paper's Definitions 1-3: a time series ``T`` is an ordered
+sequence of real values of length ``N``; a dataset ``D`` is a set of ``M``
+series, each with a class label from ``C = {0, 1, ..., |C|-1}``.
+
+UCR-archive datasets are equal-length, so :class:`Dataset` stores the series
+as a dense ``(M, N)`` float matrix. Labels are remapped to a contiguous
+``0..|C|-1`` range on construction, with the original labels kept for
+round-tripping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def validate_series(series: np.ndarray, name: str = "series") -> np.ndarray:
+    """Coerce ``series`` to a 1-D float64 array and validate it.
+
+    Raises :class:`ValidationError` when the array is not 1-D, is empty, or
+    contains non-finite values.
+    """
+    arr = np.asarray(series, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def validate_series_matrix(matrix: np.ndarray, name: str = "X") -> np.ndarray:
+    """Coerce ``matrix`` to a 2-D ``(M, N)`` float64 array and validate it."""
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be 2-D (M, N), got shape {arr.shape}")
+    if arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise ValidationError(f"{name} must have at least one series and one value")
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def validate_labels(labels: np.ndarray, n_series: int) -> np.ndarray:
+    """Coerce ``labels`` to a 1-D int array of length ``n_series``."""
+    arr = np.asarray(labels)
+    if arr.ndim != 1:
+        raise ValidationError(f"labels must be 1-D, got shape {arr.shape}")
+    if arr.shape[0] != n_series:
+        raise ValidationError(
+            f"labels length {arr.shape[0]} does not match number of series {n_series}"
+        )
+    try:
+        out = arr.astype(np.int64)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"labels must be integer-like: {exc}") from exc
+    if arr.dtype.kind == "f" and not np.array_equal(arr, out):
+        raise ValidationError("labels must be integer-valued")
+    return out
+
+
+@dataclass
+class Dataset:
+    """A labelled, equal-length time-series dataset (the paper's ``D``).
+
+    Parameters
+    ----------
+    X:
+        ``(M, N)`` matrix of M series of length N.
+    y:
+        Length-``M`` integer label vector. Arbitrary integer labels are
+        accepted and remapped to ``0..|C|-1``; the mapping is stored in
+        :attr:`classes_` (original label for each internal index).
+    name:
+        Optional dataset name, carried through for reporting.
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    name: str = ""
+    classes_: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.X = validate_series_matrix(self.X)
+        raw = validate_labels(self.y, self.X.shape[0])
+        self.classes_, self.y = np.unique(raw, return_inverse=True)
+        self.y = self.y.astype(np.int64)
+
+    @property
+    def n_series(self) -> int:
+        """Number of series ``M``."""
+        return int(self.X.shape[0])
+
+    @property
+    def series_length(self) -> int:
+        """Common series length ``N``."""
+        return int(self.X.shape[1])
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct classes ``|C|``."""
+        return int(self.classes_.size)
+
+    @property
+    def labels(self) -> np.ndarray:
+        """The internal ``0..|C|-1`` label vector (alias of :attr:`y`)."""
+        return self.y
+
+    def class_indices(self, label: int) -> np.ndarray:
+        """Row indices of all series with internal label ``label``."""
+        if not 0 <= label < self.n_classes:
+            raise ValidationError(
+                f"label {label} out of range for {self.n_classes} classes"
+            )
+        return np.flatnonzero(self.y == label)
+
+    def series_of_class(self, label: int) -> np.ndarray:
+        """All series of internal class ``label`` (the paper's ``D_C``)."""
+        return self.X[self.class_indices(label)]
+
+    def original_label(self, label: int) -> int:
+        """Map an internal label back to the original label value."""
+        return int(self.classes_[label])
+
+    def __len__(self) -> int:
+        return self.n_series
+
+    def __iter__(self):
+        return iter(self.X)
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """A new :class:`Dataset` with only the given rows.
+
+        Labels are re-expressed in original values so the subset remaps
+        consistently (a subset may lose classes).
+        """
+        indices = np.asarray(indices)
+        return Dataset(
+            X=self.X[indices],
+            y=self.classes_[self.y[indices]],
+            name=self.name,
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-line summary."""
+        counts = np.bincount(self.y, minlength=self.n_classes)
+        parts = ", ".join(
+            f"{self.original_label(c)}:{counts[c]}" for c in range(self.n_classes)
+        )
+        label = self.name or "<unnamed>"
+        return (
+            f"Dataset({label}: M={self.n_series}, N={self.series_length}, "
+            f"classes={{{parts}}})"
+        )

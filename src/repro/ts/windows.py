@@ -1,0 +1,45 @@
+"""Sliding-window utilities shared by profiles, candidates, and baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import LengthError
+
+
+def num_windows(series_length: int, window: int) -> int:
+    """Number of length-``window`` subsequences of a length-``series_length`` series.
+
+    This is the paper's ``N - L + 1``. Raises :class:`LengthError` when the
+    window does not fit.
+    """
+    if window < 1:
+        raise LengthError(f"window must be >= 1, got {window}")
+    if window > series_length:
+        raise LengthError(
+            f"window {window} longer than series of length {series_length}"
+        )
+    return series_length - window + 1
+
+
+def sliding_window_view(series: np.ndarray, window: int) -> np.ndarray:
+    """All length-``window`` subsequences of ``series`` as a read-only view.
+
+    Returns an ``(N - L + 1, L)`` array sharing memory with the input; do
+    not mutate it. Use :func:`subsequences_of` for an owning copy.
+    """
+    arr = np.ascontiguousarray(series, dtype=np.float64)
+    if arr.ndim != 1:
+        raise LengthError("sliding_window_view expects a 1-D series")
+    num_windows(arr.size, window)  # validates
+    view = np.lib.stride_tricks.sliding_window_view(arr, window)
+    view.flags.writeable = False
+    return view
+
+
+def subsequences_of(series: np.ndarray, window: int, step: int = 1) -> np.ndarray:
+    """Owning copy of the subsequences of ``series`` with the given stride."""
+    if step < 1:
+        raise LengthError(f"step must be >= 1, got {step}")
+    view = sliding_window_view(series, window)
+    return view[::step].copy()

@@ -1,0 +1,187 @@
+"""Shared value types used across the IPS pipeline.
+
+These are deliberately small, immutable-ish dataclasses: a
+:class:`Candidate` is a subsequence extracted during candidate generation
+(Algorithm 1 of the paper), and a :class:`Shapelet` is a candidate that
+survived DABF pruning and top-k selection (Algorithm 4) together with its
+utility score.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+
+class CandidateKind(str, Enum):
+    """Whether a candidate was extracted as a motif or a discord.
+
+    The paper's Algorithm 1 records both: motifs (the minimum of the
+    instance profile) become shapelet candidates, while discords (the
+    maximum) are kept around because the inter-class utility (Def. 12)
+    scores motif candidates against *both* motifs and discords of the
+    other classes.
+    """
+
+    MOTIF = "motif"
+    DISCORD = "discord"
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A shapelet candidate: a subsequence plus its provenance.
+
+    Attributes
+    ----------
+    values:
+        The raw subsequence values, shape ``(length,)``.
+    label:
+        Class label the candidate was extracted from.
+    kind:
+        Motif or discord (see :class:`CandidateKind`).
+    source_instance:
+        Index of the training instance the subsequence came from, or ``-1``
+        when the position inside a concatenated sample could not be mapped
+        back (never happens with junction masking on).
+    start:
+        Start offset of the subsequence inside ``source_instance``.
+    sample_id:
+        Which of the ``Q_N`` bagging samples produced this candidate.
+    """
+
+    values: np.ndarray
+    label: int
+    kind: CandidateKind
+    source_instance: int = -1
+    start: int = -1
+    sample_id: int = -1
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        if values.ndim != 1:
+            raise ValueError(f"candidate values must be 1-D, got ndim={values.ndim}")
+        if values.size == 0:
+            raise ValueError("candidate values must be non-empty")
+        object.__setattr__(self, "values", values)
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def length(self) -> int:
+        """Length of the subsequence."""
+        return int(self.values.size)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Candidate):
+            return NotImplemented
+        return (
+            self.label == other.label
+            and self.kind == other.kind
+            and self.source_instance == other.source_instance
+            and self.start == other.start
+            and self.sample_id == other.sample_id
+            and self.values.shape == other.values.shape
+            and bool(np.array_equal(self.values, other.values))
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.label,
+                self.kind,
+                self.source_instance,
+                self.start,
+                self.sample_id,
+                self.values.tobytes(),
+            )
+        )
+
+
+@dataclass(frozen=True)
+class Shapelet:
+    """A discovered shapelet: a candidate that won top-k selection.
+
+    Attributes
+    ----------
+    values:
+        The subsequence values, shape ``(length,)``.
+    label:
+        Class the shapelet represents / discriminates.
+    score:
+        The combined utility ``u = U_intra - U_inter + U_DC`` (smaller is
+        better; see Algorithm 4 of the paper and DESIGN.md).
+    source_instance, start:
+        Provenance inside the training set, for interpretability plots
+        (Fig. 13 of the paper).
+    """
+
+    values: np.ndarray
+    label: int
+    score: float = float("nan")
+    source_instance: int = -1
+    start: int = -1
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        if values.ndim != 1 or values.size == 0:
+            raise ValueError("shapelet values must be a non-empty 1-D array")
+        object.__setattr__(self, "values", values)
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def length(self) -> int:
+        """Length of the shapelet subsequence."""
+        return int(self.values.size)
+
+    @classmethod
+    def from_candidate(cls, candidate: Candidate, score: float) -> "Shapelet":
+        """Promote a surviving :class:`Candidate` into a shapelet."""
+        return cls(
+            values=candidate.values,
+            label=candidate.label,
+            score=float(score),
+            source_instance=candidate.source_instance,
+            start=candidate.start,
+        )
+
+    def replace(self, **changes: object) -> "Shapelet":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass
+class DiscoveryResult:
+    """Full output of a shapelet-discovery run, including timing.
+
+    The per-stage timings feed the Table V breakdown benchmark; the
+    candidate counts feed the DABF pruning-rate diagnostics.
+    """
+
+    shapelets: list[Shapelet]
+    n_candidates_generated: int = 0
+    n_candidates_after_pruning: int = 0
+    time_candidate_generation: float = 0.0
+    time_pruning: float = 0.0
+    time_selection: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_time(self) -> float:
+        """Total discovery wall-clock time across the three stages."""
+        return (
+            self.time_candidate_generation + self.time_pruning + self.time_selection
+        )
+
+    @property
+    def pruning_rate(self) -> float:
+        """Fraction of generated candidates removed by DABF pruning."""
+        if self.n_candidates_generated == 0:
+            return 0.0
+        kept = self.n_candidates_after_pruning
+        return 1.0 - kept / self.n_candidates_generated

@@ -1,0 +1,138 @@
+"""Terminal visualization: sparklines, scatter plots, profile plots.
+
+The paper's figures are line charts, scatter plots, and annotated series;
+this module renders their monospace equivalents so every figure harness
+and example can show its data without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.ts.preprocessing import linear_interpolate_resample
+
+#: Density ramp used by :func:`sparkline`.
+SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: np.ndarray, width: int = 48) -> str:
+    """One-line density sparkline of a series.
+
+    The series is resampled to ``width`` points and mapped onto a
+    10-level character ramp; flat series render as a line of the lowest
+    level.
+    """
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ValidationError("cannot sparkline an empty series")
+    if width < 1:
+        raise ValidationError(f"width must be >= 1, got {width}")
+    resampled = linear_interpolate_resample(arr, width)
+    lo, hi = float(resampled.min()), float(resampled.max())
+    span = hi - lo if hi > lo else 1.0
+    levels = ((resampled - lo) / span * (len(SPARK_LEVELS) - 1)).astype(int)
+    return "".join(SPARK_LEVELS[level] for level in levels)
+
+
+def line_plot(
+    values: np.ndarray,
+    width: int = 64,
+    height: int = 10,
+    marks: list[int] | None = None,
+) -> str:
+    """Multi-line character plot of a series.
+
+    Parameters
+    ----------
+    values:
+        The series to plot.
+    width, height:
+        Canvas size in characters.
+    marks:
+        Optional sample indices to highlight with ``^`` on a marker row
+        (e.g. shapelet start positions, the paper's Fig. 2 arrows).
+    """
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ValidationError("cannot plot an empty series")
+    if width < 2 or height < 2:
+        raise ValidationError("width and height must be >= 2")
+    resampled = linear_interpolate_resample(arr, width)
+    lo, hi = float(resampled.min()), float(resampled.max())
+    span = hi - lo if hi > lo else 1.0
+    rows = [[" "] * width for _ in range(height)]
+    for x, value in enumerate(resampled):
+        y = int(round((value - lo) / span * (height - 1)))
+        rows[height - 1 - y][x] = "*"
+    lines = [f"{hi:10.3g} |" + "".join(rows[0])]
+    lines += ["           |" + "".join(row) for row in rows[1:-1]]
+    lines.append(f"{lo:10.3g} |" + "".join(rows[-1]))
+    if marks:
+        marker_row = [" "] * width
+        for mark in marks:
+            if not 0 <= mark < arr.size:
+                continue
+            x = int(round(mark / max(arr.size - 1, 1) * (width - 1)))
+            marker_row[x] = "^"
+        lines.append("           |" + "".join(marker_row))
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 48,
+    height: int = 16,
+    diagonal: bool = True,
+    log: bool = False,
+) -> str:
+    """Character scatter plot, optionally with the ``y = x`` diagonal.
+
+    The paper's Fig. 10(a)/(b) are time-vs-time scatters where every point
+    should land above the diagonal; ``diagonal=True`` draws it so the eye
+    can check. ``log=True`` plots both axes in log10 (the paper's log
+    space), requiring positive values.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.size == 0 or x.shape != y.shape:
+        raise ValidationError("x and y must be equal-length and non-empty")
+    if log:
+        if np.any(x <= 0) or np.any(y <= 0):
+            raise ValidationError("log scatter requires positive values")
+        x, y = np.log10(x), np.log10(y)
+    lo = float(min(x.min(), y.min()))
+    hi = float(max(x.max(), y.max()))
+    span = hi - lo if hi > lo else 1.0
+    rows = [[" "] * width for _ in range(height)]
+    if diagonal:
+        for col in range(width):
+            frac = col / max(width - 1, 1)
+            row = int(round(frac * (height - 1)))
+            rows[height - 1 - row][col] = "."
+    for xi, yi in zip(x, y):
+        col = int(round((xi - lo) / span * (width - 1)))
+        row = int(round((yi - lo) / span * (height - 1)))
+        rows[height - 1 - row][col] = "o"
+    lines = ["".join(row) for row in rows]
+    lines.append("-" * width)
+    label = "(log10 scale)" if log else ""
+    lines.append(f"x: {lo:.3g} .. {hi:.3g} {label}  [o above the dots = above y=x]")
+    return "\n".join(lines)
+
+
+def bar_chart(labels: list[str], values: np.ndarray, width: int = 40) -> str:
+    """Horizontal bar chart (the accuracy bars of the paper's Fig. 9)."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if len(labels) != values.size or values.size == 0:
+        raise ValidationError("labels and values must align and be non-empty")
+    peak = float(values.max())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(value / peak * width))
+        lines.append(f"{label.ljust(label_width)} |{bar} {value:.2f}")
+    return "\n".join(lines)

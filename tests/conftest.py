@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import make_planted_dataset
+from repro.ts.series import Dataset
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_two_class() -> Dataset:
+    """A small 2-class planted dataset (shared, read-only)."""
+    return make_planted_dataset(
+        n_classes=2, n_instances=16, length=80, seed=7, name="tiny2"
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_three_class() -> Dataset:
+    """A small 3-class planted dataset (shared, read-only)."""
+    return make_planted_dataset(
+        n_classes=3, n_instances=18, length=90, seed=11, name="tiny3"
+    )
+
+
+@pytest.fixture()
+def random_series(rng: np.random.Generator) -> np.ndarray:
+    """A 200-point Gaussian series."""
+    return rng.normal(size=200)

@@ -1,0 +1,126 @@
+"""Tests for repro.baselines.sfa and boss."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.boss import BOSS, boss_distance
+from repro.baselines.sfa import SFA, fourier_coefficients
+from repro.datasets.generators import make_planted_dataset
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ts.series import Dataset
+
+
+@pytest.fixture(scope="module")
+def planted():
+    full = make_planted_dataset(n_classes=2, n_instances=40, length=72, seed=53)
+    train = Dataset(X=full.X[:18], y=full.classes_[full.y[:18]], name="train")
+    test = Dataset(X=full.X[18:], y=full.classes_[full.y[18:]], name="test")
+    return train, test
+
+
+class TestFourierCoefficients:
+    def test_length_and_determinism(self, rng):
+        x = rng.normal(size=32)
+        features = fourier_coefficients(x, 8)
+        assert features.shape == (8,)
+        assert np.array_equal(features, fourier_coefficients(x, 8))
+
+    def test_amplitude_invariance_with_norm(self, rng):
+        x = rng.normal(size=32)
+        assert np.allclose(
+            fourier_coefficients(x, 6), fourier_coefficients(3.0 * x + 5.0, 6),
+            atol=1e-9,
+        )
+
+    def test_sine_concentrates_energy(self):
+        t = np.linspace(0, 2 * np.pi, 64, endpoint=False)
+        features = fourier_coefficients(np.sin(t), 8)
+        # A pure 1-cycle sine puts its energy in the first feature pair.
+        energy_first = features[0] ** 2 + features[1] ** 2
+        assert energy_first > 0.9 * np.sum(features**2)
+
+    def test_pads_when_short(self):
+        features = fourier_coefficients(np.arange(4.0), 10)
+        assert features.shape == (10,)
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ValidationError):
+            fourier_coefficients(np.array([1.0]), 4)
+
+
+class TestSFA:
+    def test_words_in_alphabet(self, rng):
+        subsequences = rng.normal(size=(50, 24))
+        sfa = SFA(n_coefficients=6, alphabet_size=4).fit(subsequences)
+        word = sfa.word(rng.normal(size=24))
+        assert len(word) == 6
+        assert all(0 <= s < 4 for s in word)
+
+    def test_equi_depth_bins_balanced(self, rng):
+        """MCB equi-depth: training symbols are roughly uniform."""
+        subsequences = rng.normal(size=(400, 24))
+        sfa = SFA(n_coefficients=4, alphabet_size=4).fit(subsequences)
+        symbols = np.array([sfa.word(row)[0] for row in subsequences])
+        counts = np.bincount(symbols, minlength=4)
+        assert counts.min() > 50  # ~100 each, allow slack
+
+    def test_similar_inputs_same_word(self, rng):
+        subsequences = rng.normal(size=(80, 24))
+        sfa = SFA(n_coefficients=4, alphabet_size=3).fit(subsequences)
+        x = rng.normal(size=24)
+        assert sfa.word(x) == sfa.word(x + 1e-9)
+
+    def test_unfitted_rejected(self, rng):
+        with pytest.raises(NotFittedError):
+            SFA().word(rng.normal(size=16))
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValidationError):
+            SFA(n_coefficients=0)
+        with pytest.raises(ValidationError):
+            SFA(alphabet_size=1)
+
+
+class TestBossDistance:
+    def test_zero_for_identical(self):
+        h = {(1, 2): 3.0, (0, 1): 1.0}
+        assert boss_distance(h, dict(h)) == 0.0
+
+    def test_asymmetric(self):
+        a = {(1,): 2.0}
+        b = {(1,): 2.0, (2,): 5.0}
+        # a->b ignores b's extra word; b->a does not.
+        assert boss_distance(a, b) == 0.0
+        assert boss_distance(b, a) == 25.0
+
+
+class TestBOSS:
+    def test_learns_planted_data(self, planted):
+        train, test = planted
+        model = BOSS(seed=0).fit_dataset(train)
+        accuracy = model.score(test.X, test.classes_[test.y])
+        assert accuracy > 0.6
+
+    def test_deterministic(self, planted):
+        train, _test = planted
+        a = BOSS(seed=4).fit_dataset(train).predict(train.X)
+        b = BOSS(seed=4).fit_dataset(train).predict(train.X)
+        assert np.array_equal(a, b)
+
+    def test_original_labels_returned(self, planted):
+        train, test = planted
+        model = BOSS(seed=0).fit_dataset(train)
+        predictions = model.predict(test.X[:5])
+        assert set(np.unique(predictions)).issubset(set(train.classes_))
+
+    def test_unfitted_rejected(self, rng):
+        with pytest.raises(NotFittedError):
+            BOSS().predict(rng.normal(size=(1, 40)))
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValidationError):
+            BOSS(window_ratio=0.0)
+        with pytest.raises(ValidationError):
+            BOSS(max_fit_windows=1)

@@ -1,0 +1,114 @@
+"""Tests for the intervals-based (TSF) and dictionary-based (BOP) baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.bag_of_patterns import BagOfPatterns
+from repro.baselines.interval_forest import TimeSeriesForest, interval_features
+from repro.datasets.generators import make_planted_dataset
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ts.series import Dataset
+
+
+@pytest.fixture(scope="module")
+def planted():
+    full = make_planted_dataset(n_classes=2, n_instances=44, length=72, seed=29)
+    train = Dataset(X=full.X[:20], y=full.classes_[full.y[:20]], name="train")
+    test = Dataset(X=full.X[20:], y=full.classes_[full.y[20:]], name="test")
+    return train, test
+
+
+class TestIntervalFeatures:
+    def test_shape(self, rng):
+        X = rng.normal(size=(5, 40))
+        intervals = np.array([[0, 10], [10, 40]])
+        features = interval_features(X, intervals)
+        assert features.shape == (5, 6)
+
+    def test_values_correct(self, rng):
+        X = rng.normal(size=(2, 30))
+        features = interval_features(X, np.array([[5, 15]]))
+        assert features[0, 0] == pytest.approx(X[0, 5:15].mean())
+        assert features[0, 1] == pytest.approx(X[0, 5:15].std())
+
+    def test_slope_of_linear_segment(self):
+        X = np.arange(20.0).reshape(1, -1) * 2.0
+        features = interval_features(X, np.array([[0, 20]]))
+        assert features[0, 2] == pytest.approx(2.0)
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValidationError):
+            interval_features(rng.normal(size=10), np.array([[0, 5]]))
+
+
+class TestTimeSeriesForest:
+    def test_learns_planted_data(self, planted):
+        train, test = planted
+        model = TimeSeriesForest(n_estimators=15, seed=0).fit_dataset(train)
+        accuracy = model.score(test.X, test.classes_[test.y])
+        assert accuracy > 0.6
+
+    def test_deterministic(self, planted):
+        train, _test = planted
+        a = TimeSeriesForest(n_estimators=5, seed=3).fit(train.X, train.y)
+        b = TimeSeriesForest(n_estimators=5, seed=3).fit(train.X, train.y)
+        assert np.array_equal(a.predict(train.X), b.predict(train.X))
+
+    def test_unfitted_rejected(self, rng):
+        with pytest.raises(NotFittedError):
+            TimeSeriesForest().predict(rng.normal(size=(2, 30)))
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValidationError):
+            TimeSeriesForest(n_estimators=0)
+        with pytest.raises(ValidationError):
+            TimeSeriesForest(min_interval=1)
+
+
+class TestBagOfPatterns:
+    def test_learns_planted_data(self, planted):
+        train, test = planted
+        model = BagOfPatterns(seed=0).fit_dataset(train)
+        accuracy = model.score(test.X, test.classes_[test.y])
+        assert accuracy > 0.6
+
+    def test_1nn_variant(self, planted):
+        train, test = planted
+        model = BagOfPatterns(classifier="1nn", seed=0).fit_dataset(train)
+        accuracy = model.score(test.X, test.classes_[test.y])
+        assert accuracy > 0.55
+
+    def test_histograms_normalized(self, planted):
+        train, _test = planted
+        model = BagOfPatterns(seed=0).fit_dataset(train)
+        sums = model._train_histograms.sum(axis=1)  # noqa: SLF001
+        assert np.allclose(sums[sums > 0], 1.0)
+
+    def test_numerosity_reduction_shrinks_counts(self, planted):
+        train, _test = planted
+        with_nr = BagOfPatterns(numerosity_reduction=True, seed=0).fit_dataset(train)
+        without_nr = BagOfPatterns(numerosity_reduction=False, seed=0).fit_dataset(train)
+        words_with = sum(len(with_nr._words_of(row)) for row in train.X)  # noqa: SLF001
+        words_without = sum(
+            len(without_nr._words_of(row)) for row in train.X  # noqa: SLF001
+        )
+        assert words_with < words_without
+
+    def test_unseen_words_ignored_at_predict(self, planted, rng):
+        train, _test = planted
+        model = BagOfPatterns(seed=0).fit_dataset(train)
+        # Wild data full of unseen words must still predict something.
+        predictions = model.predict(rng.normal(size=(3, train.series_length)) * 100)
+        assert predictions.shape == (3,)
+
+    def test_unfitted_rejected(self, rng):
+        with pytest.raises(NotFittedError):
+            BagOfPatterns().predict(rng.normal(size=(1, 30)))
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValidationError):
+            BagOfPatterns(window_ratio=0.0)
+        with pytest.raises(ValidationError):
+            BagOfPatterns(classifier="resnet")

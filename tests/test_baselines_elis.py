@@ -1,0 +1,71 @@
+"""Tests for repro.baselines.elis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.elis import ELIS
+from repro.baselines.learning_shapelets import LearningShapelets
+from repro.datasets.generators import make_planted_dataset
+from repro.exceptions import ValidationError
+from repro.ts.series import Dataset
+
+
+@pytest.fixture(scope="module")
+def planted():
+    full = make_planted_dataset(n_classes=2, n_instances=40, length=70, seed=23)
+    train = Dataset(X=full.X[:16], y=full.classes_[full.y[:16]], name="train")
+    test = Dataset(X=full.X[16:], y=full.classes_[full.y[16:]], name="test")
+    return train, test
+
+
+class TestELIS:
+    def test_learns_planted_patterns(self, planted):
+        train, test = planted
+        model = ELIS(k_per_class=3, epochs=200, seed=0).fit_dataset(train)
+        assert model.score(test.X, test.classes_[test.y]) > 0.6
+
+    def test_seeding_produces_class_blocks(self, planted):
+        train, _test = planted
+        model = ELIS(k_per_class=2, epochs=5, seed=0)
+        rng = np.random.default_rng(0)
+        length = max(4, int(round(model.length_ratio * train.series_length)))
+        seeds = model._init_shapelets(train, length, rng)  # noqa: SLF001
+        assert seeds.shape == (2 * train.n_classes, length)
+
+    def test_seeds_come_from_training_windows(self, planted):
+        """Before learning, every seed is an actual training subsequence
+        (unlike LTS's k-means centroids)."""
+        train, _test = planted
+        model = ELIS(k_per_class=2, epochs=5, seed=0)
+        rng = np.random.default_rng(0)
+        length = max(4, int(round(model.length_ratio * train.series_length)))
+        seeds = model._init_shapelets(train, length, rng)  # noqa: SLF001
+        windows = np.lib.stride_tricks.sliding_window_view(train.X, length, axis=1)
+        flat = windows.reshape(-1, length)
+        for seed_values in seeds:
+            gaps = np.abs(flat - seed_values).max(axis=1)
+            assert gaps.min() < 1e-12
+
+    def test_interface_matches_lts(self, planted):
+        train, _test = planted
+        model = ELIS(k_per_class=2, epochs=10, seed=0).fit_dataset(train)
+        assert isinstance(model, LearningShapelets)
+        assert len(model.shapelets_) == 4
+        assert model.discovery_seconds_ > 0.0
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValidationError):
+            ELIS(sax_segments=1)
+        with pytest.raises(ValidationError):
+            ELIS(stride_fraction=0.0)
+
+    def test_runner_integration(self, planted):
+        from repro.benchlib.runners import make_method
+
+        model = make_method("ELIS", k=2, seed=0, epochs=20)
+        train, test = planted
+        model.fit_dataset(train)
+        accuracy = model.score(test.X, test.classes_[test.y])
+        assert 0.0 <= accuracy <= 1.0

@@ -1,0 +1,140 @@
+"""Tests for repro.baselines.published: Table VI / Table IV constants."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.published import (
+    METHOD_ORDER,
+    PUBLISHED_ACCURACY,
+    PUBLISHED_RUNTIME_SECONDS,
+    PUBLISHED_TABLE2,
+    accuracy_matrix,
+    published_methods,
+)
+from repro.datasets.registry import TABLE_DATASETS
+from repro.stats.ranking import average_ranks, best_counts, wins_draws_losses
+
+
+class TestTableVIData:
+    def test_46_datasets_13_methods(self):
+        assert len(PUBLISHED_ACCURACY) == 46
+        assert all(len(row) == 13 for row in PUBLISHED_ACCURACY.values())
+        assert len(METHOD_ORDER) == 13
+
+    def test_matches_registry_table_datasets(self):
+        assert set(PUBLISHED_ACCURACY) == set(TABLE_DATASETS)
+
+    def test_single_nan_for_elis_noninvasive(self):
+        values, _d, _m = accuracy_matrix()
+        assert int(np.isnan(values).sum()) == 1
+        row = PUBLISHED_ACCURACY["NonInvasiveFatalECGThorax1"]
+        assert np.isnan(row[METHOD_ORDER.index("ELIS")])
+
+    def test_values_are_percentages(self):
+        values, _d, _m = accuracy_matrix()
+        finite = values[np.isfinite(values)]
+        assert finite.min() > 0.0
+        assert finite.max() <= 100.0
+
+    def test_paper_footer_best_counts(self):
+        """Reproduce the 'Total best acc' row within +-1.
+
+        The paper's footer is derived from its bolding, which disagrees
+        with a strict max recomputation on a couple of near-tie rows
+        (e.g. Meat: ResNet 96.8 vs RotF 96.67); allow one count of slack.
+        """
+        values, _d, methods = accuracy_matrix()
+        counts = best_counts(values, tol=1e-9)
+        by = dict(zip(methods, counts))
+        paper = {"COTE": 14, "COTE-IPS": 11, "IPS": 9, "ST": 9, "ResNet": 9,
+                 "RotF": 5, "LTS": 5, "BSPCOVER": 8, "FS": 2, "ELIS": 2,
+                 "DTW_Rn_1NN": 1, "BASE": 1, "SD": 0}
+        for method, expected in paper.items():
+            assert abs(int(by[method]) - expected) <= 1, method
+        # The ordering story holds exactly: COTE first, COTE-IPS second.
+        assert by["COTE"] == max(by.values())
+
+    def test_paper_footer_ips_1to1(self):
+        """Spot-check the IPS 1-to-1 W/D/L footer row (+-2 per entry)."""
+        values, _d, methods = accuracy_matrix()
+        ips = methods.index("IPS")
+        wdl = wins_draws_losses(values, reference=ips)
+        by = dict(zip(methods, wdl))
+        paper = {"FS": (42, 0, 4), "SD": (42, 0, 4), "BASE": (41, 2, 3),
+                 "DTW_Rn_1NN": (34, 3, 9), "COTE-IPS": (10, 8, 28)}
+        for method, expected in paper.items():
+            measured = by[method]
+            for got, want in zip(measured, expected):
+                assert abs(got - want) <= 2, (method, measured, expected)
+        # The shape: IPS dominates the weak methods, loses to ensembles.
+        assert by["FS"][0] > 35 and by["COTE-IPS"][2] > 20
+
+    def test_ips_ranks_fourth(self):
+        """Section IV-C: 'IPS is ranked 4th' among the 13 methods."""
+        values, _d, methods = accuracy_matrix()
+        ranks = average_ranks(values)
+        order = [methods[i] for i in np.argsort(ranks)]
+        assert order.index("IPS") == 3
+        assert order[0] == "COTE-IPS"
+
+    def test_accuracy_matrix_subsets(self):
+        values, datasets, methods = accuracy_matrix(
+            datasets=["Coffee", "GunPoint"], methods=["IPS", "BASE"]
+        )
+        assert values.shape == (2, 2)
+        assert values[0, 0] == 100.0  # IPS on Coffee
+        assert values[1, 1] == 82.67  # BASE on GunPoint
+
+
+class TestTableIVData:
+    def test_coverage(self):
+        assert set(PUBLISHED_RUNTIME_SECONDS) == set(TABLE_DATASETS)
+
+    def test_paper_average_speedups(self):
+        """Table IV: BASE vs IPS ~1.2x, IPS vs BSPCOVER ~25x on average."""
+        ratios_base = []
+        ratios_bsp = []
+        for base, bsp, ips in PUBLISHED_RUNTIME_SECONDS.values():
+            ratios_base.append(ips / base)
+            ratios_bsp.append(bsp / ips)
+        assert 1.1 < float(np.mean(ratios_base)) < 1.3
+        assert 20.0 < float(np.mean(ratios_bsp)) < 30.0
+
+    def test_bspcover_always_slowest(self):
+        for base, bsp, ips in PUBLISHED_RUNTIME_SECONDS.values():
+            assert bsp > base
+            assert bsp > ips
+
+
+class TestTable7Data:
+    def test_ten_datasets_three_schemes(self):
+        from repro.baselines.published import PUBLISHED_TABLE7
+
+        assert len(PUBLISHED_TABLE7) == 10
+        for row in PUBLISHED_TABLE7.values():
+            assert set(row) == {"hamming", "cosine", "l2"}
+
+    def test_l2_never_worse(self):
+        """The paper's claim: L2 matches or beats the other two schemes."""
+        from repro.baselines.published import PUBLISHED_TABLE7
+
+        for name, row in PUBLISHED_TABLE7.items():
+            assert row["l2"] >= row["cosine"] - 1e-9, name
+            assert row["l2"] >= row["hamming"] - 1e-9, name
+
+
+class TestTable2Data:
+    def test_four_datasets(self):
+        assert set(PUBLISHED_TABLE2) == {
+            "ArrowHead", "MoteStrain", "ShapeletSim", "ToeSegmentation1",
+        }
+
+    def test_ed_beats_all_topk_on_arrowhead(self):
+        """The motivation: BASE top-k loses to plain 1NN-ED (issue 2.1)."""
+        row = PUBLISHED_TABLE2["ArrowHead"]
+        topk = [v for key, v in row.items() if key.startswith("k")]
+        assert max(topk) < row["ED"]
+
+    def test_methods_helper(self):
+        assert published_methods() == list(METHOD_ORDER)

@@ -1,0 +1,111 @@
+"""Tests for repro.baselines.quality and sax."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.quality import best_information_gain, entropy
+from repro.baselines.sax import gaussian_breakpoints, paa, sax_word, sax_words_of_windows
+from repro.exceptions import ValidationError
+
+
+class TestEntropy:
+    def test_pure_is_zero(self):
+        assert entropy(np.array([1, 1, 1])) == 0.0
+
+    def test_balanced_binary_is_one_bit(self):
+        assert entropy(np.array([0, 1, 0, 1])) == pytest.approx(1.0)
+
+    def test_uniform_k_classes(self):
+        assert entropy(np.arange(8)) == pytest.approx(3.0)
+
+    def test_empty_is_zero(self):
+        assert entropy(np.array([])) == 0.0
+
+
+class TestBestInformationGain:
+    def test_perfect_split(self):
+        distances = np.array([0.1, 0.2, 0.9, 1.0])
+        labels = np.array([0, 0, 1, 1])
+        gain, threshold = best_information_gain(distances, labels)
+        assert gain == pytest.approx(1.0)
+        assert 0.2 < threshold < 0.9
+
+    def test_no_split_possible_on_identical_distances(self):
+        gain, _threshold = best_information_gain(
+            np.full(6, 0.5), np.array([0, 0, 0, 1, 1, 1])
+        )
+        assert gain == 0.0
+
+    def test_single_class_zero_gain(self):
+        gain, _ = best_information_gain(np.arange(5.0), np.zeros(5, dtype=int))
+        assert gain == 0.0
+
+    def test_gain_bounded_by_parent_entropy(self, rng):
+        distances = rng.normal(size=30)
+        labels = rng.integers(0, 3, size=30)
+        gain, _ = best_information_gain(distances, labels)
+        assert 0.0 <= gain <= entropy(labels) + 1e-12
+
+    def test_interleaved_worse_than_separated(self, rng):
+        labels = np.array([0, 1] * 10)
+        interleaved = np.arange(20.0)
+        separated = np.concatenate([np.arange(10.0), np.arange(10.0) + 100])
+        g_inter, _ = best_information_gain(interleaved, labels)
+        g_sep, _ = best_information_gain(
+            separated, np.repeat([0, 1], 10)
+        )
+        assert g_sep > g_inter
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            best_information_gain(np.arange(3.0), np.zeros(4, dtype=int))
+
+
+class TestPAA:
+    def test_exact_segment_means(self):
+        x = np.array([1.0, 1.0, 5.0, 5.0])
+        assert np.allclose(paa(x, 2), [1.0, 5.0])
+
+    def test_uneven_split(self):
+        out = paa(np.arange(10.0), 3)
+        assert out.shape == (3,)
+
+    def test_segments_clamped_to_length(self):
+        out = paa(np.arange(3.0), 10)
+        assert out.shape == (3,)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            paa(np.array([]), 2)
+
+
+class TestSAX:
+    def test_breakpoints_equiprobable(self):
+        bp = gaussian_breakpoints(4)
+        assert bp.shape == (3,)
+        assert bp[1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_word_symbols_in_alphabet(self, rng):
+        word = sax_word(rng.normal(size=32), n_segments=8, alphabet_size=4)
+        assert len(word) == 8
+        assert all(0 <= s < 4 for s in word)
+
+    def test_similar_series_same_word(self, rng):
+        x = np.sin(np.linspace(0, np.pi, 40))
+        y = x + 0.01 * rng.normal(size=40)
+        assert sax_word(x) == sax_word(y)
+
+    def test_opposite_trends_differ(self):
+        up = np.linspace(-1, 1, 32)
+        down = np.linspace(1, -1, 32)
+        assert sax_word(up) != sax_word(down)
+
+    def test_words_of_windows_count(self, rng):
+        words = sax_words_of_windows(rng.normal(size=50), window=10)
+        assert len(words) == 41
+
+    def test_rejects_tiny_alphabet(self):
+        with pytest.raises(ValidationError):
+            gaussian_breakpoints(1)

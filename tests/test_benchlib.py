@@ -1,0 +1,89 @@
+"""Tests for repro.benchlib: tables, timing, runners."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.benchlib.runners import evaluate_method, make_method, method_names
+from repro.benchlib.tables import format_table, print_table
+from repro.benchlib.timing import timed
+from repro.datasets.loader import load_dataset
+from repro.exceptions import ValidationError
+
+
+class TestFormatTable:
+    def test_alignment_and_precision(self):
+        text = format_table(
+            ["name", "acc"], [["IPS", 0.98765], ["BASE", 0.5]], precision=3
+        )
+        lines = text.splitlines()
+        assert "0.988" in text
+        assert lines[0].startswith("name")
+        assert set(lines[1]) == {"-"}
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="Table IV")
+        assert text.splitlines()[0] == "Table IV"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValidationError):
+            format_table([], [])
+
+    def test_print_table_smoke(self, capsys):
+        print_table(["x"], [[1.0]])
+        assert "1.00" in capsys.readouterr().out
+
+
+class TestTimed:
+    def test_returns_result_and_elapsed(self):
+        result, elapsed = timed(lambda: (time.sleep(0.01), 42)[1])
+        assert result == 42
+        assert elapsed >= 0.01
+
+
+class TestRunners:
+    def test_method_names_cover_runnables(self):
+        names = method_names()
+        for expected in ("IPS", "BASE", "BSPCOVER", "ELIS", "TSF", "BOP"):
+            assert expected in names
+
+    def test_make_unknown_rejected(self):
+        with pytest.raises(ValidationError):
+            make_method("COTE")  # published-only, not runnable
+
+    def test_every_runnable_method_instantiates(self):
+        for name in method_names():
+            assert make_method(name, k=2, seed=0) is not None
+
+    @pytest.mark.parametrize("name", ["IPS", "BASE", "1NN-ED"])
+    def test_evaluate_method_end_to_end(self, name):
+        data = load_dataset(
+            "ItalyPowerDemand", seed=0, max_train=16, max_test=20
+        )
+        kwargs = {"q_n": 4} if name == "IPS" else {}
+        result = evaluate_method(name, data, k=3, seed=0, **kwargs)
+        assert result.method == name
+        assert result.dataset == "ItalyPowerDemand"
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.total_seconds > 0.0
+
+    @pytest.mark.parametrize(
+        "name", ["BSPCOVER", "FS", "LTS", "ELIS", "ST", "SD", "RotF", "TSF", "BOP", "1NN-DTW"]
+    )
+    def test_remaining_methods_evaluate(self, name):
+        data = load_dataset(
+            "ItalyPowerDemand", seed=0, max_train=12, max_test=12
+        )
+        kwargs = {}
+        if name in ("LTS", "ELIS"):
+            kwargs["epochs"] = 15
+        if name == "ST":
+            kwargs["max_candidates"] = 40
+        result = evaluate_method(name, data, k=2, seed=0, **kwargs)
+        assert 0.0 <= result.accuracy <= 1.0

@@ -1,0 +1,121 @@
+"""Tests for repro.classify.metrics, scaler, model_selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classify.metrics import accuracy_score, confusion_matrix
+from repro.classify.model_selection import StratifiedKFold, train_test_split
+from repro.classify.scaler import StandardScaler
+from repro.exceptions import NotFittedError, ValidationError
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_half(self):
+        assert accuracy_score([1, 1, 2, 2], [1, 2, 2, 1]) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            accuracy_score([1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            accuracy_score([], [])
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect(self):
+        M = confusion_matrix([0, 1, 1], [0, 1, 1])
+        assert np.array_equal(M, [[1, 0], [0, 2]])
+
+    def test_off_diagonal(self):
+        M = confusion_matrix([0, 0, 1], [1, 0, 1])
+        assert M[0, 1] == 1
+        assert M.sum() == 3
+
+    def test_explicit_n_classes(self):
+        M = confusion_matrix([0], [0], n_classes=4)
+        assert M.shape == (4, 4)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            confusion_matrix([0, 5], [0, 1], n_classes=2)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        X = rng.normal(5.0, 3.0, size=(100, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_column_not_divided(self, rng):
+        X = np.column_stack([rng.normal(size=20), np.full(20, 7.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 1], 0.0)
+
+    def test_transform_before_fit_rejected(self, rng):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(rng.normal(size=(3, 2)))
+
+    def test_train_statistics_applied_to_test(self, rng):
+        scaler = StandardScaler().fit(rng.normal(10.0, 2.0, size=(50, 3)))
+        Z = scaler.transform(np.full((1, 3), 10.0))
+        assert np.all(np.abs(Z) < 1.0)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        X = rng.normal(size=(100, 5))
+        y = np.repeat([0, 1], 50)
+        X_tr, y_tr, X_te, y_te = train_test_split(X, y, test_fraction=0.3, seed=0)
+        assert X_te.shape[0] == 30
+        assert X_tr.shape[0] == 70
+
+    def test_stratified_keeps_all_classes(self, rng):
+        X = rng.normal(size=(12, 3))
+        y = np.repeat([0, 1, 2], 4)
+        _X_tr, y_tr, _X_te, y_te = train_test_split(X, y, test_fraction=0.25, seed=1)
+        assert set(y_tr) == {0, 1, 2}
+        assert set(y_te) == {0, 1, 2}
+
+    def test_no_leakage(self, rng):
+        X = np.arange(40.0).reshape(20, 2)
+        y = np.repeat([0, 1], 10)
+        X_tr, _y_tr, X_te, _y_te = train_test_split(X, y, seed=0)
+        train_rows = {tuple(r) for r in X_tr}
+        test_rows = {tuple(r) for r in X_te}
+        assert not train_rows & test_rows
+        assert len(train_rows) + len(test_rows) == 20
+
+    def test_bad_fraction_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            train_test_split(rng.normal(size=(4, 2)), [0, 0, 1, 1], test_fraction=1.5)
+
+
+class TestStratifiedKFold:
+    def test_partitions_everything(self):
+        y = np.repeat([0, 1], 10)
+        folds = list(StratifiedKFold(n_splits=5, seed=0).split(y))
+        assert len(folds) == 5
+        all_test = np.concatenate([test for _tr, test in folds])
+        assert sorted(all_test.tolist()) == list(range(20))
+
+    def test_balanced_folds(self):
+        y = np.repeat([0, 1], 25)
+        for train, test in StratifiedKFold(n_splits=5, seed=0).split(y):
+            assert np.sum(y[test] == 0) == 5
+            assert np.sum(y[test] == 1) == 5
+
+    def test_train_test_disjoint(self):
+        y = np.repeat([0, 1, 2], 6)
+        for train, test in StratifiedKFold(n_splits=3, seed=0).split(y):
+            assert not set(train) & set(test)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValidationError):
+            list(StratifiedKFold(n_splits=5).split(np.array([0, 1])))

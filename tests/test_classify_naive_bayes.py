@@ -1,0 +1,87 @@
+"""Tests for repro.classify.naive_bayes and the pluggable final classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classify.naive_bayes import GaussianNB
+from repro.core.config import IPSConfig
+from repro.core.pipeline import IPSClassifier
+from repro.datasets.generators import make_planted_dataset
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ts.series import Dataset
+
+
+def _blobs(rng, centers, n=25, spread=0.6):
+    X = np.vstack([rng.normal(size=(n, len(centers[0]))) * spread + c for c in centers])
+    y = np.repeat(np.arange(len(centers)), n)
+    return X, y
+
+
+class TestGaussianNB:
+    def test_fits_blobs(self, rng):
+        X, y = _blobs(rng, [[0, 0], [4, 4]])
+        model = GaussianNB().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_three_classes(self, rng):
+        X, y = _blobs(rng, [[0, 0], [5, 0], [0, 5]])
+        model = GaussianNB().fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_probabilities_sum_to_one(self, rng):
+        X, y = _blobs(rng, [[0, 0], [4, 4]])
+        model = GaussianNB().fit(X, y)
+        assert np.allclose(model.predict_proba(X).sum(axis=1), 1.0)
+
+    def test_priors_respected(self, rng):
+        """Heavily imbalanced identical-feature data: majority class wins."""
+        X = rng.normal(size=(100, 2))
+        y = np.zeros(100, dtype=int)
+        y[:5] = 1
+        model = GaussianNB().fit(X, y)
+        predictions = model.predict(rng.normal(size=(50, 2)))
+        assert np.mean(predictions == 0) > 0.8
+
+    def test_constant_feature_survives(self, rng):
+        X = np.column_stack([rng.normal(size=20), np.full(20, 3.0)])
+        y = np.repeat([0, 1], 10)
+        model = GaussianNB().fit(X, y)
+        assert model.predict(X).shape == (20,)
+
+    def test_arbitrary_labels(self, rng):
+        X, y01 = _blobs(rng, [[0, 0], [4, 4]])
+        y = np.where(y01 == 0, -3, 12)
+        model = GaussianNB().fit(X, y)
+        assert set(np.unique(model.predict(X))) == {-3, 12}
+
+    def test_unfitted_rejected(self, rng):
+        with pytest.raises(NotFittedError):
+            GaussianNB().predict(rng.normal(size=(2, 2)))
+
+    def test_bad_smoothing_rejected(self):
+        with pytest.raises(ValidationError):
+            GaussianNB(var_smoothing=-1.0)
+
+
+class TestPluggableFinalClassifier:
+    @pytest.fixture(scope="class")
+    def split(self):
+        full = make_planted_dataset(n_classes=2, n_instances=36, length=60, seed=31)
+        train = Dataset(X=full.X[:16], y=full.classes_[full.y[:16]])
+        return train, full.X[16:], full.classes_[full.y[16:]]
+
+    @pytest.mark.parametrize("kind", ["svm", "nb", "tree", "1nn"])
+    def test_each_classifier_learns(self, split, kind):
+        train, X_test, y_test = split
+        config = IPSConfig(
+            q_n=5, q_s=3, k=3, length_ratios=(0.2, 0.35),
+            final_classifier=kind, seed=0,
+        )
+        clf = IPSClassifier(config).fit_dataset(train)
+        assert clf.score(X_test, y_test) > 0.6, kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            IPSConfig(final_classifier="resnet")

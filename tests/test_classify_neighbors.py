@@ -1,0 +1,80 @@
+"""Tests for repro.classify.neighbors: 1NN-ED / 1NN-DTW."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classify.neighbors import OneNearestNeighbor
+from repro.exceptions import NotFittedError, ValidationError
+
+
+def _shifted_sine_data(rng, n_per_class=8, length=60):
+    """Two classes: sine vs sawtooth, with random phase shifts."""
+    t = np.linspace(0, 2 * np.pi, length)
+    X, y = [], []
+    for _ in range(n_per_class):
+        phase = rng.uniform(0, 1.0)
+        X.append(np.sin(t + phase) + 0.05 * rng.normal(size=length))
+        y.append(0)
+        X.append(((t + phase) % (2 * np.pi)) / np.pi - 1 + 0.05 * rng.normal(size=length))
+        y.append(1)
+    return np.vstack(X), np.array(y)
+
+
+class TestOneNearestNeighborED:
+    def test_memorizes_training_set(self, rng):
+        X, y = _shifted_sine_data(rng)
+        model = OneNearestNeighbor("euclidean").fit(X, y)
+        assert np.all(model.predict(X) == y)
+
+    def test_generalizes(self, rng):
+        X, y = _shifted_sine_data(rng)
+        X2, y2 = _shifted_sine_data(rng)
+        model = OneNearestNeighbor("euclidean").fit(X, y)
+        assert model.score(X2, y2) > 0.8
+
+    def test_single_query_1d(self, rng):
+        X, y = _shifted_sine_data(rng)
+        model = OneNearestNeighbor("euclidean").fit(X, y)
+        pred = model.predict(X[0])
+        assert pred.shape == (1,)
+        assert pred[0] == y[0]
+
+    def test_unfitted_rejected(self, rng):
+        with pytest.raises(NotFittedError):
+            OneNearestNeighbor("euclidean").predict(rng.normal(size=(1, 4)))
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValidationError):
+            OneNearestNeighbor("manhattan")
+
+    def test_mismatched_shapes_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            OneNearestNeighbor().fit(rng.normal(size=(3, 4)), np.array([0, 1]))
+
+
+class TestOneNearestNeighborDTW:
+    def test_memorizes_training_set(self, rng):
+        X, y = _shifted_sine_data(rng, n_per_class=4)
+        model = OneNearestNeighbor("dtw", band=5).fit(X, y)
+        assert np.all(model.predict(X) == y)
+
+    def test_dtw_beats_ed_on_warped_data(self, rng):
+        """Phase-shifted patterns: DTW should not be worse than ED."""
+        X, y = _shifted_sine_data(rng, n_per_class=6)
+        X2, y2 = _shifted_sine_data(rng, n_per_class=6)
+        ed = OneNearestNeighbor("euclidean").fit(X, y).score(X2, y2)
+        dtw = OneNearestNeighbor("dtw", band=8).fit(X, y).score(X2, y2)
+        assert dtw >= ed - 0.15
+
+    def test_lb_keogh_pruning_consistent(self, rng):
+        """Band search with pruning gives the same answer as brute DTW."""
+        from repro.ts.dtw import dtw_distance
+
+        X, y = _shifted_sine_data(rng, n_per_class=4)
+        model = OneNearestNeighbor("dtw", band=5).fit(X, y)
+        query = X[3] + 0.01 * rng.normal(size=X.shape[1])
+        pred = model.predict(query)[0]
+        brute_dists = [dtw_distance(query, row, band=5) for row in X]
+        assert pred == y[int(np.argmin(brute_dists))]

@@ -1,0 +1,94 @@
+"""Tests for repro.classify.svm: dual coordinate descent linear SVM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classify.svm import LinearSVM, OneVsRestSVM
+from repro.exceptions import NotFittedError, ValidationError
+
+
+def _separable(rng, n=60, d=4, margin=2.0):
+    X = rng.normal(size=(n, d))
+    w = rng.normal(size=d)
+    w /= np.linalg.norm(w)
+    scores = X @ w
+    y = np.where(scores >= 0, 1.0, -1.0)
+    X += margin * 0.5 * y[:, None] * w  # push classes apart
+    return X, y
+
+
+class TestLinearSVM:
+    def test_separable_data_perfect_train_accuracy(self, rng):
+        X, y = _separable(rng)
+        model = LinearSVM(C=10.0, seed=0).fit(X, y)
+        assert np.all(model.predict(X) == y)
+
+    def test_decision_function_sign_matches_predict(self, rng):
+        X, y = _separable(rng)
+        model = LinearSVM(seed=0).fit(X, y)
+        scores = model.decision_function(X)
+        assert np.all((scores >= 0) == (model.predict(X) == 1))
+
+    def test_margin_larger_with_small_C_regularization(self, rng):
+        X, y = _separable(rng)
+        strong = LinearSVM(C=0.001, seed=0).fit(X, y)
+        weak = LinearSVM(C=100.0, seed=0).fit(X, y)
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+    def test_bias_learned(self, rng):
+        X = rng.normal(size=(50, 3)) + 10.0  # shifted data needs a bias
+        y = np.where(X[:, 0] > 10.0, 1.0, -1.0)
+        model = LinearSVM(C=10.0, seed=0).fit(X, y)
+        assert np.mean(model.predict(X) == y) > 0.9
+
+    def test_rejects_non_pm1_labels(self, rng):
+        with pytest.raises(ValidationError):
+            LinearSVM().fit(rng.normal(size=(4, 2)), np.array([0.0, 1.0, 0.0, 1.0]))
+
+    def test_rejects_bad_c(self):
+        with pytest.raises(ValidationError):
+            LinearSVM(C=0.0)
+
+    def test_unfitted_rejected(self, rng):
+        with pytest.raises(NotFittedError):
+            LinearSVM().decision_function(rng.normal(size=(2, 3)))
+
+    def test_deterministic_with_seed(self, rng):
+        X, y = _separable(rng)
+        a = LinearSVM(seed=7).fit(X, y)
+        b = LinearSVM(seed=7).fit(X, y)
+        assert np.allclose(a.coef_, b.coef_)
+
+
+class TestOneVsRestSVM:
+    def test_binary_passthrough(self, rng):
+        X, y_pm = _separable(rng)
+        y = np.where(y_pm > 0, 3, 8)  # arbitrary labels
+        model = OneVsRestSVM(C=10.0, seed=0).fit(X, y)
+        assert set(np.unique(model.predict(X))).issubset({3, 8})
+        assert model.score(X, y) > 0.95
+
+    def test_three_class_blobs(self, rng):
+        centers = np.array([[0.0, 0.0], [6.0, 0.0], [0.0, 6.0]])
+        X = np.vstack([rng.normal(size=(30, 2)) * 0.5 + c for c in centers])
+        y = np.repeat([10, 20, 30], 30)
+        model = OneVsRestSVM(C=10.0, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_decision_function_shape(self, rng):
+        centers = np.array([[0.0, 0.0], [6.0, 0.0], [0.0, 6.0]])
+        X = np.vstack([rng.normal(size=(10, 2)) + c for c in centers])
+        y = np.repeat([0, 1, 2], 10)
+        model = OneVsRestSVM(seed=0).fit(X, y)
+        assert model.decision_function(X).shape == (30, 3)
+
+    def test_single_class_degenerates_gracefully(self, rng):
+        X = rng.normal(size=(5, 3))
+        model = OneVsRestSVM(seed=0).fit(X, np.full(5, 7))
+        assert np.all(model.predict(X) == 7)
+
+    def test_unfitted_rejected(self, rng):
+        with pytest.raises(NotFittedError):
+            OneVsRestSVM().predict(rng.normal(size=(2, 3)))

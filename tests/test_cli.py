@@ -1,0 +1,71 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "GunPoint"])
+        assert args.method == "IPS"
+        assert args.k == 5
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "GunPoint", "--method", "COTE"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "ArrowHead" in out
+        assert "ItalyPowerDemand" in out
+        assert "47 registered datasets" in out
+
+    def test_run_ips(self, capsys):
+        code = main(
+            [
+                "run", "ItalyPowerDemand", "--method", "IPS",
+                "--max-train", "16", "--max-test", "20", "--k", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IPS on ItalyPowerDemand" in out
+        assert "accuracy" in out
+
+    def test_compare_subset(self, capsys):
+        code = main(
+            [
+                "compare", "ItalyPowerDemand", "--methods", "1NN-ED,BASE",
+                "--max-train", "16", "--max-test", "20", "--k", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1NN-ED" in out
+        assert "BASE" in out
+
+    def test_shapelets(self, capsys):
+        code = main(
+            [
+                "shapelets", "ItalyPowerDemand",
+                "--max-train", "16", "--max-test", "10", "--k", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shapelets" in out
+        assert "utility" in out
+
+    def test_unknown_dataset_errors(self):
+        with pytest.raises(KeyError):
+            main(["run", "NotADataset", "--max-train", "8"])

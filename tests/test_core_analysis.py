@@ -1,0 +1,118 @@
+"""Tests for repro.core.analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    ShapeletMatch,
+    best_matches,
+    coverage_matrix,
+    coverage_summary,
+    match_position_histogram,
+    shapelet_quality,
+)
+from repro.core.config import IPSConfig
+from repro.core.pipeline import IPS
+from repro.datasets.generators import make_planted_dataset
+from repro.exceptions import ValidationError
+from repro.types import Shapelet
+
+
+@pytest.fixture(scope="module")
+def discovered():
+    dataset = make_planted_dataset(n_classes=2, n_instances=16, length=70, seed=41)
+    config = IPSConfig(q_n=6, q_s=3, k=3, length_ratios=(0.2, 0.3), seed=0)
+    result = IPS(config).discover(dataset)
+    return dataset, result.shapelets
+
+
+class TestBestMatches:
+    def test_exact_match_found(self, rng):
+        X = rng.normal(size=(3, 50))
+        shapelet = Shapelet(values=X[1, 12:22].copy(), label=0)
+        matches = best_matches(shapelet, X)
+        assert matches[1].position == 12
+        assert matches[1].distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_one_match_per_series(self, discovered):
+        dataset, shapelets = discovered
+        matches = best_matches(shapelets[0], dataset.X)
+        assert len(matches) == dataset.n_series
+        assert all(isinstance(m, ShapeletMatch) for m in matches)
+
+    def test_1d_input(self, rng):
+        x = rng.normal(size=40)
+        shapelet = Shapelet(values=x[5:15].copy(), label=0)
+        matches = best_matches(shapelet, x)
+        assert len(matches) == 1
+        assert matches[0].position == 5
+
+    def test_oversized_shapelet_rejected(self, rng):
+        shapelet = Shapelet(values=rng.normal(size=100), label=0)
+        with pytest.raises(ValidationError):
+            best_matches(shapelet, rng.normal(size=(2, 50)))
+
+
+class TestPositionHistogram:
+    def test_sums_to_instances(self, discovered):
+        dataset, shapelets = discovered
+        histogram = match_position_histogram(shapelets[0], dataset.X)
+        assert histogram.sum() == dataset.n_series
+
+    def test_localized_pattern_concentrates(self, rng):
+        """A pattern always planted at the same place gives a peaked histogram."""
+        X = rng.normal(size=(20, 60)) * 0.1
+        pattern = np.sin(np.linspace(0, 2 * np.pi, 12)) * 5
+        X[:, 20:32] += pattern
+        shapelet = Shapelet(values=pattern, label=0)
+        histogram = match_position_histogram(shapelet, X, n_bins=10)
+        assert histogram.max() == 20  # all matches in one bin
+
+
+class TestShapeletQuality:
+    def test_discovered_shapelets_have_positive_gain(self, discovered):
+        dataset, shapelets = discovered
+        gains = [shapelet_quality(s, dataset).information_gain for s in shapelets]
+        assert max(gains) > 0.1
+
+    def test_separation_sign_for_good_shapelet(self, discovered):
+        dataset, shapelets = discovered
+        best = max(
+            (shapelet_quality(s, dataset) for s in shapelets),
+            key=lambda q: q.information_gain,
+        )
+        assert best.separation > 0.0
+
+    def test_bad_label_rejected(self, discovered, rng):
+        dataset, _shapelets = discovered
+        rogue = Shapelet(values=rng.normal(size=10), label=99)
+        with pytest.raises(ValidationError):
+            shapelet_quality(rogue, dataset)
+
+
+class TestCoverage:
+    def test_matrix_shape(self, discovered):
+        dataset, shapelets = discovered
+        matrix = coverage_matrix(shapelets, dataset)
+        assert matrix.shape == (dataset.n_series, len(shapelets))
+        assert matrix.dtype == bool
+
+    def test_summary_fields_consistent(self, discovered):
+        dataset, shapelets = discovered
+        summary = coverage_summary(shapelets, dataset)
+        assert 0.0 <= summary["covered_fraction"] <= 1.0
+        assert summary["uncovered"] == dataset.n_series * (
+            1.0 - summary["covered_fraction"]
+        )
+
+    def test_good_shapelet_set_covers_most(self, discovered):
+        dataset, shapelets = discovered
+        summary = coverage_summary(shapelets, dataset)
+        assert summary["covered_fraction"] > 0.6
+
+    def test_empty_set_rejected(self, discovered):
+        dataset, _shapelets = discovered
+        with pytest.raises(ValidationError):
+            coverage_matrix([], dataset)

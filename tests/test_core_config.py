@@ -1,0 +1,43 @@
+"""Tests for repro.core.config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DEFAULT_LENGTH_RATIOS, IPSConfig
+from repro.exceptions import ValidationError
+
+
+class TestIPSConfig:
+    def test_defaults_follow_paper(self):
+        config = IPSConfig()
+        assert config.k == 5  # Section IV-A: shapelet number 5
+        assert config.length_ratios == DEFAULT_LENGTH_RATIOS
+        assert config.lsh_scheme == "l2"
+        assert config.theta == 3.0
+        assert config.use_dabf and config.use_dt_cr
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 0},
+            {"q_n": 0},
+            {"q_s": 0},
+            {"length_ratios": ()},
+            {"length_ratios": (0.0,)},
+            {"length_ratios": (1.2,)},
+            {"lsh_scheme": "bogus"},
+            {"theta": 0.0},
+            {"n_projections": 0},
+            {"bins": 1},
+            {"motifs_per_profile": 0},
+            {"svm_c": 0.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            IPSConfig(**kwargs)
+
+    def test_extra_dict_usable(self):
+        config = IPSConfig(extra={"note": "ablation"})
+        assert config.extra["note"] == "ablation"

@@ -1,0 +1,123 @@
+"""Tests for repro.core.pipeline: IPS discovery + IPSClassifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import IPSConfig
+from repro.core.pipeline import IPS, IPSClassifier
+from repro.datasets.generators import make_planted_dataset
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ts.series import Dataset
+
+
+@pytest.fixture(scope="module")
+def planted_split():
+    train = make_planted_dataset(n_classes=2, n_instances=20, length=80, seed=21)
+    test = make_planted_dataset(n_classes=2, n_instances=30, length=80, seed=21)
+    # Same seed -> same prototypes; different slice below ensures overlap-free.
+    full = make_planted_dataset(n_classes=2, n_instances=50, length=80, seed=21)
+    train = Dataset(X=full.X[:20], y=full.classes_[full.y[:20]], name="train")
+    test = Dataset(X=full.X[20:], y=full.classes_[full.y[20:]], name="test")
+    return train, test
+
+
+def _fast_config(**overrides) -> IPSConfig:
+    defaults = dict(q_n=6, q_s=3, k=3, length_ratios=(0.15, 0.3), seed=0)
+    defaults.update(overrides)
+    return IPSConfig(**defaults)
+
+
+class TestIPSDiscovery:
+    def test_discovers_k_per_class(self, planted_split):
+        train, _test = planted_split
+        result = IPS(_fast_config()).discover(train)
+        per_class = {}
+        for shp in result.shapelets:
+            per_class[shp.label] = per_class.get(shp.label, 0) + 1
+        assert set(per_class) == {0, 1}
+        assert all(count <= 3 for count in per_class.values())
+
+    def test_stage_times_recorded(self, planted_split):
+        train, _test = planted_split
+        result = IPS(_fast_config()).discover(train)
+        assert result.time_candidate_generation > 0.0
+        assert result.time_pruning > 0.0
+        assert result.time_selection > 0.0
+        assert result.total_time == pytest.approx(
+            result.time_candidate_generation
+            + result.time_pruning
+            + result.time_selection
+        )
+
+    def test_pruning_reduces_pool(self, planted_split):
+        train, _test = planted_split
+        result = IPS(_fast_config()).discover(train)
+        assert result.n_candidates_after_pruning <= result.n_candidates_generated
+
+    def test_shapelet_provenance_round_trips(self, planted_split):
+        train, _test = planted_split
+        result = IPS(_fast_config()).discover(train)
+        for shp in result.shapelets:
+            row = train.X[shp.source_instance]
+            assert np.allclose(row[shp.start : shp.start + shp.length], shp.values)
+
+    def test_deterministic(self, planted_split):
+        train, _test = planted_split
+        r1 = IPS(_fast_config()).discover(train)
+        r2 = IPS(_fast_config()).discover(train)
+        assert len(r1.shapelets) == len(r2.shapelets)
+        for a, b in zip(r1.shapelets, r2.shapelets):
+            assert np.array_equal(a.values, b.values)
+
+    def test_no_dabf_arm(self, planted_split):
+        train, _test = planted_split
+        result = IPS(_fast_config(use_dabf=False)).discover(train)
+        assert result.shapelets
+
+    def test_no_dt_cr_arm(self, planted_split):
+        train, _test = planted_split
+        result = IPS(_fast_config(use_dt_cr=False)).discover(train)
+        assert result.shapelets
+
+    def test_single_class_dataset_skips_pruning(self):
+        ds = make_planted_dataset(n_classes=1, n_instances=6, length=60, seed=0)
+        result = IPS(_fast_config()).discover(ds)
+        assert result.shapelets
+        assert result.n_candidates_after_pruning == result.n_candidates_generated
+
+
+class TestIPSClassifier:
+    def test_fit_predict_accuracy(self, planted_split):
+        train, test = planted_split
+        clf = IPSClassifier(_fast_config()).fit_dataset(train)
+        accuracy = clf.score(test.X, test.classes_[test.y])
+        assert accuracy > 0.7  # planted patterns are separable
+
+    def test_predict_returns_original_labels(self):
+        full = make_planted_dataset(n_classes=2, n_instances=24, length=60, seed=3)
+        # Remap labels to {10, 20}.
+        y = np.where(full.y == 0, 10, 20)
+        clf = IPSClassifier(_fast_config()).fit(full.X, y)
+        preds = clf.predict(full.X)
+        assert set(np.unique(preds)).issubset({10, 20})
+
+    def test_unfitted_predict_rejected(self, rng):
+        clf = IPSClassifier(_fast_config())
+        with pytest.raises(NotFittedError):
+            clf.predict(rng.normal(size=(2, 60)))
+
+    def test_score_rejects_unseen_labels(self, planted_split):
+        train, test = planted_split
+        clf = IPSClassifier(_fast_config()).fit_dataset(train)
+        bad_labels = np.full(test.n_series, 99)
+        with pytest.raises(ValidationError):
+            clf.score(test.X, bad_labels)
+
+    def test_transform_exposes_features(self, planted_split):
+        train, test = planted_split
+        clf = IPSClassifier(_fast_config()).fit_dataset(train)
+        features = clf.transform(test.X)
+        assert features.shape == (test.n_series, len(clf.shapelets_))
+        assert np.all(features >= 0.0)

@@ -1,0 +1,52 @@
+"""Tests for repro.core.report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import IPSConfig
+from repro.core.pipeline import IPS
+from repro.core.report import describe_discovery
+from repro.datasets.generators import make_planted_dataset
+from repro.exceptions import ValidationError
+from repro.types import DiscoveryResult
+
+
+@pytest.fixture(scope="module")
+def result():
+    dataset = make_planted_dataset(n_classes=2, n_instances=12, length=60, seed=5)
+    config = IPSConfig(q_n=4, q_s=3, k=2, length_ratios=(0.2, 0.3), seed=0)
+    return IPS(config).discover(dataset)
+
+
+class TestDescribeDiscovery:
+    def test_contains_all_sections(self, result):
+        text = describe_discovery(result)
+        assert "discovery summary" in text
+        assert "generated" in text
+        assert "selected shapelets" in text
+        assert "utility range" in text
+
+    def test_per_class_pruning_table(self, result):
+        text = describe_discovery(result)
+        assert "DABF pruning per class" in text
+
+    def test_one_row_per_shapelet(self, result):
+        text = describe_discovery(result)
+        # Each shapelet contributes a sparkline row with its utility.
+        table_start = text.index("selected shapelets")
+        table = text[table_start:]
+        data_lines = [
+            line for line in table.splitlines()
+            if line and line[0].isdigit()
+        ]
+        assert len(data_lines) == len(result.shapelets)
+
+    def test_spark_width_respected(self, result):
+        narrow = describe_discovery(result, spark_width=8)
+        wide = describe_discovery(result, spark_width=40)
+        assert len(wide) > len(narrow)
+
+    def test_empty_result_rejected(self):
+        with pytest.raises(ValidationError):
+            describe_discovery(DiscoveryResult(shapelets=[]))

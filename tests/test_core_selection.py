@@ -1,0 +1,70 @@
+"""Tests for repro.core.selection (Algorithm 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.selection import select_top_k, select_top_k_per_class
+from repro.core.utility import UtilityScores
+from repro.exceptions import ValidationError
+from repro.types import Candidate, CandidateKind
+
+
+def _scores(values_list, combined):
+    candidates = [
+        Candidate(values=np.asarray(v, dtype=float), label=0, kind=CandidateKind.MOTIF)
+        for v in values_list
+    ]
+    n = len(candidates)
+    combined = np.asarray(combined, dtype=float)
+    # Decompose arbitrarily: intra = combined, inter = 0, instance = 0.
+    return UtilityScores(
+        candidates=candidates,
+        intra=combined,
+        inter=np.zeros(n),
+        instance=np.zeros(n),
+    )
+
+
+class TestSelectTopK:
+    def test_lowest_scores_win(self):
+        scores = _scores([[1, 2], [3, 4], [5, 6]], [0.5, 0.1, 0.9])
+        picked = select_top_k(scores, 2)
+        assert [s.score for s in picked] == sorted(s.score for s in picked)
+        assert np.array_equal(picked[0].values, [3, 4])
+
+    def test_k_larger_than_pool(self):
+        scores = _scores([[1, 2]], [0.3])
+        assert len(select_top_k(scores, 10)) == 1
+
+    def test_duplicate_values_skipped(self):
+        scores = _scores([[1, 2], [1, 2], [3, 4]], [0.1, 0.2, 0.3])
+        picked = select_top_k(scores, 3)
+        assert len(picked) == 2
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            select_top_k(_scores([[1]], [0.1]), 0)
+
+    def test_shapelet_carries_score(self):
+        picked = select_top_k(_scores([[1, 2]], [0.42]), 1)
+        assert picked[0].score == pytest.approx(0.42)
+
+
+class TestSelectPerClass:
+    def test_concatenates_classes_in_order(self):
+        by_class = {
+            1: _scores([[9, 9]], [0.1]),
+            0: _scores([[1, 1]], [0.2]),
+        }
+        picked = select_top_k_per_class(by_class, 1)
+        assert len(picked) == 2
+        assert np.array_equal(picked[0].values, [1, 1])  # class 0 first
+
+    def test_all_empty_raises(self):
+        empty = UtilityScores(
+            candidates=[], intra=np.empty(0), inter=np.empty(0), instance=np.empty(0)
+        )
+        with pytest.raises(ValidationError):
+            select_top_k_per_class({0: empty}, 3)

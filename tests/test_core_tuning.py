@@ -1,0 +1,108 @@
+"""Tests for repro.core.tuning and the DTW transform option."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import IPSConfig
+from repro.core.transform import ShapeletTransform
+from repro.core.tuning import PAPER_QN_GRID, PAPER_QS_GRID, TuningResult, tune_ips
+from repro.datasets.generators import make_planted_dataset
+from repro.exceptions import ValidationError
+from repro.ts.series import Dataset
+from repro.types import Shapelet
+
+
+@pytest.fixture(scope="module")
+def train():
+    full = make_planted_dataset(n_classes=2, n_instances=18, length=60, seed=47)
+    return Dataset(X=full.X, y=full.classes_[full.y], name="tune-me")
+
+
+class TestTuneIPS:
+    @pytest.fixture(scope="class")
+    def result(self, train) -> TuningResult:
+        base = IPSConfig(length_ratios=(0.2, 0.35), seed=0)
+        return tune_ips(
+            train, base_config=base,
+            qn_grid=(3, 6), qs_grid=(2, 3), k_grid=(2,), n_splits=2,
+        )
+
+    def test_scores_cover_grid(self, result):
+        assert set(result.scores) == {
+            (3, 2, 2), (3, 3, 2), (6, 2, 2), (6, 3, 2),
+        }
+        assert all(0.0 <= s <= 1.0 for s in result.scores.values())
+
+    def test_best_config_from_grid(self, result):
+        cfg = result.best_config
+        assert (cfg.q_n, cfg.q_s, cfg.k) in result.scores
+        assert result.best_score == result.scores[(cfg.q_n, cfg.q_s, cfg.k)]
+
+    def test_ties_prefer_cheaper_config(self, train):
+        """With a constant scoring problem, the smallest Q_N*Q_S wins."""
+        base = IPSConfig(length_ratios=(0.25,), seed=0)
+        result = tune_ips(
+            train, base_config=base,
+            qn_grid=(3, 6), qs_grid=(2,), k_grid=(1,), n_splits=2,
+        )
+        if result.scores[(3, 2, 1)] == result.scores[(6, 2, 1)]:
+            assert result.best_config.q_n == 3
+
+    def test_top_sorted_descending(self, result):
+        top = result.top(3)
+        values = [v for _p, v in top]
+        assert values == sorted(values, reverse=True)
+
+    def test_base_config_fields_preserved(self, train):
+        base = IPSConfig(length_ratios=(0.25,), lsh_scheme="cosine", seed=7)
+        result = tune_ips(
+            train, base_config=base, qn_grid=(3,), qs_grid=(2,), k_grid=(1,),
+            n_splits=2,
+        )
+        assert result.best_config.lsh_scheme == "cosine"
+        assert result.best_config.seed == 7
+
+    def test_paper_grids_exposed(self):
+        assert PAPER_QN_GRID == (10, 20, 50, 100)
+        assert PAPER_QS_GRID == (2, 3, 4, 5, 10)
+
+    def test_empty_grid_rejected(self, train):
+        with pytest.raises(ValidationError):
+            tune_ips(train, qn_grid=())
+
+    def test_single_instance_class_rejected(self):
+        ds = Dataset(X=np.random.default_rng(0).normal(size=(3, 40)), y=[0, 0, 1])
+        with pytest.raises(ValidationError):
+            tune_ips(ds, qn_grid=(2,), qs_grid=(2,), k_grid=(1,))
+
+
+class TestDTWTransform:
+    def test_dtw_features_shape(self, rng):
+        shapelets = [Shapelet(values=rng.normal(size=8), label=0)]
+        st = ShapeletTransform(shapelets, metric="dtw", dtw_band=3)
+        features = st.transform(rng.normal(size=(4, 40)))
+        assert features.shape == (4, 1)
+        assert np.all(features >= 0.0)
+
+    def test_contained_shapelet_near_zero(self, rng):
+        X = rng.normal(size=(1, 40))
+        shp = Shapelet(values=X[0, 16:24].copy(), label=0)
+        # Stride hits position 16 (multiple of length//2 = 4).
+        features = ShapeletTransform([shp], metric="dtw", dtw_band=3).transform(X)
+        assert features[0, 0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_dtw_leq_euclidean_at_same_alignment(self, rng):
+        """DTW's elasticity can only reduce the best-window distance when
+        the stride covers the euclidean argmin."""
+        X = rng.normal(size=(2, 30))
+        shp = Shapelet(values=X[0, 0:8].copy(), label=0)
+        euclid = ShapeletTransform([shp]).transform(X)
+        dtw = ShapeletTransform([shp], metric="dtw", dtw_band=8).transform(X)
+        # Position 0 is always in the strided window set.
+        assert dtw[0, 0] <= euclid[0, 0] + 1e-9
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValidationError):
+            ShapeletTransform(metric="mahalanobis")

@@ -1,0 +1,174 @@
+"""Tests for repro.core.utility: Defs. 11-13 + DT & CR."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.utility import (
+    UtilityScores,
+    _PairDistanceCache,
+    score_candidates_brute,
+    score_candidates_dt,
+    sigmoid_utility,
+)
+from repro.datasets.generators import make_planted_dataset
+from repro.exceptions import ValidationError
+from repro.filters.dabf import DABF
+from repro.instanceprofile.candidates import generate_candidates
+from repro.types import Candidate, CandidateKind
+
+
+@pytest.fixture(scope="module")
+def scored_setup():
+    dataset = make_planted_dataset(n_classes=2, n_instances=14, length=70, seed=5)
+    pool = generate_candidates(dataset, q_n=6, q_s=3, lengths=[10, 18], seed=0)
+    dabf = DABF.build(pool, seed=0)
+    return dataset, pool, dabf
+
+
+class TestSigmoidUtility:
+    def test_range(self):
+        assert sigmoid_utility(0.0) == pytest.approx(0.5)
+        assert 0.0 < sigmoid_utility(-5.0) < 0.5 < sigmoid_utility(5.0) < 1.0
+
+    def test_saturation_motivates_normalization(self):
+        """The paper's raw-sum sigmoid saturates: documented deviation."""
+        assert sigmoid_utility(100.0) == 1.0
+        assert sigmoid_utility(150.0) == 1.0
+
+    def test_no_overflow_on_large_negative(self):
+        assert sigmoid_utility(-1000.0) == pytest.approx(0.0)
+
+
+class TestUtilityScores:
+    def test_combined_formula(self):
+        cand = Candidate(values=np.ones(4), label=0, kind=CandidateKind.MOTIF)
+        scores = UtilityScores(
+            candidates=[cand],
+            intra=np.array([0.3]),
+            inter=np.array([0.8]),
+            instance=np.array([0.2]),
+        )
+        assert scores.combined[0] == pytest.approx(0.3 - 0.8 + 0.2)
+
+    def test_shape_validation(self):
+        cand = Candidate(values=np.ones(4), label=0, kind=CandidateKind.MOTIF)
+        with pytest.raises(ValidationError):
+            UtilityScores(
+                candidates=[cand],
+                intra=np.array([0.1, 0.2]),
+                inter=np.array([0.1]),
+                instance=np.array([0.1]),
+            )
+
+
+class TestBruteForce:
+    def test_scores_for_all_motifs(self, scored_setup):
+        dataset, pool, _dabf = scored_setup
+        scores = score_candidates_brute(dataset, pool, 0)
+        assert len(scores.candidates) == len(pool.motifs(0))
+        assert scores.combined.shape == (len(scores.candidates),)
+
+    def test_utilities_in_unit_interval(self, scored_setup):
+        dataset, pool, _dabf = scored_setup
+        scores = score_candidates_brute(dataset, pool, 0)
+        for arr in (scores.intra, scores.inter, scores.instance):
+            assert np.all((arr >= 0.0) & (arr <= 1.0))
+
+    def test_cr_matches_no_cr(self, scored_setup):
+        """CR is a pure optimization: identical utilities."""
+        dataset, pool, _dabf = scored_setup
+        with_cr = score_candidates_brute(dataset, pool, 0, use_cr=True)
+        without_cr = score_candidates_brute(dataset, pool, 0, use_cr=False)
+        assert np.allclose(with_cr.combined, without_cr.combined, atol=1e-9)
+
+    def test_shared_cache_reused_across_classes(self, scored_setup):
+        dataset, pool, _dabf = scored_setup
+        cache = _PairDistanceCache()
+        score_candidates_brute(dataset, pool, 0, cache=cache)
+        misses_after_first = cache.misses
+        score_candidates_brute(dataset, pool, 1, cache=cache)
+        assert cache.hits > 0
+        assert cache.misses > misses_after_first  # new intra pairs of class 1
+
+    def test_unnormalized_sums_saturate(self, scored_setup):
+        """Reproduces the paper's literal formula: sums saturate to 1."""
+        dataset, pool, _dabf = scored_setup
+        scores = score_candidates_brute(dataset, pool, 0, normalize=False)
+        # With ~dozens of candidates the sigmoid saturates for intra/inter.
+        assert np.allclose(scores.inter, 1.0)
+
+    def test_empty_class_gives_empty_scores(self, scored_setup):
+        dataset, pool, _dabf = scored_setup
+        scores = score_candidates_brute(dataset, pool, 99)
+        assert len(scores.candidates) == 0
+
+
+class TestDT:
+    def test_scores_align_with_candidates(self, scored_setup):
+        dataset, pool, dabf = scored_setup
+        scores = score_candidates_dt(dataset, pool, 0, dabf)
+        assert len(scores.candidates) == len(pool.motifs(0))
+        assert np.all(np.isfinite(scores.combined))
+
+    def test_dt_flags_same_outlier_as_brute(self, rng):
+        """A far outlier gets the worst intra utility in both spaces."""
+        from repro.instanceprofile.candidates import CandidatePool
+        from repro.ts.series import Dataset
+
+        base = rng.normal(size=12)
+        pool = CandidatePool()
+        for i in range(9):
+            pool.add(
+                Candidate(
+                    values=base + 0.05 * rng.normal(size=12),
+                    label=0,
+                    kind=CandidateKind.MOTIF,
+                    start=i,
+                )
+            )
+        outlier = Candidate(
+            values=base * 3.0 + 4.0, label=0, kind=CandidateKind.MOTIF, start=99
+        )
+        pool.add(outlier)
+        for i in range(4):
+            pool.add(
+                Candidate(
+                    values=rng.normal(size=12) + 5.0,
+                    label=1,
+                    kind=CandidateKind.MOTIF,
+                    start=i,
+                )
+            )
+        dataset = Dataset(X=rng.normal(size=(6, 40)), y=[0, 0, 0, 1, 1, 1])
+        dabf = DABF.build(pool, seed=0)
+        brute = score_candidates_brute(dataset, pool, 0)
+        dt = score_candidates_dt(dataset, pool, 0, dabf)
+        outlier_idx = brute.candidates.index(outlier)
+        assert int(np.argmax(brute.intra)) == outlier_idx
+        # DT's rank space is coarse (few buckets), so allow ties at the max.
+        assert dt.intra[outlier_idx] >= dt.intra.max() - 1e-12
+
+    def test_dt_utilities_in_unit_interval(self, scored_setup):
+        dataset, pool, dabf = scored_setup
+        scores = score_candidates_dt(dataset, pool, 0, dabf)
+        for arr in (scores.intra, scores.inter, scores.instance):
+            assert np.all((arr >= 0.0) & (arr <= 1.0))
+
+    def test_empty_class(self, scored_setup):
+        dataset, pool, dabf = scored_setup
+        scores = score_candidates_dt(dataset, pool, 99, dabf)
+        assert len(scores.candidates) == 0
+
+
+class TestPairDistanceCache:
+    def test_symmetric_key(self, rng):
+        cache = _PairDistanceCache()
+        a = Candidate(values=rng.normal(size=8), label=0, kind=CandidateKind.MOTIF)
+        b = Candidate(values=rng.normal(size=8), label=0, kind=CandidateKind.MOTIF)
+        d1 = cache.distance(a, b)
+        d2 = cache.distance(b, a)
+        assert d1 == d2
+        assert cache.hits == 1
+        assert cache.misses == 1

@@ -1,0 +1,98 @@
+"""Tests for repro.datasets.io: UCR file round-tripping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import make_planted_dataset
+from repro.datasets.io import load_ucr_directory, read_ucr_file, write_ucr_file
+from repro.exceptions import ValidationError
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        ds = make_planted_dataset(n_classes=3, n_instances=9, length=40, seed=0)
+        path = tmp_path / "Toy_TRAIN.tsv"
+        write_ucr_file(ds, path)
+        loaded = read_ucr_file(path)
+        assert loaded.n_series == 9
+        assert loaded.series_length == 40
+        assert np.allclose(loaded.X, ds.X, atol=1e-8)
+        assert np.array_equal(loaded.y, ds.y)
+
+    def test_original_labels_preserved(self, tmp_path):
+        from repro.ts.series import Dataset
+
+        ds = Dataset(X=np.random.default_rng(0).normal(size=(4, 8)), y=[-1, -1, 7, 7])
+        path = tmp_path / "labels.tsv"
+        write_ucr_file(ds, path)
+        loaded = read_ucr_file(path)
+        assert loaded.classes_.tolist() == [-1, 7]
+
+
+class TestReadFormats:
+    def test_comma_separated_accepted(self, tmp_path):
+        path = tmp_path / "old.csv"
+        path.write_text("1,0.5,0.6,0.7\n2,1.5,1.6,1.7\n")
+        ds = read_ucr_file(path)
+        assert ds.n_series == 2
+        assert ds.series_length == 3
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.tsv"
+        path.write_text("1\t0.5\t0.6\n\n2\t1.5\t1.6\n")
+        assert read_ucr_file(path).n_series == 2
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            read_ucr_file(tmp_path / "nope.tsv")
+
+    def test_unequal_lengths_rejected(self, tmp_path):
+        path = tmp_path / "ragged.tsv"
+        path.write_text("1\t0.5\t0.6\n2\t1.5\n")
+        with pytest.raises(ValidationError):
+            read_ucr_file(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1\tx\ty\n")
+        with pytest.raises(ValidationError):
+            read_ucr_file(path)
+
+    def test_fractional_label_rejected(self, tmp_path):
+        path = tmp_path / "frac.tsv"
+        path.write_text("1.5\t0.1\t0.2\n")
+        with pytest.raises(ValidationError):
+            read_ucr_file(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("")
+        with pytest.raises(ValidationError):
+            read_ucr_file(path)
+
+
+class TestDirectoryLayout:
+    def test_archive_layout(self, tmp_path):
+        ds = make_planted_dataset(n_classes=2, n_instances=8, length=30, seed=1)
+        write_ucr_file(ds, tmp_path / "Planted" / "Planted_TRAIN.tsv")
+        write_ucr_file(ds, tmp_path / "Planted" / "Planted_TEST.tsv")
+        data = load_ucr_directory(tmp_path, "Planted")
+        assert data.train.n_series == 8
+        assert data.profile.generator == "file"
+
+    def test_known_name_attaches_registry_profile(self, tmp_path):
+        ds = make_planted_dataset(n_classes=2, n_instances=6, length=24, seed=2)
+        write_ucr_file(ds, tmp_path / "ItalyPowerDemand" / "ItalyPowerDemand_TRAIN.tsv")
+        write_ucr_file(ds, tmp_path / "ItalyPowerDemand" / "ItalyPowerDemand_TEST.tsv")
+        data = load_ucr_directory(tmp_path, "ItalyPowerDemand")
+        assert data.profile.category == "Sensor"
+
+    def test_length_mismatch_rejected(self, tmp_path):
+        a = make_planted_dataset(n_classes=2, n_instances=4, length=24, seed=0)
+        b = make_planted_dataset(n_classes=2, n_instances=4, length=30, seed=0)
+        write_ucr_file(a, tmp_path / "Bad" / "Bad_TRAIN.tsv")
+        write_ucr_file(b, tmp_path / "Bad" / "Bad_TEST.tsv")
+        with pytest.raises(ValidationError):
+            load_ucr_directory(tmp_path, "Bad")

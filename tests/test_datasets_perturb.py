@@ -1,0 +1,108 @@
+"""Tests for repro.datasets.perturb."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.perturb import (
+    add_baseline_drift,
+    add_dropout,
+    add_gaussian_noise,
+    add_spikes,
+    time_warp,
+)
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture()
+def X(rng):
+    return rng.normal(size=(6, 80))
+
+
+ALL_PERTURBATIONS = [
+    lambda X: add_gaussian_noise(X, 0.5, seed=1),
+    lambda X: add_spikes(X, rate=0.05, seed=1),
+    lambda X: add_dropout(X, rate=0.1, seed=1),
+    lambda X: add_baseline_drift(X, magnitude=0.5, seed=1),
+    lambda X: time_warp(X, max_warp=0.1, seed=1),
+]
+
+
+@pytest.mark.parametrize("perturb", ALL_PERTURBATIONS)
+class TestCommonContracts:
+    def test_pure_and_shape_preserving(self, X, perturb):
+        before = X.copy()
+        out = perturb(X)
+        assert out.shape == X.shape
+        assert np.array_equal(X, before)  # input untouched
+        assert np.all(np.isfinite(out))
+
+    def test_deterministic(self, X, perturb):
+        assert np.array_equal(perturb(X), perturb(X))
+
+
+class TestGaussianNoise:
+    def test_zero_scale_is_identity(self, X):
+        assert np.array_equal(add_gaussian_noise(X, 0.0), X)
+
+    def test_scale_controls_deviation(self, X):
+        small = add_gaussian_noise(X, 0.1, seed=2) - X
+        large = add_gaussian_noise(X, 2.0, seed=2) - X
+        assert large.std() > 5 * small.std()
+
+    def test_negative_scale_rejected(self, X):
+        with pytest.raises(ValidationError):
+            add_gaussian_noise(X, -1.0)
+
+
+class TestSpikes:
+    def test_spike_rate_approximate(self, X):
+        out = add_spikes(X, rate=0.2, magnitude=10.0, seed=3)
+        changed = np.mean(out != X)
+        assert 0.1 < changed < 0.3
+
+    def test_zero_rate_identity(self, X):
+        assert np.array_equal(add_spikes(X, rate=0.0), X)
+
+    def test_bad_rate_rejected(self, X):
+        with pytest.raises(ValidationError):
+            add_spikes(X, rate=1.5)
+
+
+class TestDropout:
+    def test_endpoints_anchored(self, X):
+        out = add_dropout(X, rate=0.5, seed=4)
+        assert np.array_equal(out[:, 0], X[:, 0])
+        assert np.array_equal(out[:, -1], X[:, -1])
+
+    def test_interpolation_smooths(self, rng):
+        # A spiky series loses its spikes when they drop.
+        X = np.zeros((1, 50))
+        X[0, 25] = 100.0
+        out = add_dropout(X, rate=0.99, seed=5)
+        assert out[0, 25] < 100.0
+
+    def test_bad_rate_rejected(self, X):
+        with pytest.raises(ValidationError):
+            add_dropout(X, rate=1.0)
+
+
+class TestDriftAndWarp:
+    def test_drift_changes_mean_profile(self, X):
+        out = add_baseline_drift(X, magnitude=2.0, seed=6)
+        assert not np.allclose(out, X)
+        # Drift is low-frequency: per-point diffs are smooth.
+        delta = out[0] - X[0]
+        assert np.abs(np.diff(delta)).max() < 1.0
+
+    def test_warp_preserves_endpoints_roughly(self, X):
+        out = time_warp(X, max_warp=0.1, seed=7)
+        assert np.allclose(out[:, 0], X[:, 0], atol=1e-9)
+
+    def test_zero_warp_identity(self, X):
+        assert np.allclose(time_warp(X, max_warp=0.0, seed=8), X)
+
+    def test_bad_warp_rejected(self, X):
+        with pytest.raises(ValidationError):
+            time_warp(X, max_warp=1.0)

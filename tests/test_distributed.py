@@ -1,0 +1,112 @@
+"""Tests for repro.distributed: executors + distributed discovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import IPSConfig
+from repro.core.pipeline import IPS
+from repro.datasets.generators import make_planted_dataset
+from repro.distributed import (
+    DistributedIPS,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
+from repro.distributed.discovery import generate_unit_candidates
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def planted():
+    return make_planted_dataset(n_classes=2, n_instances=16, length=80, seed=7)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return IPSConfig(q_n=6, q_s=3, k=3, length_ratios=(0.15, 0.3), seed=0)
+
+
+class TestWorkUnits:
+    def test_one_unit_per_class_sample(self, planted, config):
+        units = DistributedIPS(config).build_work_units(planted)
+        assert len(units) == planted.n_classes * config.q_n
+        labels = {u.label for u in units}
+        assert labels == {0, 1}
+
+    def test_units_are_self_contained(self, planted, config):
+        units = DistributedIPS(config).build_work_units(planted)
+        unit = units[0]
+        assert unit.X_rows.shape[0] == len(unit.rows)
+        for local, row in enumerate(unit.rows):
+            assert np.array_equal(unit.X_rows[local], planted.X[row])
+
+    def test_unit_seeds_distinct(self, planted, config):
+        units = DistributedIPS(config).build_work_units(planted)
+        seeds = [u.seed for u in units]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_worker_generates_candidates(self, planted, config):
+        units = DistributedIPS(config).build_work_units(planted)
+        candidates = generate_unit_candidates(units[0])
+        assert candidates
+        for cand in candidates:
+            assert cand.label == units[0].label
+            assert cand.sample_id == units[0].sample_id
+            row = planted.X[cand.source_instance]
+            assert np.allclose(
+                row[cand.start : cand.start + cand.length], cand.values
+            )
+
+
+class TestExecutors:
+    def test_serial_preserves_order(self):
+        executor = SerialExecutor()
+        out = executor.map(lambda u: u, [1, 2, 3])  # type: ignore[arg-type]
+        assert out == [1, 2, 3]
+
+    def test_thread_matches_serial(self, planted, config):
+        dist = DistributedIPS(config)
+        units = dist.build_work_units(planted)
+        serial = SerialExecutor().map(generate_unit_candidates, units)
+        threaded = ThreadExecutor(max_workers=4).map(generate_unit_candidates, units)
+        assert serial == threaded
+
+    def test_bad_worker_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            ThreadExecutor(max_workers=0)
+        with pytest.raises(ValidationError):
+            ProcessExecutor(max_workers=0)
+
+
+class TestDistributedDiscovery:
+    def test_matches_across_executors(self, planted, config):
+        r_serial = DistributedIPS(config, SerialExecutor()).discover(planted)
+        r_thread = DistributedIPS(config, ThreadExecutor(max_workers=3)).discover(
+            planted
+        )
+        assert r_serial.n_candidates_generated == r_thread.n_candidates_generated
+        for a, b in zip(r_serial.shapelets, r_thread.shapelets):
+            assert np.array_equal(a.values, b.values)
+
+    def test_result_structure(self, planted, config):
+        result = DistributedIPS(config).discover(planted)
+        assert result.shapelets
+        assert result.extra["n_work_units"] == planted.n_classes * config.q_n
+        assert result.n_candidates_after_pruning <= result.n_candidates_generated
+
+    def test_comparable_quality_to_serial_pipeline(self, planted, config):
+        """Distributed discovery should find shapelets of similar quality
+        (same algorithm, different but equally-valid random samples)."""
+        dist_result = DistributedIPS(config).discover(planted)
+        serial_result = IPS(config).discover(planted)
+        dist_labels = {s.label for s in dist_result.shapelets}
+        serial_labels = {s.label for s in serial_result.shapelets}
+        assert dist_labels == serial_labels == {0, 1}
+
+    def test_deterministic_given_seed(self, planted, config):
+        a = DistributedIPS(config).discover(planted)
+        b = DistributedIPS(config).discover(planted)
+        for s1, s2 in zip(a.shapelets, b.shapelets):
+            assert np.array_equal(s1.values, s2.values)

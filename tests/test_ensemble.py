@@ -1,0 +1,82 @@
+"""Tests for repro.ensemble: the COTE-IPS-style weighted-vote ensemble."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import IPSConfig
+from repro.datasets.generators import make_planted_dataset
+from repro.ensemble import CoteIpsEnsemble
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ts.series import Dataset
+
+
+@pytest.fixture(scope="module")
+def split():
+    full = make_planted_dataset(n_classes=2, n_instances=40, length=60, seed=17)
+    train = Dataset(X=full.X[:20], y=full.classes_[full.y[:20]], name="train")
+    test_X = full.X[20:]
+    test_y = full.classes_[full.y[20:]]
+    return train, test_X, test_y
+
+
+@pytest.fixture(scope="module")
+def fitted(split):
+    train, _X, _y = split
+    config = IPSConfig(k=3, q_n=6, q_s=3, length_ratios=(0.2, 0.35), seed=0)
+    return CoteIpsEnsemble(config, cv_splits=2).fit_dataset(train)
+
+
+class TestCoteIpsEnsemble:
+    def test_members_weighted_by_cv(self, fitted):
+        assert fitted.weights_ is not None
+        assert set(fitted.weights_) == {"IPS", "1NN-ED", "1NN-DTW", "RotF"}
+        assert all(0.0 < w <= 1.0 for w in fitted.weights_.values())
+
+    def test_accuracy_above_chance(self, fitted, split):
+        _train, test_X, test_y = split
+        assert fitted.score(test_X, test_y) > 0.6
+
+    def test_ensemble_at_least_close_to_best_member(self, fitted, split):
+        """The weighted vote should not fall far below its best member."""
+        _train, test_X, test_y = split
+        ensemble_acc = fitted.score(test_X, test_y)
+        member_accs = []
+        for member in fitted._members.values():  # noqa: SLF001
+            preds = fitted._classes[np.asarray(member.predict(test_X))]  # noqa: SLF001
+            member_accs.append(float(np.mean(preds == test_y)))
+        assert ensemble_acc >= max(member_accs) - 0.25
+
+    def test_predict_original_labels(self, split):
+        train, test_X, _test_y = split
+        relabeled = Dataset(X=train.X, y=np.where(train.y == 0, 30, 40))
+        config = IPSConfig(k=2, q_n=4, q_s=3, length_ratios=(0.25,), seed=0)
+        model = CoteIpsEnsemble(config, cv_splits=2).fit_dataset(relabeled)
+        preds = model.predict(test_X)
+        assert set(np.unique(preds)).issubset({30, 40})
+
+    def test_custom_members(self, split):
+        train, test_X, test_y = split
+        from repro.classify.neighbors import OneNearestNeighbor
+
+        class _Member:
+            def fit(self, X, y):
+                self._m = OneNearestNeighbor("euclidean").fit(X, y)
+                return self
+
+            def predict(self, X):
+                return self._m.predict(X)
+
+        model = CoteIpsEnsemble(members={"only-1nn": _Member()}, cv_splits=2)
+        model.fit_dataset(train)
+        assert set(model.weights_) == {"only-1nn"}
+        assert 0.0 <= model.score(test_X, test_y) <= 1.0
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(NotFittedError):
+            CoteIpsEnsemble().predict(np.zeros((1, 30)))
+
+    def test_bad_cv_splits_rejected(self):
+        with pytest.raises(ValidationError):
+            CoteIpsEnsemble(cv_splits=1)

@@ -1,0 +1,116 @@
+"""Tests for repro.filters.bloom and distance_sensitive."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.filters.bloom import BloomFilter
+from repro.filters.distance_sensitive import DistanceSensitiveBloomFilter
+from repro.lsh import make_lsh
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter.with_capacity(100, fp_rate=0.01)
+        keys = [f"key-{i}" for i in range(100)]
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_false_positive_rate_reasonable(self):
+        bloom = BloomFilter.with_capacity(500, fp_rate=0.01)
+        for i in range(500):
+            bloom.add(f"member-{i}")
+        false_positives = sum(f"absent-{i}" in bloom for i in range(2000))
+        assert false_positives / 2000 < 0.05
+
+    def test_empty_filter_contains_nothing(self):
+        bloom = BloomFilter(n_bits=64, n_hashes=3)
+        assert "anything" not in bloom
+
+    def test_supports_tuples_ints_arrays(self):
+        bloom = BloomFilter(n_bits=256, n_hashes=3)
+        bloom.add((1, 2, 3))
+        bloom.add(42)
+        bloom.add(np.arange(4.0))
+        assert (1, 2, 3) in bloom
+        assert 42 in bloom
+        assert np.arange(4.0) in bloom
+
+    def test_deterministic_across_instances(self):
+        a = BloomFilter(n_bits=128, n_hashes=4)
+        b = BloomFilter(n_bits=128, n_hashes=4)
+        a.add("hello")
+        b.add("hello")
+        assert np.array_equal(a._bits, b._bits)  # noqa: SLF001
+
+    def test_fill_ratio_and_fp_estimate(self):
+        bloom = BloomFilter(n_bits=100, n_hashes=2)
+        assert bloom.fill_ratio == 0.0
+        assert bloom.estimated_fp_rate() == 0.0
+        bloom.add("x")
+        assert bloom.fill_ratio > 0.0
+
+    def test_len_counts_insertions(self):
+        bloom = BloomFilter(n_bits=64, n_hashes=2)
+        bloom.add("a")
+        bloom.add("a")
+        assert len(bloom) == 2
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValidationError):
+            BloomFilter(n_bits=0)
+        with pytest.raises(ValidationError):
+            BloomFilter.with_capacity(0)
+        with pytest.raises(ValidationError):
+            BloomFilter.with_capacity(10, fp_rate=1.5)
+
+    def test_rejects_unsupported_key_type(self):
+        bloom = BloomFilter(n_bits=64)
+        with pytest.raises(ValidationError):
+            bloom.add(object())
+
+
+class TestDistanceSensitiveBloomFilter:
+    def _filter(self, n_families=3, seed=0):
+        rng = np.random.default_rng(seed)
+        families = [
+            make_lsh("l2", dim=16, seed=int(rng.integers(2**31)), n_projections=4)
+            for _ in range(n_families)
+        ]
+        return DistanceSensitiveBloomFilter(families, expected_items=64)
+
+    def test_near_queries_positive(self, rng):
+        dsbf = self._filter()
+        x = rng.normal(size=16) * 3
+        dsbf.add(x)
+        assert dsbf.query(x + rng.normal(size=16) * 0.01)
+
+    def test_far_queries_mostly_negative(self, rng):
+        dsbf = self._filter()
+        for _ in range(10):
+            dsbf.add(rng.normal(size=16))
+        hits = sum(dsbf.query(rng.normal(size=16) * 50 + 100) for _ in range(50))
+        assert hits / 50 < 0.3
+
+    def test_exact_member_always_positive(self, rng):
+        dsbf = self._filter()
+        x = rng.normal(size=16)
+        dsbf.add(x)
+        assert dsbf.query(x)
+
+    def test_len(self, rng):
+        dsbf = self._filter()
+        dsbf.add(rng.normal(size=16))
+        assert len(dsbf) == 1
+
+    def test_rejects_mismatched_dims(self):
+        families = [make_lsh("l2", dim=8, seed=0), make_lsh("l2", dim=9, seed=1)]
+        with pytest.raises(ValidationError):
+            DistanceSensitiveBloomFilter(families)
+
+    def test_rejects_empty_families(self):
+        with pytest.raises(ValidationError):
+            DistanceSensitiveBloomFilter([])

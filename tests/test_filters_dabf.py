@@ -1,0 +1,151 @@
+"""Tests for repro.filters.dabf: Algorithms 2-3 + the naive pruner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.filters.dabf import DABF, ClassDABF, NaivePruner
+from repro.instanceprofile.candidates import CandidatePool, generate_candidates
+from repro.types import Candidate, CandidateKind
+
+
+def _pool_from_arrays(per_class: dict[int, list[np.ndarray]]) -> CandidatePool:
+    pool = CandidatePool()
+    for label, arrays in per_class.items():
+        for i, arr in enumerate(arrays):
+            pool.add(
+                Candidate(values=arr, label=label, kind=CandidateKind.MOTIF, start=i)
+            )
+    return pool
+
+
+@pytest.fixture(scope="module")
+def planted_pool():
+    from repro.datasets.generators import make_planted_dataset
+
+    dataset = make_planted_dataset(n_classes=2, n_instances=16, length=80, seed=3)
+    pool = generate_candidates(dataset, q_n=8, q_s=3, lengths=[12, 20], seed=0)
+    return dataset, pool
+
+
+class TestClassDABF:
+    def test_build_fits_distribution(self, planted_pool):
+        _dataset, pool = planted_pool
+        cdabf = ClassDABF(label=0, seed=0)
+        cdabf.build(pool.all_of_class(0))
+        assert cdabf.distribution is not None
+        assert cdabf.lengths == [12, 20]
+        assert cdabf.n_items() == len(pool.all_of_class(0))
+
+    def test_member_query_is_close_to_most(self, planted_pool):
+        """An element of the set should land inside its own distribution."""
+        _dataset, pool = planted_pool
+        cdabf = ClassDABF(label=0, seed=0)
+        members = pool.all_of_class(0)
+        cdabf.build(members)
+        inside = sum(cdabf.is_close_to_most(m.values, theta=3.0) for m in members)
+        assert inside / len(members) > 0.85  # 3-sigma covers ~89%+
+
+    def test_far_query_is_not_close(self, planted_pool):
+        _dataset, pool = planted_pool
+        cdabf = ClassDABF(label=0, seed=0)
+        cdabf.build(pool.all_of_class(0))
+        absurd = np.full(12, 1e6)
+        assert not cdabf.is_close_to_most(absurd)
+
+    def test_unseen_length_routed_to_nearest(self, planted_pool):
+        _dataset, pool = planted_pool
+        cdabf = ClassDABF(label=0, seed=0)
+        cdabf.build(pool.all_of_class(0))
+        z = cdabf.query_zscore(np.random.default_rng(0).normal(size=15))
+        assert np.isfinite(z) or z == float("inf")
+
+    def test_bucket_rank_in_range(self, planted_pool):
+        _dataset, pool = planted_pool
+        cdabf = ClassDABF(label=0, seed=0)
+        cdabf.build(pool.all_of_class(0))
+        for cand in pool.motifs(0)[:5]:
+            rank = cdabf.bucket_rank(cand.values)
+            assert rank >= 0
+
+    def test_empty_class_rejected(self):
+        with pytest.raises(ValidationError):
+            ClassDABF(label=0).build([])
+
+
+class TestDABF:
+    def test_build_covers_all_classes(self, planted_pool):
+        _dataset, pool = planted_pool
+        dabf = DABF.build(pool, seed=0)
+        assert dabf.classes == [0, 1]
+        assert set(dabf.fits()) == {0, 1}
+
+    def test_prune_removes_nondiscriminative(self, planted_pool):
+        _dataset, pool = planted_pool
+        dabf = DABF.build(pool, seed=0)
+        pruned, report = dabf.prune(pool)
+        assert len(pruned) == len(pool) - report.n_removed
+        assert report.n_removed + report.n_kept == len(pool)
+        assert report.elapsed_seconds >= 0.0
+
+    def test_prune_does_not_mutate_input(self, planted_pool):
+        _dataset, pool = planted_pool
+        size_before = len(pool)
+        dabf = DABF.build(pool, seed=0)
+        dabf.prune(pool)
+        assert len(pool) == size_before
+
+    def test_theta_monotonicity(self, planted_pool):
+        """A larger theta prunes at least as many candidates."""
+        _dataset, pool = planted_pool
+        dabf = DABF.build(pool, seed=0)
+        _p1, strict = dabf.prune(pool, theta=1.0)
+        _p2, loose = dabf.prune(pool, theta=6.0)
+        assert loose.n_removed >= strict.n_removed
+
+    def test_bucket_rank_unknown_class_rejected(self, planted_pool):
+        _dataset, pool = planted_pool
+        dabf = DABF.build(pool, seed=0)
+        with pytest.raises(ValidationError):
+            dabf.bucket_rank(99, np.zeros(12))
+
+    def test_empty_dabf_rejected(self):
+        with pytest.raises(ValidationError):
+            DABF({})
+
+    @pytest.mark.parametrize("scheme", ["l2", "cosine", "hamming"])
+    def test_all_lsh_schemes_build(self, planted_pool, scheme):
+        _dataset, pool = planted_pool
+        dabf = DABF.build(pool, scheme=scheme, seed=0)
+        _pruned, report = dabf.prune(pool)
+        assert report.n_removed >= 0
+
+
+class TestNaivePruner:
+    def test_identical_classes_fully_pruned(self, rng):
+        """Two classes with identical candidates: everything is close."""
+        shared = [rng.normal(size=10) for _ in range(8)]
+        pool = _pool_from_arrays({0: shared, 1: [s.copy() for s in shared]})
+        pruner = NaivePruner(pool, seed=0)
+        _pruned, report = pruner.prune(pool)
+        assert report.n_removed == len(pool)
+
+    def test_disjoint_classes_kept(self, rng):
+        a = [rng.normal(size=10) for _ in range(8)]
+        b = [rng.normal(size=10) + 100.0 for _ in range(8)]
+        pool = _pool_from_arrays({0: a, 1: b})
+        pruner = NaivePruner(pool, seed=0)
+        _pruned, report = pruner.prune(pool)
+        assert report.n_removed == 0
+
+    def test_agreement_with_dabf_on_extremes(self, rng):
+        """DABF and the naive method agree on clearly-far candidates."""
+        a = [rng.normal(size=10) for _ in range(10)]
+        b = [rng.normal(size=10) + 50.0 for _ in range(10)]
+        pool = _pool_from_arrays({0: a, 1: b})
+        dabf = DABF.build(pool, seed=0)
+        naive = NaivePruner(pool, seed=0)
+        for cand in pool:
+            assert dabf.should_prune(cand) == naive.should_prune(cand) == False  # noqa: E712

@@ -1,0 +1,78 @@
+"""Tests for repro.filters.distribution (Table III machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.filters.distribution import (
+    DistributionFit,
+    fit_best_distribution,
+    nmse,
+)
+
+
+class TestNMSE:
+    def test_perfect_fit_zero(self):
+        h = np.array([0.1, 0.4, 0.4, 0.1])
+        assert nmse(h, h) == 0.0
+
+    def test_positive_for_mismatch(self):
+        assert nmse(np.array([1.0, 0.0]), np.array([0.0, 1.0])) > 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            nmse(np.ones(3), np.ones(4))
+
+    def test_zero_histogram_gives_inf(self):
+        assert nmse(np.zeros(4), np.ones(4)) == float("inf")
+
+
+class TestFitBestDistribution:
+    def test_gaussian_sample_fits_norm(self, rng):
+        sample = rng.normal(size=4000)
+        best, results = fit_best_distribution(sample, bins=20)
+        assert best.name == "norm"
+        assert best.nmse < 0.1
+        assert len(results) >= 3
+
+    def test_results_sorted_by_nmse(self, rng):
+        _best, results = fit_best_distribution(rng.normal(size=1000))
+        nmses = [r.nmse for r in results]
+        assert nmses == sorted(nmses)
+
+    def test_uniform_sample_prefers_uniform_over_norm(self, rng):
+        sample = rng.uniform(-1, 1, size=4000)
+        _best, results = fit_best_distribution(sample, bins=16)
+        by_name = {r.name: r.nmse for r in results}
+        assert by_name["uniform"] < by_name["norm"]
+
+    def test_exponential_sample(self, rng):
+        sample = rng.exponential(scale=2.0, size=4000)
+        best, _results = fit_best_distribution(sample, bins=20)
+        # Exponential data is fit well by expon or gamma (its superfamily).
+        assert best.name in ("expon", "gamma", "lognorm")
+
+    def test_constant_sample_degenerate_norm(self):
+        best, results = fit_best_distribution(np.full(50, 3.0))
+        assert best.name == "norm"
+        assert best.params == (3.0, 0.0)
+        assert best.nmse == 0.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValidationError):
+            fit_best_distribution(np.array([]))
+
+    def test_fit_pdf_and_moments(self, rng):
+        best, _ = fit_best_distribution(rng.normal(loc=2.0, size=3000))
+        mean, std = best.mean_std()
+        assert mean == pytest.approx(2.0, abs=0.15)
+        assert std == pytest.approx(1.0, abs=0.15)
+        density = best.pdf(np.array([mean]))
+        assert density[0] > 0.0
+
+    def test_distribution_fit_is_frozen(self):
+        fit = DistributionFit(name="norm", params=(0.0, 1.0), nmse=0.0)
+        with pytest.raises(AttributeError):
+            fit.nmse = 1.0  # type: ignore[misc]

@@ -1,0 +1,122 @@
+"""Tests for repro.instanceprofile.candidates (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.instanceprofile.candidates import CandidatePool, generate_candidates
+from repro.types import Candidate, CandidateKind
+
+
+def _cand(label=0, kind=CandidateKind.MOTIF, start=0) -> Candidate:
+    return Candidate(values=np.arange(4.0) + start, label=label, kind=kind, start=start)
+
+
+class TestCandidatePool:
+    def test_add_and_retrieve_by_kind(self):
+        pool = CandidatePool()
+        pool.add(_cand(kind=CandidateKind.MOTIF))
+        pool.add(_cand(kind=CandidateKind.DISCORD))
+        assert len(pool.motifs(0)) == 1
+        assert len(pool.discords(0)) == 1
+        assert len(pool.all_of_class(0)) == 2
+
+    def test_other_classes(self):
+        pool = CandidatePool()
+        pool.add(_cand(label=0))
+        pool.add(_cand(label=1))
+        pool.add(_cand(label=2))
+        others = pool.other_classes(1)
+        assert {c.label for c in others} == {0, 2}
+
+    def test_remove(self):
+        pool = CandidatePool()
+        cand = _cand()
+        pool.add(cand)
+        assert pool.remove(cand)
+        assert not pool.remove(cand)
+        assert len(pool) == 0
+
+    def test_counts(self):
+        pool = CandidatePool()
+        pool.add(_cand(label=0, kind=CandidateKind.MOTIF))
+        pool.add(_cand(label=0, kind=CandidateKind.DISCORD, start=1))
+        pool.add(_cand(label=0, kind=CandidateKind.DISCORD, start=2))
+        assert pool.counts() == {0: (1, 2)}
+
+    def test_copy_is_independent(self):
+        pool = CandidatePool()
+        cand = _cand()
+        pool.add(cand)
+        clone = pool.copy()
+        clone.remove(cand)
+        assert len(pool) == 1
+        assert len(clone) == 0
+
+    def test_iteration_covers_everything(self):
+        pool = CandidatePool()
+        for label in (0, 1):
+            for start in (0, 1):
+                pool.add(_cand(label=label, start=start))
+        assert sum(1 for _ in pool) == 4
+
+
+class TestGenerateCandidates:
+    def test_pool_size_matches_algorithm1(self, tiny_two_class):
+        """Q_N samples x |lengths| x (1 motif + 1 discord) per class."""
+        pool = generate_candidates(
+            tiny_two_class, q_n=5, q_s=3, lengths=[10, 20], seed=0
+        )
+        # 2 classes x 5 samples x 2 lengths x 2 kinds = 40.
+        assert len(pool) == 40
+        for label in (0, 1):
+            assert len(pool.motifs(label)) == 10
+            assert len(pool.discords(label)) == 10
+
+    def test_candidate_lengths_match_grid(self, tiny_two_class):
+        pool = generate_candidates(tiny_two_class, q_n=3, q_s=2, lengths=[8, 16], seed=0)
+        assert {c.length for c in pool} == {8, 16}
+
+    def test_provenance_round_trips(self, tiny_two_class):
+        pool = generate_candidates(tiny_two_class, q_n=4, q_s=3, lengths=[12], seed=1)
+        for cand in pool:
+            row = tiny_two_class.X[cand.source_instance]
+            assert np.allclose(
+                row[cand.start : cand.start + cand.length], cand.values
+            )
+            assert tiny_two_class.y[cand.source_instance] == cand.label
+
+    def test_deterministic_with_seed(self, tiny_two_class):
+        a = generate_candidates(tiny_two_class, q_n=3, q_s=2, lengths=[10], seed=5)
+        b = generate_candidates(tiny_two_class, q_n=3, q_s=2, lengths=[10], seed=5)
+        assert list(a) == list(b)
+
+    def test_multiple_harvest_per_profile(self, tiny_two_class):
+        pool = generate_candidates(
+            tiny_two_class, q_n=2, q_s=3, lengths=[10],
+            motifs_per_profile=3, discords_per_profile=2, seed=0,
+        )
+        assert len(pool.motifs(0)) == 6  # 2 samples x 3 motifs
+        assert len(pool.discords(0)) == 4
+
+    def test_rejects_empty_lengths(self, tiny_two_class):
+        with pytest.raises(ValidationError):
+            generate_candidates(tiny_two_class, q_n=1, q_s=2, lengths=[])
+
+    def test_rejects_oversized_length(self, tiny_two_class):
+        with pytest.raises(ValidationError):
+            generate_candidates(
+                tiny_two_class, q_n=1, q_s=2,
+                lengths=[tiny_two_class.series_length + 1],
+            )
+
+    def test_full_length_window_still_works(self):
+        """Window == instance length: one window per instance, all valid."""
+        from repro.ts.series import Dataset
+
+        ds = Dataset(X=np.random.default_rng(0).normal(size=(4, 30)), y=[0, 0, 1, 1])
+        pool = generate_candidates(ds, q_n=2, q_s=2, lengths=[30], seed=0)
+        assert len(pool) > 0
+        assert all(c.length == 30 and c.start == 0 for c in pool)

@@ -1,0 +1,76 @@
+"""Tests for repro.instanceprofile.sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.instanceprofile.sampling import BaggingSampler, resolve_lengths
+
+
+class TestResolveLengths:
+    def test_paper_ratio_grid(self):
+        lengths = resolve_lengths(100, (0.1, 0.2, 0.3, 0.4, 0.5))
+        assert lengths == [10, 20, 30, 40, 50]
+
+    def test_deduplication(self):
+        lengths = resolve_lengths(10, (0.1, 0.2, 0.25))
+        # 0.1 -> max(3, 1) = 3; 0.2 -> 3; 0.25 -> 3 (dedup to one entry).
+        assert lengths == [3]
+
+    def test_minimum_length_three(self):
+        assert resolve_lengths(30, (0.01,)) == [3]
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValidationError):
+            resolve_lengths(100, (0.0,))
+        with pytest.raises(ValidationError):
+            resolve_lengths(100, (1.5,))
+
+    def test_rejects_tiny_series(self):
+        with pytest.raises(ValidationError):
+            resolve_lengths(2, (0.5,))
+
+
+class TestBaggingSampler:
+    def test_sample_count_and_size(self):
+        sampler = BaggingSampler(q_n=7, q_s=3, seed=0)
+        samples = sampler.samples_for_class(np.arange(10))
+        assert len(samples) == 7
+        assert all(s.size == 3 for s in samples)
+
+    def test_no_duplicates_within_sample(self):
+        sampler = BaggingSampler(q_n=20, q_s=5, seed=0)
+        for sample in sampler.samples_for_class(np.arange(8)):
+            assert len(set(sample.tolist())) == sample.size
+
+    def test_clamps_to_class_size(self):
+        sampler = BaggingSampler(q_n=3, q_s=10, seed=0)
+        samples = sampler.samples_for_class(np.arange(4))
+        assert all(s.size == 4 for s in samples)
+
+    def test_at_least_two_when_possible(self):
+        sampler = BaggingSampler(q_n=3, q_s=1, seed=0)
+        samples = sampler.samples_for_class(np.arange(5))
+        assert all(s.size == 2 for s in samples)
+
+    def test_single_instance_class(self):
+        sampler = BaggingSampler(q_n=2, q_s=3, seed=0)
+        samples = sampler.samples_for_class(np.array([42]))
+        assert all(s.tolist() == [42] for s in samples)
+
+    def test_deterministic_with_seed(self):
+        a = BaggingSampler(q_n=5, q_s=3, seed=9).samples_for_class(np.arange(10))
+        b = BaggingSampler(q_n=5, q_s=3, seed=9).samples_for_class(np.arange(10))
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_rejects_empty_class(self):
+        with pytest.raises(ValidationError):
+            BaggingSampler(q_n=1, q_s=1).samples_for_class(np.array([], dtype=int))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValidationError):
+            BaggingSampler(q_n=0, q_s=1)
+        with pytest.raises(ValidationError):
+            BaggingSampler(q_n=1, q_s=0)

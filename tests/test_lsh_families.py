@@ -1,0 +1,122 @@
+"""Tests for repro.lsh: the three hashing families (Def. 10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.lsh import CosineLSH, HammingLSH, PStableL2LSH, make_lsh
+
+
+ALL_SCHEMES = ("l2", "cosine", "hamming")
+
+
+class TestFactory:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_builds_each_scheme(self, scheme):
+        fam = make_lsh(scheme, dim=16, seed=0)
+        assert fam.dim == 16
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValidationError):
+            make_lsh("simhash-3000", dim=4)
+
+    def test_case_insensitive(self):
+        fam = make_lsh("L2", dim=8, seed=0)
+        assert isinstance(fam, PStableL2LSH)
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+class TestFamilyContracts:
+    def test_signature_hashable_and_deterministic(self, scheme, rng):
+        fam = make_lsh(scheme, dim=12, seed=3)
+        x = rng.normal(size=12)
+        sig = fam.signature(x)
+        assert sig == fam.signature(x)
+        assert hash(sig) is not None
+
+    def test_project_deterministic(self, scheme, rng):
+        fam = make_lsh(scheme, dim=12, seed=3)
+        x = rng.normal(size=12)
+        assert np.array_equal(fam.project(x), fam.project(x))
+
+    def test_project_batch_matches_single(self, scheme, rng):
+        fam = make_lsh(scheme, dim=10, seed=1)
+        X = rng.normal(size=(5, 10))
+        batch = fam.project_batch(X)
+        for i in range(5):
+            assert np.allclose(batch[i], fam.project(X[i]))
+
+    def test_wrong_dim_rejected(self, scheme, rng):
+        fam = make_lsh(scheme, dim=10, seed=0)
+        with pytest.raises(ValidationError):
+            fam.signature(rng.normal(size=11))
+
+    def test_identical_inputs_collide(self, scheme, rng):
+        fam = make_lsh(scheme, dim=10, seed=0)
+        x = rng.normal(size=10)
+        assert fam.signature(x) == fam.signature(x.copy())
+
+    def test_locality(self, scheme, rng):
+        """Def. 10: near pairs collide more often than far pairs."""
+        fam_seed = np.random.default_rng(0)
+        near_collisions = far_collisions = 0
+        trials = 60
+        for t in range(trials):
+            fam = make_lsh(scheme, dim=16, seed=int(fam_seed.integers(2**31)), n_projections=4)
+            x = rng.normal(size=16) * 3
+            near = x + rng.normal(size=16) * 0.05
+            far = rng.normal(size=16) * 3
+            near_collisions += fam.signature(x) == fam.signature(near)
+            far_collisions += fam.signature(x) == fam.signature(far)
+        assert near_collisions > far_collisions
+
+
+class TestPStable:
+    def test_projection_approximately_preserves_norm(self, rng):
+        fam = PStableL2LSH(dim=64, n_projections=48, seed=0)
+        ratios = []
+        for _ in range(50):
+            x = rng.normal(size=64)
+            ratios.append(np.linalg.norm(fam.project(x)) / np.linalg.norm(x))
+        assert 0.7 < float(np.mean(ratios)) < 1.3
+
+    def test_width_controls_granularity(self, rng):
+        x = rng.normal(size=16)
+        y = x + rng.normal(size=16) * 0.3
+        coarse = PStableL2LSH(dim=16, width=100.0, seed=0)
+        assert coarse.signature(x) == coarse.signature(y)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValidationError):
+            PStableL2LSH(dim=4, width=0.0)
+
+
+class TestCosine:
+    def test_sign_bits(self, rng):
+        fam = CosineLSH(dim=8, n_projections=6, seed=0)
+        sig = fam.signature(rng.normal(size=8))
+        assert all(bit in (0, 1) for bit in sig)
+
+    def test_antipodal_points_differ_everywhere(self, rng):
+        fam = CosineLSH(dim=8, n_projections=6, seed=0)
+        x = rng.normal(size=8)
+        sig_x = np.array(fam.signature(x))
+        sig_neg = np.array(fam.signature(-x))
+        assert np.all(sig_x != sig_neg)
+
+
+class TestHamming:
+    def test_quantization_levels_in_range(self, rng):
+        fam = HammingLSH(dim=10, n_projections=5, n_levels=4, seed=0)
+        sig = fam.signature(rng.normal(size=10) * 10)
+        assert all(0 <= s < 4 for s in sig)
+
+    def test_more_projections_than_dim(self, rng):
+        fam = HammingLSH(dim=3, n_projections=8, seed=0)
+        assert len(fam.signature(rng.normal(size=3))) == 8
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValidationError):
+            HammingLSH(dim=4, value_range=(1.0, 1.0))

@@ -1,0 +1,101 @@
+"""Tests for repro.matrixprofile.profile and discovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.matrixprofile.discovery import top_k_discords, top_k_motifs
+from repro.matrixprofile.profile import MatrixProfile, profile_diff
+from repro.matrixprofile.stomp import stomp_self_join
+
+
+def _profile(values, indices=None, window=4, exclusion=1) -> MatrixProfile:
+    values = np.asarray(values, dtype=np.float64)
+    if indices is None:
+        indices = np.zeros(values.size, dtype=np.int64)
+    return MatrixProfile(
+        values=values, indices=indices, window=window, exclusion=exclusion
+    )
+
+
+class TestMatrixProfile:
+    def test_motif_discord(self):
+        mp = _profile([3.0, 1.0, 2.0, 9.0])
+        assert mp.motif() == (1, 1.0)
+        assert mp.discord() == (3, 9.0)
+
+    def test_masked_values_ignored(self):
+        mp = _profile([np.inf, 1.0, 2.0, np.inf])
+        assert mp.motif()[0] == 1
+        assert mp.discord()[0] == 2
+
+    def test_all_masked_raises(self):
+        mp = _profile([np.inf, np.inf])
+        with pytest.raises(ValidationError):
+            mp.motif()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            MatrixProfile(
+                values=np.zeros(3), indices=np.zeros(4, dtype=np.int64),
+                window=2, exclusion=1,
+            )
+
+
+class TestProfileDiff:
+    def test_absolute_difference(self):
+        a = _profile([1.0, 5.0, 2.0])
+        b = _profile([2.0, 1.0, 2.0])
+        diff = profile_diff(a, b)
+        assert np.allclose(diff, [1.0, 4.0, 0.0])
+
+    def test_signed_difference(self):
+        a = _profile([1.0, 5.0])
+        b = _profile([2.0, 1.0])
+        diff = profile_diff(a, b, absolute=False)
+        assert np.allclose(diff, [-1.0, 4.0])
+
+    def test_masked_positions_lose_argmax(self):
+        a = _profile([np.inf, 5.0])
+        b = _profile([1.0, 1.0])
+        diff = profile_diff(a, b)
+        assert diff[0] == -np.inf
+        assert int(np.argmax(diff)) == 1
+
+    def test_window_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            profile_diff(_profile([1.0], window=3), _profile([1.0], window=4))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            profile_diff(_profile([1.0, 2.0]), _profile([1.0]))
+
+
+class TestTopK:
+    def test_motifs_ascending_and_separated(self, rng):
+        t = rng.normal(size=200)
+        mp = stomp_self_join(t, 20)
+        picks = top_k_motifs(mp, 4)
+        values = [v for _p, v in picks]
+        assert values == sorted(values)
+        positions = [p for p, _v in picks]
+        for i in range(len(positions)):
+            for j in range(i + 1, len(positions)):
+                assert abs(positions[i] - positions[j]) > mp.exclusion
+
+    def test_discords_descending(self, rng):
+        t = rng.normal(size=200)
+        mp = stomp_self_join(t, 20)
+        picks = top_k_discords(mp, 4)
+        values = [v for _p, v in picks]
+        assert values == sorted(values, reverse=True)
+
+    def test_fewer_than_k_when_exhausted(self):
+        mp = _profile([1.0, 2.0, 3.0], exclusion=5)
+        assert len(top_k_motifs(mp, 3)) == 1  # exclusion kills the rest
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            top_k_motifs(_profile([1.0]), 0)

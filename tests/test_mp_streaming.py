@@ -1,0 +1,75 @@
+"""Tests for repro.matrixprofile.streaming (STAMPI)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LengthError, ValidationError
+from repro.matrixprofile.streaming import StreamingMatrixProfile
+from repro.matrixprofile.stomp import stomp_self_join
+
+
+class TestStreamingMatrixProfile:
+    def test_matches_batch_exactly(self, rng):
+        stream = StreamingMatrixProfile(window=12)
+        data = rng.normal(size=120)
+        stream.extend(data)
+        assert stream.check_against_batch()
+        batch = stomp_self_join(data, 12)
+        snapshot = stream.profile()
+        finite = np.isfinite(batch.values)
+        assert np.allclose(snapshot.values[finite], batch.values[finite], atol=1e-6)
+
+    def test_matches_batch_at_every_prefix(self, rng):
+        stream = StreamingMatrixProfile(window=8)
+        data = rng.normal(size=60)
+        for value in data:
+            stream.append(float(value))
+            if stream.n_windows >= 2:
+                assert stream.check_against_batch()
+
+    def test_raw_mode(self, rng):
+        stream = StreamingMatrixProfile(window=10, normalized=False)
+        stream.extend(rng.normal(size=80))
+        assert stream.check_against_batch()
+
+    def test_profile_values_never_increase(self, rng):
+        stream = StreamingMatrixProfile(window=10)
+        stream.extend(rng.normal(size=40))
+        before = stream.profile().values.copy()
+        stream.extend(rng.normal(size=20))
+        after = stream.profile().values[: before.size]
+        finite = np.isfinite(before)
+        assert np.all(after[finite] <= before[finite] + 1e-9)
+
+    def test_planted_motif_found_online(self, rng):
+        pattern = np.sin(np.linspace(0, 2 * np.pi, 20)) * 5
+        data = rng.normal(size=200)
+        data[30:50] += pattern
+        data[140:160] += pattern
+        stream = StreamingMatrixProfile(window=20)
+        stream.extend(data)
+        pos, _val = stream.profile().motif()
+        assert min(abs(pos - 30), abs(pos - 140)) <= 3
+
+    def test_too_few_points_rejected(self):
+        stream = StreamingMatrixProfile(window=10)
+        stream.extend(np.arange(5.0))
+        with pytest.raises(LengthError):
+            stream.profile()
+
+    def test_counts(self, rng):
+        stream = StreamingMatrixProfile(window=10)
+        stream.extend(rng.normal(size=25))
+        assert stream.n_points == 25
+        assert stream.n_windows == 16
+
+    def test_rejects_nan(self):
+        stream = StreamingMatrixProfile(window=4)
+        with pytest.raises(ValidationError):
+            stream.append(float("nan"))
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(ValidationError):
+            StreamingMatrixProfile(window=1)

@@ -1,0 +1,106 @@
+"""Hypothesis property tests for the DABF and SAX invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.sax import paa, sax_word
+from repro.filters.dabf import DABF
+from repro.instanceprofile.candidates import CandidatePool
+from repro.types import Candidate, CandidateKind
+
+_FLOATS = st.floats(
+    min_value=-20.0, max_value=20.0, allow_nan=False, allow_infinity=False
+)
+
+
+def _pool_from(data: st.DataObject, n_classes: int, length: int) -> CandidatePool:
+    pool = CandidatePool()
+    rng = np.random.default_rng(data.draw(st.integers(0, 10_000)))
+    for label in range(n_classes):
+        offset = data.draw(st.floats(-5.0, 5.0))
+        for i in range(data.draw(st.integers(3, 8))):
+            pool.add(
+                Candidate(
+                    values=rng.normal(size=length) + offset,
+                    label=label,
+                    kind=CandidateKind.MOTIF,
+                    start=i,
+                )
+            )
+    return pool
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_dabf_query_deterministic(data):
+    pool = _pool_from(data, n_classes=2, length=10)
+    dabf = DABF.build(pool, seed=0)
+    query = np.random.default_rng(0).normal(size=10)
+    first = dabf.per_class[0].query_zscore(query)
+    second = dabf.per_class[0].query_zscore(query)
+    assert first == second
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_dabf_prune_theta_monotone(data):
+    pool = _pool_from(data, n_classes=2, length=8)
+    dabf = DABF.build(pool, seed=0)
+    theta_small = data.draw(st.floats(0.5, 2.0))
+    theta_large = theta_small + data.draw(st.floats(0.5, 4.0))
+    _p1, small = dabf.prune(pool, theta=theta_small)
+    _p2, large = dabf.prune(pool, theta=theta_large)
+    assert large.n_removed >= small.n_removed
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_dabf_prune_conserves_candidates(data):
+    pool = _pool_from(data, n_classes=3, length=8)
+    dabf = DABF.build(pool, seed=0)
+    pruned, report = dabf.prune(pool)
+    assert len(pruned) + report.n_removed == len(pool)
+    assert report.n_kept == len(pruned)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(_FLOATS, min_size=4, max_size=60),
+    n_segments=st.integers(2, 10),
+    alphabet=st.integers(2, 8),
+)
+def test_sax_word_contract(values, n_segments, alphabet):
+    word = sax_word(np.asarray(values), n_segments=n_segments, alphabet_size=alphabet)
+    assert len(word) == min(n_segments, len(values))
+    assert all(0 <= symbol < alphabet for symbol in word)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(_FLOATS, min_size=2, max_size=60),
+    n_segments=st.integers(1, 12),
+)
+def test_paa_mean_preserved(values, n_segments):
+    """PAA preserves the overall mean when segments are equal-sized."""
+    arr = np.asarray(values)
+    out = paa(arr, n_segments)
+    assert out.size == min(n_segments, arr.size)
+    if arr.size % out.size == 0:
+        assert np.isclose(out.mean(), arr.mean(), atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(_FLOATS, min_size=8, max_size=40),
+    shift=st.floats(-50.0, 50.0),
+    scale=st.floats(0.1, 10.0),
+)
+def test_sax_affine_invariance(values, shift, scale):
+    """SAX z-normalizes first: affine transforms give the same word."""
+    arr = np.asarray(values)
+    base = sax_word(arr)
+    transformed = sax_word(arr * scale + shift)
+    assert base == transformed

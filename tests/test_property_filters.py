@@ -1,0 +1,97 @@
+"""Hypothesis property tests for filters and stats invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines.quality import best_information_gain, entropy
+from repro.filters.bloom import BloomFilter
+from repro.stats.ranking import rank_rows
+from repro.stats.wilcoxon import holm_correction
+
+_FINITE = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.text(min_size=1, max_size=12), min_size=1, max_size=40))
+def test_bloom_no_false_negatives(keys):
+    bloom = BloomFilter.with_capacity(max(len(keys), 1), fp_rate=0.01)
+    for key in keys:
+        bloom.add(key)
+    assert all(key in bloom for key in keys)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(0, 4), min_size=1, max_size=50),
+)
+def test_entropy_bounds(labels):
+    value = entropy(np.asarray(labels))
+    n_classes = len(set(labels))
+    assert 0.0 <= value <= np.log2(max(n_classes, 1)) + 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_information_gain_bounds(data):
+    n = data.draw(st.integers(2, 40))
+    distances = data.draw(arrays(np.float64, n, elements=_FINITE))
+    labels = np.asarray(data.draw(st.lists(st.integers(0, 2), min_size=n, max_size=n)))
+    gain, _threshold = best_information_gain(distances, labels)
+    assert 0.0 <= gain <= entropy(labels) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_rank_rows_are_permutation_invariant_sums(data):
+    n_rows = data.draw(st.integers(1, 8))
+    n_cols = data.draw(st.integers(2, 8))
+    matrix = data.draw(
+        arrays(np.float64, (n_rows, n_cols), elements=_FINITE)
+    )
+    ranks = rank_rows(matrix)
+    expected_sum = n_cols * (n_cols + 1) / 2
+    assert np.allclose(ranks.sum(axis=1), expected_sum)
+    assert np.all((ranks >= 1.0) & (ranks <= n_cols))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    ),
+    st.floats(min_value=0.01, max_value=0.2),
+)
+def test_holm_monotone_in_p(p_values, alpha):
+    """If p_i is rejected, any p_j <= p_i is also rejected."""
+    ps = np.asarray(p_values)
+    reject = holm_correction(ps, alpha=alpha)
+    if reject.any():
+        max_rejected = ps[reject].max()
+        assert np.all(reject[ps < max_rejected] | (ps[ps < max_rejected] > max_rejected))
+        # Every p strictly below a rejected p must itself be rejected.
+        assert reject[ps <= max_rejected].all() or np.isclose(ps, max_rejected).any()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_lsh_table_rank_bounds(data):
+    from repro.lsh import LSHTable, make_lsh
+
+    dim = data.draw(st.integers(2, 12))
+    n_items = data.draw(st.integers(1, 20))
+    seed = data.draw(st.integers(0, 1000))
+    rng = np.random.default_rng(seed)
+    table = LSHTable(make_lsh("l2", dim=dim, seed=seed))
+    for _ in range(n_items):
+        table.add(rng.normal(size=dim))
+    query = rng.normal(size=dim) * data.draw(st.floats(0.1, 10.0))
+    rank = table.bucket_rank_of(query)
+    assert 0 <= rank <= table.n_buckets

@@ -1,0 +1,85 @@
+"""Hypothesis property tests for the end-to-end pipeline (small budget).
+
+The pipeline is expensive, so example counts are small and sizes tiny; the
+point is invariants across the *configuration space*, not data volume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import IPSConfig
+from repro.core.pipeline import IPS
+from repro.core.transform import ShapeletTransform
+from repro.datasets.generators import make_planted_dataset
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    n_classes=st.integers(2, 3),
+    q_n=st.integers(2, 5),
+    q_s=st.integers(2, 4),
+    k=st.integers(1, 4),
+    seed=st.integers(0, 100),
+    use_dabf=st.booleans(),
+    use_dt_cr=st.booleans(),
+)
+def test_pipeline_invariants(n_classes, q_n, q_s, k, seed, use_dabf, use_dt_cr):
+    dataset = make_planted_dataset(
+        n_classes=n_classes,
+        n_instances=4 * n_classes,
+        length=48,
+        seed=seed,
+    )
+    config = IPSConfig(
+        q_n=q_n,
+        q_s=q_s,
+        k=k,
+        length_ratios=(0.2, 0.35),
+        use_dabf=use_dabf,
+        use_dt_cr=use_dt_cr,
+        seed=seed,
+    )
+    result = IPS(config).discover(dataset)
+
+    # 1. Shapelets exist and carry valid labels.
+    assert result.shapelets
+    assert {s.label for s in result.shapelets} <= set(range(n_classes))
+
+    # 2. At most k per class; lengths within the requested grid.
+    per_class: dict[int, int] = {}
+    valid_lengths = {max(3, round(r * 48)) for r in (0.2, 0.35)}
+    for shapelet in result.shapelets:
+        per_class[shapelet.label] = per_class.get(shapelet.label, 0) + 1
+        assert shapelet.length in valid_lengths
+    assert all(count <= k for count in per_class.values())
+
+    # 3. Pruning never grows the pool; counters are consistent.
+    assert 0 < result.n_candidates_after_pruning <= result.n_candidates_generated
+
+    # 4. Provenance round-trips to the training data.
+    for shapelet in result.shapelets:
+        row = dataset.X[shapelet.source_instance]
+        assert np.allclose(
+            row[shapelet.start : shapelet.start + shapelet.length], shapelet.values
+        )
+
+    # 5. Transform features are finite and non-negative.
+    features = ShapeletTransform(result.shapelets).transform(dataset.X)
+    assert np.all(np.isfinite(features))
+    assert np.all(features >= 0.0)
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 50))
+def test_pipeline_deterministic_for_any_seed(seed):
+    dataset = make_planted_dataset(n_classes=2, n_instances=8, length=40, seed=3)
+    config = IPSConfig(q_n=3, q_s=2, k=2, length_ratios=(0.25,), seed=seed)
+    a = IPS(config).discover(dataset)
+    b = IPS(config).discover(dataset)
+    assert len(a.shapelets) == len(b.shapelets)
+    for s1, s2 in zip(a.shapelets, b.shapelets):
+        assert np.array_equal(s1.values, s2.values)
+        assert s1.score == s2.score

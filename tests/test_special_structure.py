@@ -1,0 +1,134 @@
+"""Deeper structural tests of the exact synthetic-UCR generators.
+
+These verify the *generative definitions*, not just shapes: step polarity
+in TwoPatterns, support flatness/ramps in CBF, periodicity in
+SyntheticControl's cyclic class, and the ECG wave layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.special import (
+    make_cbf,
+    make_ecg,
+    make_synthetic_control,
+    make_two_patterns,
+)
+
+
+def _step_signs(series: np.ndarray, threshold: float = 2.0) -> list[int]:
+    """Signs of the large steps in a TwoPatterns instance, in time order."""
+    diffs = np.diff(series)
+    signs: list[int] = []
+    i = 0
+    while i < diffs.size:
+        if diffs[i] > threshold:
+            signs.append(+1)
+            i += 5
+        elif diffs[i] < -threshold:
+            signs.append(-1)
+            i += 5
+        else:
+            i += 1
+    return signs
+
+
+class TestTwoPatternsStructure:
+    def test_class_step_polarity(self):
+        """Class encodes the (first, second) event types: UU/UD/DU/DD.
+
+        An 'up' event is a down-step followed by an up-step (the -1 then
+        +1 plateau); detect each event by its characteristic first edge.
+        """
+        ds = make_two_patterns(80, length=128, seed=3)
+        # Class 0 = up,up: first big edge of each event is negative
+        # (drop to -1) followed by a positive recovery edge.
+        for label, (first_up, second_up) in enumerate(
+            [(True, True), (True, False), (False, True), (False, False)]
+        ):
+            rows = ds.series_of_class(label)
+            agreement = 0
+            total = 0
+            for row in rows:
+                signs = _step_signs(row)
+                if len(signs) < 2:
+                    continue
+                # An up event starts with a -edge; a down event with +edge.
+                first_is_up = signs[0] == -1
+                last_is_up = signs[-1] == +1  # up events end on a +edge
+                total += 1
+                agreement += first_is_up == first_up
+            assert total > 0
+            assert agreement / total > 0.7, (label, agreement, total)
+
+
+class TestCBFStructure:
+    def test_cylinder_flat_on_support(self):
+        ds = make_cbf(90, length=128, seed=4)
+        cylinders = ds.series_of_class(0)
+        # On its support the cylinder sits near 6; measure the middle third.
+        mid = cylinders[:, 45:85]
+        assert np.median(mid) > 3.0
+        # Outside the support (the very start) it is near zero-mean noise.
+        head = cylinders[:, :10]
+        assert abs(np.median(head)) < 1.5
+
+    def test_bell_starts_low_funnel_starts_high(self):
+        ds = make_cbf(90, length=128, seed=5)
+        bell = ds.series_of_class(1)
+        funnel = ds.series_of_class(2)
+        # Within the common support region, the bell is rising so its
+        # early-support values are below its late-support values; the
+        # funnel is the mirror image.
+        assert np.median(bell[:, 80:95]) > np.median(bell[:, 35:50])
+        assert np.median(funnel[:, 35:50]) > np.median(funnel[:, 80:95])
+
+
+class TestSyntheticControlStructure:
+    def test_cyclic_class_is_periodic(self):
+        ds = make_synthetic_control(60, length=60, seed=6)
+        cyclic = ds.series_of_class(1)
+        normal = ds.series_of_class(0)
+
+        def peak_autocorr(row: np.ndarray) -> float:
+            centered = row - row.mean()
+            full = np.correlate(centered, centered, mode="full")
+            acf = full[full.size // 2 :]
+            acf = acf / acf[0]
+            # Strongest autocorrelation at a lag in the period range 8..20.
+            return float(acf[8:20].max())
+
+        cyclic_score = np.mean([peak_autocorr(row) for row in cyclic])
+        normal_score = np.mean([peak_autocorr(row) for row in normal])
+        assert cyclic_score > normal_score + 0.2
+
+    def test_shift_classes_have_level_break(self):
+        ds = make_synthetic_control(60, length=60, seed=7)
+        up_shift = ds.series_of_class(4)
+        diff_of_halves = up_shift[:, 40:].mean(axis=1) - up_shift[:, :20].mean(axis=1)
+        assert np.median(diff_of_halves) > 5.0
+
+    def test_normal_class_is_stationary(self):
+        ds = make_synthetic_control(60, length=60, seed=8)
+        normal = ds.series_of_class(0)
+        slopes = [np.polyfit(np.arange(60), row, 1)[0] for row in normal]
+        assert abs(float(np.median(slopes))) < 0.1
+
+
+class TestECGStructure:
+    def test_r_peak_dominates(self):
+        ds = make_ecg(30, length=96, n_classes=2, seed=9)
+        mean_beat = ds.X.mean(axis=0)
+        r_position = int(np.argmax(mean_beat))
+        # The R peak sits at ~40% of the beat.
+        assert 0.3 * 96 < r_position < 0.5 * 96
+
+    def test_five_class_variant_distinct(self):
+        ds = make_ecg(50, length=96, n_classes=5, seed=10)
+        assert ds.n_classes == 5
+        means = np.vstack([ds.series_of_class(c).mean(axis=0) for c in range(5)])
+        # Every pair of class means differs somewhere meaningfully.
+        for a in range(5):
+            for b in range(a + 1, 5):
+                assert np.abs(means[a] - means[b]).max() > 0.05

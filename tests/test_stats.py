@@ -1,0 +1,217 @@
+"""Tests for repro.stats: ranking, Friedman, Wilcoxon-Holm, CD diagram."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.exceptions import ValidationError
+from repro.stats.cd_diagram import cd_groups, critical_difference, render_cd
+from repro.stats.friedman import friedman_test
+from repro.stats.ranking import average_ranks, best_counts, rank_rows, wins_draws_losses
+from repro.stats.wilcoxon import (
+    holm_correction,
+    pairwise_wilcoxon_matrix,
+    wilcoxon_signed_rank,
+)
+
+
+class TestRankRows:
+    def test_best_gets_rank_one(self):
+        ranks = rank_rows(np.array([[90.0, 70.0, 80.0]]))
+        assert ranks[0].tolist() == [1.0, 3.0, 2.0]
+
+    def test_ties_average(self):
+        ranks = rank_rows(np.array([[90.0, 90.0, 80.0]]))
+        assert ranks[0].tolist() == [1.5, 1.5, 3.0]
+
+    def test_nan_gets_worst_rank(self):
+        ranks = rank_rows(np.array([[90.0, np.nan, 80.0]]))
+        assert ranks[0, 1] == 3.0
+
+    def test_rank_sum_invariant(self, rng):
+        A = rng.normal(size=(10, 6))
+        ranks = rank_rows(A)
+        expected = 6 * 7 / 2
+        assert np.allclose(ranks.sum(axis=1), expected)
+
+    def test_rejects_single_method(self):
+        with pytest.raises(ValidationError):
+            rank_rows(np.ones((3, 1)))
+
+
+class TestSummaries:
+    def test_average_ranks(self):
+        A = np.array([[3.0, 2.0, 1.0], [3.0, 2.0, 1.0]])
+        assert average_ranks(A).tolist() == [1.0, 2.0, 3.0]
+
+    def test_best_counts_with_ties(self):
+        A = np.array([[5.0, 5.0, 1.0], [9.0, 2.0, 3.0]])
+        assert best_counts(A).tolist() == [2, 1, 0]
+
+    def test_wins_draws_losses(self):
+        A = np.array([[2.0, 1.0], [2.0, 3.0], [2.0, 2.0]])
+        wdl = wins_draws_losses(A, reference=0)
+        assert wdl[1] == (1, 1, 1)
+        assert wdl[0] == (0, 0, 0)
+
+    def test_wdl_skips_nan_pairs(self):
+        A = np.array([[2.0, np.nan], [2.0, 1.0]])
+        wdl = wins_draws_losses(A, reference=0)
+        assert wdl[1] == (1, 0, 0)
+
+    def test_reference_out_of_range(self):
+        with pytest.raises(ValidationError):
+            wins_draws_losses(np.ones((2, 2)), reference=5)
+
+
+class TestFriedman:
+    def test_matches_scipy_without_ties(self, rng):
+        A = rng.normal(size=(15, 4)) + np.arange(4) * 0.3
+        mine = friedman_test(A)
+        ref = sps.friedmanchisquare(*[A[:, j] for j in range(4)])
+        assert mine.statistic == pytest.approx(ref.statistic)
+        assert mine.p_value == pytest.approx(ref.pvalue)
+
+    def test_identical_methods_not_rejected(self, rng):
+        base = rng.normal(size=(10, 1))
+        A = np.repeat(base, 4, axis=1) + rng.normal(size=(10, 4)) * 1e-9
+        result = friedman_test(A)
+        assert not result.reject_at(0.05)
+
+    def test_clearly_different_methods_rejected(self, rng):
+        A = rng.normal(size=(25, 4)) * 0.1 + np.array([0.0, 1.0, 2.0, 3.0])
+        assert friedman_test(A).reject_at(0.01)
+
+    def test_average_ranks_exposed(self, rng):
+        A = rng.normal(size=(8, 5))
+        result = friedman_test(A)
+        assert result.average_ranks.shape == (5,)
+        assert result.n_datasets == 8
+        assert result.n_methods == 5
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ValidationError):
+            friedman_test(np.ones((1, 3)))
+        with pytest.raises(ValidationError):
+            friedman_test(np.ones((5, 2)))
+
+
+class TestWilcoxon:
+    def test_matches_scipy_approx(self, rng):
+        x = rng.normal(size=30)
+        y = x + rng.normal(size=30) * 0.5 + 0.3
+        mine = wilcoxon_signed_rank(x, y)
+        ref = sps.wilcoxon(x, y, correction=False, mode="approx")
+        assert mine.p_value == pytest.approx(ref.pvalue, rel=1e-6)
+
+    def test_identical_samples_p_one(self, rng):
+        x = rng.normal(size=20)
+        result = wilcoxon_signed_rank(x, x.copy())
+        assert result.p_value == 1.0
+        assert result.n_effective == 0
+
+    def test_clear_difference_small_p(self, rng):
+        x = rng.normal(size=40)
+        result = wilcoxon_signed_rank(x, x + 2.0)
+        assert result.p_value < 1e-4
+
+    def test_rejects_mismatched(self, rng):
+        with pytest.raises(ValidationError):
+            wilcoxon_signed_rank(rng.normal(size=5), rng.normal(size=6))
+
+
+class TestPairwiseMatrix:
+    def test_symmetric_unit_diagonal(self, rng):
+        A = rng.normal(size=(15, 4))
+        P = pairwise_wilcoxon_matrix(A)
+        assert P.shape == (4, 4)
+        assert np.allclose(P, P.T)
+        assert np.allclose(np.diag(P), 1.0)
+
+    def test_detects_clear_difference(self, rng):
+        base = rng.normal(size=(25, 1))
+        A = np.hstack([base, base + 3.0])
+        P = pairwise_wilcoxon_matrix(A)
+        assert P[0, 1] < 1e-3
+
+    def test_nan_rows_skipped_per_pair(self, rng):
+        A = rng.normal(size=(12, 3))
+        A[0, 2] = np.nan
+        P = pairwise_wilcoxon_matrix(A)
+        assert np.all(np.isfinite(P))
+
+    def test_rejects_single_method(self):
+        with pytest.raises(ValidationError):
+            pairwise_wilcoxon_matrix(np.ones((5, 1)))
+
+
+class TestHolm:
+    def test_all_tiny_ps_rejected(self):
+        reject = holm_correction(np.array([1e-6, 1e-7, 1e-8]))
+        assert reject.all()
+
+    def test_step_down_stops_at_first_failure(self):
+        # Sorted ps: 0.001 vs 0.05/3 ok; 0.04 vs 0.05/2=0.025 fails; stop.
+        reject = holm_correction(np.array([0.04, 0.001, 0.9]))
+        assert reject.tolist() == [False, True, False]
+
+    def test_stricter_than_unadjusted(self):
+        ps = np.array([0.03, 0.04, 0.045])
+        reject = holm_correction(ps, alpha=0.05)
+        assert not reject.any()  # 0.03 > 0.05/3
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValidationError):
+            holm_correction(np.array([0.1]), alpha=1.5)
+
+
+class TestCDDiagram:
+    def _matrix(self, rng):
+        # Three tiers: two good methods (similar), one bad.
+        n = 30
+        good_a = rng.normal(90, 1.0, size=n)
+        good_b = good_a + rng.normal(0, 0.5, size=n)
+        bad = rng.normal(60, 1.0, size=n)
+        return np.column_stack([good_a, good_b, bad])
+
+    def test_nemenyi_cd_value(self):
+        # Demsar's example regime: k methods, N datasets.
+        cd = critical_difference(5, 30)
+        assert cd == pytest.approx(2.728 * np.sqrt(5 * 6 / (6 * 30)), rel=1e-6)
+
+    def test_groups_connect_similar_methods(self, rng):
+        ranks, groups = cd_groups(self._matrix(rng), method="wilcoxon-holm")
+        order = np.argsort(ranks)
+        # The two good methods are adjacent and grouped; bad is alone.
+        assert any(hi - lo == 1 for lo, hi in groups)
+        for lo, hi in groups:
+            members = {int(order[i]) for i in range(lo, hi + 1)}
+            assert 2 not in members  # the bad method never joins a group
+
+    def test_nemenyi_mode(self, rng):
+        _ranks, groups = cd_groups(self._matrix(rng), method="nemenyi")
+        assert isinstance(groups, list)
+
+    def test_render_contains_methods_and_ranks(self, rng):
+        text = render_cd(["alpha", "beta", "gamma"], self._matrix(rng))
+        assert "alpha" in text
+        assert "avg rank" in text
+        assert "groups not significantly different" in text or "significant" in text
+
+    def test_render_nemenyi_shows_cd_value(self, rng):
+        text = render_cd(["a", "b", "c"], self._matrix(rng), method="nemenyi")
+        assert "CD = " in text
+
+    def test_render_name_mismatch_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            render_cd(["only-one"], self._matrix(rng))
+
+    def test_unknown_mode_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            cd_groups(self._matrix(rng), method="bonferroni-dunn-3000")
+
+    def test_untabulated_k_rejected(self):
+        with pytest.raises(ValidationError):
+            critical_difference(25, 10)

@@ -1,0 +1,85 @@
+"""Tests for repro.ts.concat: junction bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LengthError, ValidationError
+from repro.ts.concat import ConcatenatedSeries, concatenate_series
+
+
+class TestConcatenateSeries:
+    def test_values_and_boundaries(self):
+        cs = concatenate_series([np.arange(3.0), np.arange(4.0), np.arange(2.0)])
+        assert len(cs) == 9
+        assert cs.boundaries.tolist() == [0, 3, 7, 9]
+        assert cs.n_instances == 3
+
+    def test_matrix_input(self, rng):
+        X = rng.normal(size=(4, 10))
+        cs = concatenate_series(X)
+        assert len(cs) == 40
+        assert np.array_equal(cs.values[10:20], X[1])
+
+    def test_custom_instance_ids(self):
+        cs = concatenate_series([np.ones(5), np.ones(5)], instance_ids=[7, 3])
+        assert cs.instance_ids.tolist() == [7, 3]
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ValidationError):
+            concatenate_series([])
+
+    def test_rejects_empty_instance(self):
+        with pytest.raises(ValidationError):
+            concatenate_series([np.ones(3), np.array([])])
+
+
+class TestValidWindowMask:
+    def test_counts_per_instance(self):
+        cs = concatenate_series([np.ones(10), np.ones(10)])
+        mask = cs.valid_window_mask(4)
+        # Each instance has 7 valid starts; 3 junction windows invalid.
+        assert mask.sum() == 14
+        assert mask.size == 17
+
+    def test_junction_positions_masked(self):
+        cs = concatenate_series([np.ones(5), np.ones(5)])
+        mask = cs.valid_window_mask(3)
+        # Starts 3 and 4 straddle the junction at position 5.
+        assert not mask[3]
+        assert not mask[4]
+        assert mask[2]
+        assert mask[5]
+
+    def test_window_one_all_valid(self):
+        cs = concatenate_series([np.ones(4), np.ones(4)])
+        assert cs.valid_window_mask(1).all()
+
+
+class TestLocate:
+    def test_round_trip(self):
+        cs = concatenate_series([np.arange(6.0), np.arange(8.0)], instance_ids=[10, 20])
+        instance, offset = cs.locate(7, 3)
+        assert instance == 20
+        assert offset == 1
+
+    def test_rejects_junction_window(self):
+        cs = concatenate_series([np.ones(5), np.ones(5)])
+        with pytest.raises(LengthError):
+            cs.locate(4, 3)
+
+    def test_rejects_out_of_range(self):
+        cs = concatenate_series([np.ones(5)])
+        with pytest.raises(LengthError):
+            cs.locate(4, 3)
+
+    def test_instance_of_position(self):
+        cs = concatenate_series([np.ones(5), np.ones(5)])
+        assert cs.instance_of_position(0) == 0
+        assert cs.instance_of_position(4) == 0
+        assert cs.instance_of_position(5) == 1
+
+    def test_bad_boundaries_rejected(self):
+        with pytest.raises(ValidationError):
+            ConcatenatedSeries(values=np.ones(5), boundaries=np.array([1, 5]))

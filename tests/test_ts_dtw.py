@@ -1,0 +1,90 @@
+"""Tests for repro.ts.dtw."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ts.dtw import dtw_distance, lb_keogh
+
+
+def _dtw_reference(a: np.ndarray, b: np.ndarray) -> float:
+    """Unconstrained O(nm) reference implementation."""
+    n, m = a.size, b.size
+    acc = np.full((n + 1, m + 1), np.inf)
+    acc[0, 0] = 0.0
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            cost = (a[i - 1] - b[j - 1]) ** 2
+            acc[i, j] = cost + min(acc[i - 1, j], acc[i, j - 1], acc[i - 1, j - 1])
+    return float(np.sqrt(acc[n, m]))
+
+
+class TestDTW:
+    def test_identical_series_zero(self, rng):
+        x = rng.normal(size=40)
+        assert dtw_distance(x, x) == pytest.approx(0.0)
+
+    def test_matches_reference(self, rng):
+        a = rng.normal(size=25)
+        b = rng.normal(size=31)
+        assert dtw_distance(a, b) == pytest.approx(_dtw_reference(a, b))
+
+    def test_symmetric(self, rng):
+        a = rng.normal(size=20)
+        b = rng.normal(size=20)
+        assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a))
+
+    def test_shift_invariance_vs_euclidean(self):
+        """DTW absorbs a small shift that Euclidean distance cannot."""
+        t = np.linspace(0, 4 * np.pi, 80)
+        a = np.sin(t)
+        b = np.sin(t + 0.4)
+        euclidean = float(np.sqrt(np.sum((a - b) ** 2)))
+        assert dtw_distance(a, b) < euclidean
+
+    def test_band_zero_close_to_diagonal_alignment(self, rng):
+        a = rng.normal(size=30)
+        b = rng.normal(size=30)
+        banded = dtw_distance(a, b, band=0)
+        # band=0 still allows the |i-j|<=~1 corridor from ceil/floor, so
+        # it upper-bounds the unconstrained distance.
+        assert banded >= dtw_distance(a, b) - 1e-9
+
+    def test_wider_band_never_increases_distance(self, rng):
+        a = rng.normal(size=30)
+        b = rng.normal(size=30)
+        d_narrow = dtw_distance(a, b, band=2)
+        d_wide = dtw_distance(a, b, band=10)
+        assert d_wide <= d_narrow + 1e-9
+
+    def test_unequal_lengths(self, rng):
+        a = rng.normal(size=15)
+        b = rng.normal(size=45)
+        assert dtw_distance(a, b) == pytest.approx(_dtw_reference(a, b))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            dtw_distance(np.array([]), np.arange(3.0))
+
+    def test_rejects_negative_band(self, rng):
+        with pytest.raises(ValidationError):
+            dtw_distance(rng.normal(size=5), rng.normal(size=5), band=-1)
+
+
+class TestLBKeogh:
+    def test_lower_bounds_dtw(self, rng):
+        for _ in range(10):
+            a = rng.normal(size=40)
+            b = rng.normal(size=40)
+            band = 5
+            assert lb_keogh(a, b, band) <= dtw_distance(a, b, band=band) + 1e-9
+
+    def test_zero_for_identical(self, rng):
+        x = rng.normal(size=30)
+        assert lb_keogh(x, x, 3) == pytest.approx(0.0)
+
+    def test_rejects_unequal_lengths(self, rng):
+        with pytest.raises(ValidationError):
+            lb_keogh(rng.normal(size=10), rng.normal(size=12), 2)

@@ -1,0 +1,87 @@
+"""Tests for repro.ts.preprocessing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ts.preprocessing import linear_interpolate_resample, moving_average, znormalize
+
+
+class TestZnormalize:
+    def test_mean_zero_std_one(self, rng):
+        z = znormalize(rng.normal(3.0, 5.0, size=500))
+        assert abs(z.mean()) < 1e-12
+        assert abs(z.std() - 1.0) < 1e-12
+
+    def test_constant_maps_to_zeros(self):
+        z = znormalize(np.full(10, 7.0))
+        assert np.all(z == 0.0)
+
+    def test_axis_handling_on_matrix(self, rng):
+        X = rng.normal(size=(4, 50))
+        Z = znormalize(X, axis=-1)
+        assert np.allclose(Z.mean(axis=1), 0.0, atol=1e-12)
+        assert np.allclose(Z.std(axis=1), 1.0, atol=1e-12)
+
+    def test_mixed_constant_rows(self):
+        X = np.vstack([np.full(8, 3.0), np.arange(8.0)])
+        Z = znormalize(X)
+        assert np.all(Z[0] == 0.0)
+        assert abs(Z[1].std() - 1.0) < 1e-12
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        x = np.arange(5.0)
+        assert np.array_equal(moving_average(x, 1), x)
+
+    def test_matches_naive_center(self):
+        x = np.arange(10.0)
+        out = moving_average(x, 3)
+        # Interior points: exact centered mean.
+        for i in range(1, 9):
+            assert out[i] == pytest.approx(x[i - 1 : i + 2].mean())
+
+    def test_edges_shrink_window(self):
+        x = np.arange(10.0)
+        out = moving_average(x, 3)
+        assert out[0] == pytest.approx(x[:2].mean())
+
+    def test_length_preserved(self, rng):
+        x = rng.normal(size=33)
+        assert moving_average(x, 7).shape == x.shape
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValidationError):
+            moving_average(np.arange(5.0), 0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            moving_average(np.zeros((2, 3)), 2)
+
+
+class TestResample:
+    def test_identity_when_same_length(self):
+        x = np.arange(10.0)
+        assert np.array_equal(linear_interpolate_resample(x, 10), x)
+
+    def test_endpoints_preserved(self, rng):
+        x = rng.normal(size=17)
+        out = linear_interpolate_resample(x, 40)
+        assert out[0] == pytest.approx(x[0])
+        assert out[-1] == pytest.approx(x[-1])
+
+    def test_upsample_linear_exact_on_lines(self):
+        x = np.linspace(0.0, 1.0, 5)
+        out = linear_interpolate_resample(x, 9)
+        assert np.allclose(out, np.linspace(0.0, 1.0, 9))
+
+    def test_single_point_input(self):
+        out = linear_interpolate_resample(np.array([2.5]), 4)
+        assert np.all(out == 2.5)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValidationError):
+            linear_interpolate_resample(np.arange(5.0), 0)

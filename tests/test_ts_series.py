@@ -1,0 +1,108 @@
+"""Tests for repro.ts.series: containers and validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ts.series import Dataset, validate_labels, validate_series, validate_series_matrix
+
+
+class TestValidateSeries:
+    def test_accepts_lists(self):
+        out = validate_series([1, 2, 3])
+        assert out.dtype == np.float64
+        assert out.shape == (3,)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            validate_series(np.zeros((2, 3)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            validate_series([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            validate_series([1.0, np.nan, 2.0])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            validate_series([1.0, np.inf])
+
+
+class TestValidateSeriesMatrix:
+    def test_promotes_1d_to_single_row(self):
+        out = validate_series_matrix(np.arange(5.0))
+        assert out.shape == (1, 5)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValidationError):
+            validate_series_matrix(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            validate_series_matrix(np.zeros((0, 5)))
+
+
+class TestValidateLabels:
+    def test_integer_float_labels_accepted(self):
+        out = validate_labels(np.array([1.0, 2.0]), 2)
+        assert out.dtype == np.int64
+
+    def test_fractional_labels_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_labels(np.array([1.5, 2.0]), 2)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_labels(np.array([1, 2, 3]), 2)
+
+
+class TestDataset:
+    def _dataset(self) -> Dataset:
+        X = np.arange(20.0).reshape(4, 5)
+        return Dataset(X=X, y=np.array([5, 7, 5, 7]), name="toy")
+
+    def test_labels_remapped_contiguously(self):
+        ds = self._dataset()
+        assert ds.n_classes == 2
+        assert set(ds.y.tolist()) == {0, 1}
+        assert ds.original_label(0) == 5
+        assert ds.original_label(1) == 7
+
+    def test_class_indices(self):
+        ds = self._dataset()
+        assert ds.class_indices(0).tolist() == [0, 2]
+        assert ds.class_indices(1).tolist() == [1, 3]
+
+    def test_series_of_class(self):
+        ds = self._dataset()
+        assert ds.series_of_class(0).shape == (2, 5)
+
+    def test_class_indices_out_of_range(self):
+        with pytest.raises(ValidationError):
+            self._dataset().class_indices(5)
+
+    def test_subset_preserves_original_labels(self):
+        ds = self._dataset()
+        sub = ds.subset(np.array([0, 2]))
+        assert sub.n_classes == 1
+        assert sub.original_label(0) == 5
+
+    def test_len_and_iter(self):
+        ds = self._dataset()
+        assert len(ds) == 4
+        assert sum(1 for _ in ds) == 4
+
+    def test_describe_mentions_name_and_counts(self):
+        text = self._dataset().describe()
+        assert "toy" in text
+        assert "M=4" in text
+
+    def test_properties(self):
+        ds = self._dataset()
+        assert ds.n_series == 4
+        assert ds.series_length == 5
+        assert np.array_equal(ds.labels, ds.y)

@@ -1,0 +1,59 @@
+"""Tests for repro.ts.windows."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LengthError
+from repro.ts.windows import num_windows, sliding_window_view, subsequences_of
+
+
+class TestNumWindows:
+    def test_paper_formula(self):
+        assert num_windows(100, 10) == 91
+
+    def test_window_equals_length(self):
+        assert num_windows(5, 5) == 1
+
+    def test_rejects_oversized_window(self):
+        with pytest.raises(LengthError):
+            num_windows(5, 6)
+
+    def test_rejects_zero_window(self):
+        with pytest.raises(LengthError):
+            num_windows(5, 0)
+
+
+class TestSlidingWindowView:
+    def test_shape_and_content(self):
+        view = sliding_window_view(np.arange(6.0), 3)
+        assert view.shape == (4, 3)
+        assert np.array_equal(view[0], [0, 1, 2])
+        assert np.array_equal(view[-1], [3, 4, 5])
+
+    def test_view_is_readonly(self):
+        view = sliding_window_view(np.arange(6.0), 3)
+        with pytest.raises(ValueError):
+            view[0, 0] = 99.0
+
+    def test_rejects_2d(self):
+        with pytest.raises(LengthError):
+            sliding_window_view(np.zeros((2, 3)), 2)
+
+
+class TestSubsequencesOf:
+    def test_step_strides(self):
+        out = subsequences_of(np.arange(10.0), 4, step=3)
+        assert out.shape == (3, 4)
+        assert np.array_equal(out[1], [3, 4, 5, 6])
+
+    def test_returns_owning_copy(self):
+        x = np.arange(6.0)
+        out = subsequences_of(x, 3)
+        out[0, 0] = 42.0
+        assert x[0] == 0.0
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(LengthError):
+            subsequences_of(np.arange(5.0), 2, step=0)

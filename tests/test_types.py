@@ -1,0 +1,90 @@
+"""Tests for repro.types: Candidate, Shapelet, DiscoveryResult."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.types import Candidate, CandidateKind, DiscoveryResult, Shapelet
+
+
+def _candidate(values=(1.0, 2.0, 3.0), **kwargs) -> Candidate:
+    defaults = dict(label=0, kind=CandidateKind.MOTIF)
+    defaults.update(kwargs)
+    return Candidate(values=np.asarray(values), **defaults)
+
+
+class TestCandidate:
+    def test_length(self):
+        assert _candidate().length == 3
+        assert len(_candidate()) == 3
+
+    def test_values_coerced_to_float64(self):
+        cand = _candidate(values=[1, 2, 3])
+        assert cand.values.dtype == np.float64
+
+    def test_rejects_2d_values(self):
+        with pytest.raises(ValueError):
+            Candidate(values=np.zeros((2, 2)), label=0, kind=CandidateKind.MOTIF)
+
+    def test_rejects_empty_values(self):
+        with pytest.raises(ValueError):
+            Candidate(values=np.array([]), label=0, kind=CandidateKind.MOTIF)
+
+    def test_equality_includes_values_and_provenance(self):
+        a = _candidate(start=3)
+        b = _candidate(start=3)
+        c = _candidate(start=4)
+        assert a == b
+        assert a != c
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(_candidate(start=3)) == hash(_candidate(start=3))
+
+    def test_usable_in_sets(self):
+        pool = {_candidate(start=1), _candidate(start=1), _candidate(start=2)}
+        assert len(pool) == 2
+
+    def test_kind_enum_round_trips_strings(self):
+        assert CandidateKind("motif") is CandidateKind.MOTIF
+        assert CandidateKind("discord") is CandidateKind.DISCORD
+
+
+class TestShapelet:
+    def test_from_candidate_carries_provenance(self):
+        cand = _candidate(source_instance=5, start=9)
+        shp = Shapelet.from_candidate(cand, score=0.25)
+        assert shp.source_instance == 5
+        assert shp.start == 9
+        assert shp.score == 0.25
+        assert np.array_equal(shp.values, cand.values)
+
+    def test_replace_returns_modified_copy(self):
+        shp = Shapelet(values=np.ones(4), label=1, score=0.5)
+        other = shp.replace(score=0.1)
+        assert other.score == 0.1
+        assert shp.score == 0.5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Shapelet(values=np.array([]), label=0)
+
+
+class TestDiscoveryResult:
+    def test_total_time_sums_stages(self):
+        result = DiscoveryResult(
+            shapelets=[],
+            time_candidate_generation=1.0,
+            time_pruning=2.0,
+            time_selection=3.0,
+        )
+        assert result.total_time == pytest.approx(6.0)
+
+    def test_pruning_rate(self):
+        result = DiscoveryResult(
+            shapelets=[], n_candidates_generated=100, n_candidates_after_pruning=25
+        )
+        assert result.pruning_rate == pytest.approx(0.75)
+
+    def test_pruning_rate_empty_pool_is_zero(self):
+        assert DiscoveryResult(shapelets=[]).pruning_rate == 0.0

@@ -1,0 +1,89 @@
+"""Tests for repro.viz: terminal plots."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.viz import bar_chart, line_plot, scatter_plot, sparkline
+
+
+class TestSparkline:
+    def test_width(self, rng):
+        assert len(sparkline(rng.normal(size=30), width=20)) == 20
+
+    def test_monotone_ramp(self):
+        out = sparkline(np.linspace(0, 1, 40), width=10)
+        levels = [out.index(c) if False else c for c in out]
+        # First char is the lowest level, last the highest.
+        assert out[0] == " "
+        assert out[-1] == "@"
+
+    def test_flat_series(self):
+        out = sparkline(np.full(10, 3.0), width=8)
+        assert set(out) == {" "}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            sparkline(np.array([]))
+
+
+class TestLinePlot:
+    def test_dimensions(self, rng):
+        out = line_plot(rng.normal(size=50), width=30, height=8)
+        lines = out.splitlines()
+        assert len(lines) == 8
+        assert all(len(line) >= 30 for line in lines)
+
+    def test_extremes_labelled(self):
+        # Extremes at the endpoints survive resampling exactly.
+        out = line_plot(np.array([1.0, 3.0, 5.0]), width=10, height=4)
+        assert "5" in out.splitlines()[0]
+        assert "1" in out.splitlines()[-1]
+
+    def test_marks_row(self):
+        out = line_plot(np.arange(20.0), width=20, height=4, marks=[0, 19])
+        marker_line = out.splitlines()[-1]
+        assert marker_line.count("^") == 2
+
+    def test_rejects_tiny_canvas(self, rng):
+        with pytest.raises(ValidationError):
+            line_plot(rng.normal(size=5), width=1, height=5)
+
+
+class TestScatterPlot:
+    def test_contains_points_and_diagonal(self, rng):
+        x = rng.uniform(1, 10, size=15)
+        out = scatter_plot(x, x * 2, width=30, height=10)
+        assert "o" in out
+        assert "." in out
+
+    def test_log_mode(self, rng):
+        x = rng.uniform(0.1, 100, size=10)
+        out = scatter_plot(x, x * 3, log=True)
+        assert "log10" in out
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            scatter_plot(np.array([1.0, -1.0]), np.array([1.0, 1.0]), log=True)
+
+    def test_rejects_mismatched(self, rng):
+        with pytest.raises(ValidationError):
+            scatter_plot(rng.normal(size=3), rng.normal(size=4))
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        out = bar_chart(["a", "b"], np.array([1.0, 2.0]), width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_values_printed(self):
+        out = bar_chart(["acc"], np.array([97.5]))
+        assert "97.50" in out
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValidationError):
+            bar_chart(["a"], np.array([1.0, 2.0]))
