@@ -2,13 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples smoke clean
+.PHONY: install test verify-robustness bench examples smoke clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Fault-tolerance suite: retry/backoff/quorum/checkpoint + fault injection.
+verify-robustness:
+	PYTHONPATH=src $(PYTHON) -m pytest -q -m robustness tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

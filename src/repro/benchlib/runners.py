@@ -24,7 +24,7 @@ from repro.baselines.shapelet_transform_st import ShapeletTransformST
 from repro.benchlib.timing import timed
 from repro.classify.neighbors import OneNearestNeighbor
 from repro.classify.rotation_forest import RotationForest
-from repro.core.config import IPSConfig
+from repro.core.config import FaultToleranceConfig, IPSConfig
 from repro.core.pipeline import IPSClassifier
 from repro.datasets.loader import TrainTestData
 from repro.exceptions import ValidationError
@@ -85,10 +85,44 @@ class _RotationForestAdapter:
         return accuracy_score(np.asarray(y, dtype=np.int64), self._classes[internal])
 
 
+def make_distributed_ips(
+    k: int = 5,
+    seed: int | None = 0,
+    fault_plan=None,
+    executor=None,
+    fault_tolerance: FaultToleranceConfig | None = None,
+    **overrides,
+) -> IPSClassifier:
+    """IPSClassifier backed by fault-tolerant distributed discovery.
+
+    The classifier pipeline (transform, scaling, SVM) is unchanged; only
+    the discovery stage is swapped for
+    :class:`repro.distributed.DistributedIPS`. ``fault_plan`` injects
+    deterministic worker faults (the robustness benchmark's knob);
+    ``fault_tolerance`` defaults to a retrying policy without sleeps so
+    benchmarks measure work, not backoff.
+    """
+    from repro.distributed.discovery import DistributedIPS
+
+    if fault_tolerance is None:
+        fault_tolerance = FaultToleranceConfig(
+            max_retries=3, base_delay=0.0, quorum=0.5
+        )
+    config = IPSConfig(
+        k=k, seed=seed, fault_tolerance=fault_tolerance, **overrides
+    )
+    classifier = IPSClassifier(config)
+    classifier.discoverer_ = DistributedIPS(
+        config, executor=executor, fault_plan=fault_plan
+    )
+    return classifier
+
+
 def method_names() -> list[str]:
     """Runnable method names accepted by :func:`make_method`."""
     return [
         "IPS",
+        "IPS-DIST",
         "BASE",
         "BSPCOVER",
         "FS",
@@ -111,6 +145,7 @@ def make_method(name: str, k: int = 5, seed: int | None = 0, **overrides):
         "IPS": lambda: IPSClassifier(
             IPSConfig(k=k, seed=seed, **overrides)
         ),
+        "IPS-DIST": lambda: make_distributed_ips(k=k, seed=seed, **overrides),
         "BASE": lambda: MPBaseline(k=k, seed=seed, **overrides),
         "BSPCOVER": lambda: BSPCover(k=k, seed=seed, **overrides),
         "FS": lambda: FastShapelets(k=k, seed=seed, **overrides),
@@ -141,7 +176,7 @@ def evaluate_method(
     y_test = data.test.classes_[data.test.y]
     accuracy = model.score(data.test.X, y_test)
     discovery = getattr(model, "discovery_seconds_", float("nan"))
-    if name == "IPS" and model.discovery_result_ is not None:
+    if name in ("IPS", "IPS-DIST") and model.discovery_result_ is not None:
         discovery = model.discovery_result_.total_time
     return MethodResult(
         method=name,

@@ -10,6 +10,74 @@ from repro.exceptions import ValidationError
 DEFAULT_LENGTH_RATIOS: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5)
 
 
+@dataclass(frozen=True)
+class FaultToleranceConfig:
+    """Fault-tolerance policy for distributed candidate generation.
+
+    Attaching one of these to ``IPSConfig.fault_tolerance`` switches
+    :class:`repro.distributed.DistributedIPS` from the fail-fast path
+    (any worker exception aborts discovery) to the resilient path:
+    per-unit retries with exponential backoff, a per-class success
+    quorum, and optional checkpoint/resume. See ``docs/robustness.md``.
+
+    Attributes
+    ----------
+    max_retries:
+        Extra attempts per work unit after the first (0 = fail fast per
+        unit, but still apply the quorum policy).
+    base_delay, max_delay:
+        Exponential-backoff schedule between retry rounds: round ``r``
+        sleeps ``min(max_delay, base_delay * 2**(r-1))`` scaled by jitter.
+        ``base_delay=0`` disables sleeping (useful in tests).
+    jitter:
+        Fractional jitter added to each backoff sleep, drawn from a
+        seeded RNG so schedules are reproducible.
+    unit_timeout:
+        Wall-clock budget per unit in seconds; a unit exceeding it is
+        treated as a retryable timeout failure. ``None`` disables the
+        check.
+    quorum:
+        Minimum fraction of work units per class that must succeed for
+        the merged pool to be trusted; below it discovery raises
+        :class:`repro.exceptions.QuorumError`. ``1.0`` demands every
+        unit.
+    checkpoint_dir:
+        Directory for the unit-result checkpoint store; completed units
+        are persisted there and a re-run resumes instead of recomputing.
+        ``None`` disables checkpointing.
+    seed:
+        Seed of the backoff-jitter RNG (falls back to the pipeline's
+        master seed when ``None``). Never affects results, only sleeps.
+    """
+
+    max_retries: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    unit_timeout: float | None = None
+    quorum: float = 1.0
+    checkpoint_dir: str | None = None
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValidationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValidationError("backoff delays must be >= 0")
+        if self.max_delay < self.base_delay:
+            raise ValidationError("max_delay must be >= base_delay")
+        if self.jitter < 0:
+            raise ValidationError(f"jitter must be >= 0, got {self.jitter}")
+        if self.unit_timeout is not None and self.unit_timeout <= 0:
+            raise ValidationError("unit_timeout must be > 0 when set")
+        if not 0.0 < self.quorum <= 1.0:
+            raise ValidationError(
+                f"quorum must be in (0, 1], got {self.quorum}"
+            )
+
+
 @dataclass
 class IPSConfig:
     """All tunables of the IPS pipeline.
@@ -59,6 +127,10 @@ class IPSConfig:
         paper's formula is recovered with ``False``). See DESIGN.md.
     seed:
         Master seed; every stochastic stage derives from it.
+    fault_tolerance:
+        Optional :class:`FaultToleranceConfig` enabling retries, quorum
+        merging, and checkpointing in the distributed pipeline; ``None``
+        keeps the historical fail-fast behaviour.
     """
 
     k: int = 5
@@ -78,6 +150,7 @@ class IPSConfig:
     final_classifier: str = "svm"
     normalize_utility_sums: bool = True
     seed: int | None = 0
+    fault_tolerance: FaultToleranceConfig | None = None
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -105,4 +178,10 @@ class IPSConfig:
         if self.final_classifier not in ("svm", "nb", "tree", "1nn"):
             raise ValidationError(
                 f"unknown final_classifier {self.final_classifier!r}"
+            )
+        if self.fault_tolerance is not None and not isinstance(
+            self.fault_tolerance, FaultToleranceConfig
+        ):
+            raise ValidationError(
+                "fault_tolerance must be a FaultToleranceConfig or None"
             )

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import time
+import warnings
 
 import numpy as np
 
@@ -19,7 +20,7 @@ from repro.core.utility import (
     score_candidates_brute,
     score_candidates_dt,
 )
-from repro.exceptions import NotFittedError, ValidationError
+from repro.exceptions import EmptyPoolError, NotFittedError, ValidationError
 from repro.filters.dabf import DABF, NaivePruner, PruneReport
 from repro.instanceprofile.candidates import CandidatePool, generate_candidates
 from repro.instanceprofile.sampling import resolve_lengths
@@ -42,6 +43,37 @@ def restore_emptied_classes(
             for candidate in original.motifs(label):
                 pruned.add(candidate)
     return pruned
+
+
+def score_with_class_fallback(scorer, pruned, pool, labels) -> dict:
+    """Score every class, surviving a degraded per-class pool.
+
+    ``scorer(active_pool, label)`` computes one class's utilities. When
+    the pruned pool is degraded for a class — scoring raises
+    :class:`EmptyPoolError`, or it yields no candidates although the
+    unpruned pool has motifs for that class (possible after a distributed
+    quorum merge lost units) — the class falls back to its *unpruned*
+    candidates with a warning, instead of aborting the whole run or
+    silently dropping the class.
+    """
+    scores_by_class: dict[int, UtilityScores] = {}
+    for label in labels:
+        try:
+            scores = scorer(pruned, label)
+            if not scores.candidates and pool.motifs(label):
+                raise EmptyPoolError(
+                    f"pruned pool holds no motif candidates for class {label}"
+                )
+        except EmptyPoolError as exc:
+            warnings.warn(
+                f"class {label}: degraded pruned pool ({exc}); falling back "
+                "to the unpruned candidates for this class",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            scores = scorer(pool, label)
+        scores_by_class[label] = scores
+    return scores_by_class
 
 
 class IPS:
@@ -113,26 +145,29 @@ class IPS:
                 seed=config.seed,
             )
         self.dabf_ = dabf
-        scores_by_class: dict[int, UtilityScores] = {}
         shared_cache = _PairDistanceCache()
-        for label in range(dataset.n_classes):
+
+        def _score(active_pool: CandidatePool, label: int) -> UtilityScores:
             if config.use_dt_cr:
-                scores_by_class[label] = score_candidates_dt(
+                return score_candidates_dt(
                     dataset,
-                    pruned,
+                    active_pool,
                     label,
                     dabf,
                     normalize=config.normalize_utility_sums,
                 )
-            else:
-                scores_by_class[label] = score_candidates_brute(
-                    dataset,
-                    pruned,
-                    label,
-                    use_cr=False,
-                    normalize=config.normalize_utility_sums,
-                    cache=shared_cache,
-                )
+            return score_candidates_brute(
+                dataset,
+                active_pool,
+                label,
+                use_cr=False,
+                normalize=config.normalize_utility_sums,
+                cache=shared_cache,
+            )
+
+        scores_by_class = score_with_class_fallback(
+            _score, pruned, pool, range(dataset.n_classes)
+        )
         shapelets = select_top_k_per_class(scores_by_class, config.k)
         time_selection = time.perf_counter() - start
 

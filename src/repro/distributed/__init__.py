@@ -15,20 +15,39 @@ distributes exactly that stage:
 
 Pruning and top-k selection still run on the coordinator — they are cheap
 after DABF (Table V).
+
+Fault tolerance (see ``docs/robustness.md``): wrap any executor in
+:class:`RetryingExecutor` for retries/backoff/timeouts, attach a
+``FaultToleranceConfig`` to the pipeline config for quorum merging and
+checkpoint/resume, and use :class:`FaultPlan`/:class:`FaultInjector`
+to deterministically replay worker crashes, hangs, NaN-poisoned payloads,
+and dropped/duplicated deliveries.
 """
 
-from repro.distributed.discovery import DistributedIPS
+from repro.distributed.checkpoint import CheckpointStore, unit_key
+from repro.distributed.discovery import DistributedIPS, validate_unit_result
 from repro.distributed.executor import (
     ProcessExecutor,
+    RetryingExecutor,
     SerialExecutor,
     ThreadExecutor,
+    UnitOutcome,
     WorkUnit,
 )
+from repro.distributed.faults import DroppedResult, FaultInjector, FaultPlan
 
 __all__ = [
+    "CheckpointStore",
     "DistributedIPS",
+    "DroppedResult",
+    "FaultInjector",
+    "FaultPlan",
     "ProcessExecutor",
+    "RetryingExecutor",
     "SerialExecutor",
     "ThreadExecutor",
+    "UnitOutcome",
     "WorkUnit",
+    "unit_key",
+    "validate_unit_result",
 ]

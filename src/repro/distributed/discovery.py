@@ -5,6 +5,17 @@ the serial pipeline, but fans the (class, sample) candidate-generation
 units out to an executor. Determinism: unit seeds come from
 ``SeedSequence(master).spawn``, indexed by unit order, so the serial,
 thread, and process executors return identical candidate pools.
+
+With ``IPSConfig.fault_tolerance`` set, discovery survives worker
+failure: units are retried with backoff through
+:class:`repro.distributed.executor.RetryingExecutor`, payloads are
+validated (NaN-poisoned or dropped results count as failures), completed
+units are checkpointed for resume, and the merge proceeds under a
+per-class success quorum — recording exactly which units were lost —
+or raises :class:`repro.exceptions.QuorumError` when too few survive.
+Because every unit's output depends only on its own seed, a run that
+recovers all units (by retry or from a checkpoint) yields a candidate
+pool bit-identical to the zero-fault run.
 """
 
 from __future__ import annotations
@@ -13,12 +24,20 @@ import time
 
 import numpy as np
 
-from repro.core.config import IPSConfig
-from repro.core.pipeline import restore_emptied_classes
+from repro.core.config import FaultToleranceConfig, IPSConfig
+from repro.core.pipeline import restore_emptied_classes, score_with_class_fallback
 from repro.core.selection import select_top_k_per_class
 from repro.core.utility import UtilityScores, score_candidates_dt
-from repro.distributed.executor import Executor, SerialExecutor, WorkUnit
-from repro.exceptions import EmptyPoolError, ValidationError
+from repro.distributed.checkpoint import CheckpointStore, unit_key
+from repro.distributed.executor import (
+    Executor,
+    RetryingExecutor,
+    SerialExecutor,
+    UnitOutcome,
+    WorkUnit,
+)
+from repro.distributed.faults import DroppedResult, FaultInjector, FaultPlan
+from repro.exceptions import EmptyPoolError, QuorumError, ValidationError
 from repro.filters.dabf import DABF, PruneReport
 from repro.instanceprofile.candidates import CandidatePool
 from repro.instanceprofile.profile import instance_profile
@@ -27,6 +46,28 @@ from repro.matrixprofile.discovery import top_k_discords, top_k_motifs
 from repro.ts.concat import concatenate_series
 from repro.ts.series import Dataset
 from repro.types import Candidate, CandidateKind, DiscoveryResult
+
+
+def validate_unit_result(value: object) -> str | None:
+    """Payload check used by the fault-tolerant path.
+
+    Returns a failure description (making the attempt retryable) for
+    dropped results, wrong payload types, and non-finite candidate values;
+    ``None`` for a healthy payload.
+    """
+    if isinstance(value, DroppedResult):
+        return "result dropped in transit"
+    if not isinstance(value, list):
+        return (
+            f"worker returned {type(value).__name__}, "
+            "expected a list of candidates"
+        )
+    for candidate in value:
+        if not isinstance(candidate, Candidate):
+            return "worker returned a non-candidate payload"
+        if not np.all(np.isfinite(candidate.values)):
+            return "worker returned non-finite candidate values"
+    return None
 
 
 def generate_unit_candidates(unit: WorkUnit) -> list[Candidate]:
@@ -71,17 +112,28 @@ class DistributedIPS:
     ----------
     config:
         The usual pipeline configuration (``use_dt_cr`` is always on here;
-        the distributed variant targets throughput).
+        the distributed variant targets throughput). Set
+        ``config.fault_tolerance`` to enable the resilient path.
     executor:
         Any :class:`repro.distributed.executor.Executor`; defaults to the
         in-process serial executor.
+    fault_plan:
+        Optional :class:`repro.distributed.faults.FaultPlan` wrapping the
+        worker with deterministic fault injection — the test/benchmark
+        substrate for the fault-tolerance layer. Injecting faults forces
+        the fault-tolerant path even when ``config.fault_tolerance`` is
+        unset (a default policy is used).
     """
 
     def __init__(
-        self, config: IPSConfig | None = None, executor: Executor | None = None
+        self,
+        config: IPSConfig | None = None,
+        executor: Executor | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.config = config or IPSConfig()
         self.executor = executor if executor is not None else SerialExecutor()
+        self.fault_plan = fault_plan
 
     def build_work_units(self, dataset: Dataset) -> list[WorkUnit]:
         """Partition Algorithm 1 into per-(class, sample) units."""
@@ -118,19 +170,174 @@ class DistributedIPS:
                 unit_index += 1
         return units
 
+    def _fingerprint(self, dataset: Dataset) -> dict:
+        """JSON-serializable identity of a run, guarding checkpoint reuse."""
+        config = self.config
+        return {
+            "seed": config.seed,
+            "q_n": config.q_n,
+            "q_s": config.q_s,
+            "length_ratios": list(config.length_ratios),
+            "normalized_profiles": config.normalized_profiles,
+            "motifs_per_profile": config.motifs_per_profile,
+            "discords_per_profile": config.discords_per_profile,
+            "n_series": dataset.n_series,
+            "n_classes": dataset.n_classes,
+            "series_length": dataset.series_length,
+        }
+
+    def _run_fault_tolerant(
+        self,
+        dataset: Dataset,
+        units: list[WorkUnit],
+        worker,
+        fault_tolerance: FaultToleranceConfig,
+    ) -> tuple[list[UnitOutcome], dict]:
+        """Execute units under retries + optional checkpoint resume."""
+        config = self.config
+        outcomes: list[UnitOutcome | None] = [None] * len(units)
+        remaining = list(range(len(units)))
+        store: CheckpointStore | None = None
+        checkpoint_hits = 0
+        if fault_tolerance.checkpoint_dir is not None:
+            store = CheckpointStore(fault_tolerance.checkpoint_dir)
+            store.check_manifest(self._fingerprint(dataset))
+            fresh: list[int] = []
+            for index in remaining:
+                cached = store.load(unit_key(units[index]))
+                if cached is not None:
+                    outcomes[index] = UnitOutcome(
+                        index=index, value=cached, from_checkpoint=True
+                    )
+                    checkpoint_hits += 1
+                else:
+                    fresh.append(index)
+            remaining = fresh
+        jitter_seed = fault_tolerance.seed
+        if jitter_seed is None:
+            jitter_seed = config.seed if config.seed is not None else 0
+        retrying = RetryingExecutor(
+            inner=self.executor,
+            max_retries=fault_tolerance.max_retries,
+            base_delay=fault_tolerance.base_delay,
+            max_delay=fault_tolerance.max_delay,
+            jitter=fault_tolerance.jitter,
+            unit_timeout=fault_tolerance.unit_timeout,
+            validate=validate_unit_result,
+            seed=jitter_seed,
+        )
+        computed = retrying.map_with_outcomes(
+            worker, [units[i] for i in remaining]
+        )
+        for index, outcome in zip(remaining, computed):
+            outcome.index = index
+            outcomes[index] = outcome
+            if store is not None and outcome.ok:
+                store.save(unit_key(units[index]), outcome.value)
+        stats = {
+            "checkpoint_hits": checkpoint_hits,
+            "n_units_computed": len(remaining),
+            "executor_degraded": retrying.degraded_,
+        }
+        return [o for o in outcomes if o is not None], stats
+
+    def _merge_outcomes(
+        self,
+        units: list[WorkUnit],
+        outcomes: list[UnitOutcome],
+        quorum: float,
+    ) -> tuple[CandidatePool, dict]:
+        """Degraded merge: combine surviving units under a per-class quorum.
+
+        Candidates are merged in unit order (deterministic); duplicated
+        deliveries within a unit are dropped. If any class's success
+        fraction falls below ``quorum``, raises :class:`QuorumError`
+        naming the offending classes; otherwise the lost units are
+        recorded so callers can see exactly what degraded.
+        """
+        pool = CandidatePool()
+        failed_units: list[tuple[int, int]] = []
+        errors: list[str] = []
+        duplicates_dropped = 0
+        succeeded: dict[int, int] = {}
+        totals: dict[int, int] = {}
+        for unit, outcome in zip(units, outcomes):
+            totals[unit.label] = totals.get(unit.label, 0) + 1
+            if not outcome.ok:
+                failed_units.append((unit.label, unit.sample_id))
+                errors.append(
+                    f"unit (class={unit.label}, sample={unit.sample_id}): "
+                    f"{outcome.error}"
+                )
+                continue
+            succeeded[unit.label] = succeeded.get(unit.label, 0) + 1
+            seen_in_unit: set[Candidate] = set()
+            for candidate in outcome.value:
+                if candidate in seen_in_unit:
+                    duplicates_dropped += 1
+                    continue
+                seen_in_unit.add(candidate)
+                pool.add(candidate)
+        below = {
+            label: succeeded.get(label, 0) / total
+            for label, total in totals.items()
+            if succeeded.get(label, 0) / total + 1e-12 < quorum
+        }
+        if below:
+            detail = ", ".join(
+                f"class {label}: {fraction:.0%} of units succeeded"
+                for label, fraction in sorted(below.items())
+            )
+            raise QuorumError(
+                f"quorum {quorum:.0%} unmet after retries ({detail}); "
+                f"{len(failed_units)} units lost. First failures: "
+                + "; ".join(errors[:3])
+            )
+        recovered = sum(
+            1 for o in outcomes if o.ok and not o.from_checkpoint and o.attempts > 1
+        )
+        stats = {
+            "failed_units": failed_units,
+            "recovered_units": recovered,
+            "duplicates_dropped": duplicates_dropped,
+        }
+        return pool, stats
+
     def discover(self, dataset: Dataset) -> DiscoveryResult:
-        """Distributed Algorithm 1, then the usual Algorithms 2-4."""
+        """Distributed Algorithm 1, then the usual Algorithms 2-4.
+
+        Fail-fast by default (any worker exception propagates, as the
+        original implementation did); with ``config.fault_tolerance`` set
+        or a ``fault_plan`` injected, the resilient path described in the
+        module docstring runs instead.
+        """
         if dataset.n_series < 1:
             raise ValidationError("empty dataset")
         config = self.config
 
         start = time.perf_counter()
         units = self.build_work_units(dataset)
-        per_unit = self.executor.map(generate_unit_candidates, units)
-        pool = CandidatePool()
-        for unit_candidates in per_unit:
-            for candidate in unit_candidates:
-                pool.add(candidate)
+        fault_tolerance = config.fault_tolerance
+        worker = generate_unit_candidates
+        if self.fault_plan is not None:
+            worker = FaultInjector(worker, self.fault_plan)
+            if fault_tolerance is None:
+                fault_tolerance = FaultToleranceConfig()
+
+        run_stats: dict = {}
+        if fault_tolerance is None:
+            per_unit = self.executor.map(worker, units)
+            outcomes = [
+                UnitOutcome(index=i, value=value)
+                for i, value in enumerate(per_unit)
+            ]
+            quorum = 1.0
+        else:
+            outcomes, run_stats = self._run_fault_tolerant(
+                dataset, units, worker, fault_tolerance
+            )
+            quorum = fault_tolerance.quorum
+        pool, merge_stats = self._merge_outcomes(units, outcomes, quorum)
         if len(pool) == 0:
             raise EmptyPoolError("distributed generation produced no candidates")
         time_generation = time.perf_counter() - start
@@ -152,15 +359,19 @@ class DistributedIPS:
         time_pruning = time.perf_counter() - start
 
         start = time.perf_counter()
-        scores_by_class: dict[int, UtilityScores] = {}
-        for label in range(dataset.n_classes):
-            scores_by_class[label] = score_candidates_dt(
+
+        def _score(active_pool: CandidatePool, label: int) -> UtilityScores:
+            return score_candidates_dt(
                 dataset,
-                pruned,
+                active_pool,
                 label,
                 dabf,
                 normalize=config.normalize_utility_sums,
             )
+
+        scores_by_class = score_with_class_fallback(
+            _score, pruned, pool, range(dataset.n_classes)
+        )
         shapelets = select_top_k_per_class(scores_by_class, config.k)
         time_selection = time.perf_counter() - start
 
@@ -171,5 +382,10 @@ class DistributedIPS:
             time_candidate_generation=time_generation,
             time_pruning=time_pruning,
             time_selection=time_selection,
-            extra={"n_work_units": len(units), "prune_report": report},
+            extra={
+                "n_work_units": len(units),
+                "prune_report": report,
+                **merge_stats,
+                **run_stats,
+            },
         )

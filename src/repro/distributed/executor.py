@@ -2,19 +2,27 @@
 
 A :class:`WorkUnit` is a self-contained, picklable description of one
 (class, sample) candidate-generation task. Executors map a worker function
-over the units; all three implementations preserve unit order, so the
-merged pool is deterministic.
+over the units; all implementations preserve unit order, so the merged
+pool is deterministic.
+
+:class:`RetryingExecutor` wraps any of the base executors with the
+fault-tolerance policy of ``docs/robustness.md``: per-unit exception
+capture, bounded retries with seeded exponential backoff, per-unit
+wall-clock budgets, result validation, and graceful degradation to serial
+execution when the underlying pool itself breaks.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Protocol, Sequence, TypeVar
+from typing import Any, Callable, Protocol, Sequence, TypeVar
 
 import numpy as np
 
-from repro.exceptions import ValidationError
+from repro.exceptions import PartialResultError, ValidationError
 
 T = TypeVar("T")
 
@@ -100,3 +108,220 @@ class ProcessExecutor:
         """Apply ``fn`` across a process pool, preserving order."""
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
             return list(pool.map(fn, units))
+
+
+@dataclass
+class UnitOutcome:
+    """Final fate of one work unit after all retry rounds.
+
+    Attributes
+    ----------
+    index:
+        Position of the unit in the submitted sequence.
+    value:
+        The worker's payload when the unit succeeded, else ``None``.
+    error:
+        Human-readable description of the last failure, ``None`` on
+        success.
+    attempts:
+        Total attempts consumed (1 = succeeded first try).
+    elapsed:
+        Wall-clock seconds of the successful attempt (0.0 on permanent
+        failure or checkpoint hits).
+    from_checkpoint:
+        True when the value was restored from a checkpoint store rather
+        than computed this run.
+    """
+
+    index: int
+    value: Any = None
+    error: str | None = None
+    attempts: int = 1
+    elapsed: float = 0.0
+    from_checkpoint: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the unit ultimately produced a usable result."""
+        return self.error is None
+
+
+class _CatchingWorker:
+    """Worker shim: never raises, returns ``(value, error, elapsed)``.
+
+    Exceptions raised by the wrapped function are captured *inside* the
+    worker so a pool ``map`` cannot be aborted by one bad unit; the
+    coordinator decides what to retry. Picklable whenever ``fn`` is.
+    """
+
+    def __init__(self, fn: Callable[[WorkUnit], T], timeout: float | None) -> None:
+        self._fn = fn
+        self._timeout = timeout
+
+    def __call__(self, unit: WorkUnit) -> tuple[Any, str | None, float]:
+        start = time.perf_counter()
+        try:
+            value = self._fn(unit)
+        except Exception as exc:  # noqa: BLE001 - unit failures are data here
+            return None, f"{type(exc).__name__}: {exc}", time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        if self._timeout is not None and elapsed > self._timeout:
+            return (
+                None,
+                f"UnitTimeoutError: unit exceeded its {self._timeout:g}s "
+                f"budget (took {elapsed:.3f}s)",
+                elapsed,
+            )
+        return value, None, elapsed
+
+
+class RetryingExecutor:
+    """Retry/backoff/timeout wrapper around any base executor.
+
+    Parameters
+    ----------
+    inner:
+        The executor doing the actual fan-out (default: serial).
+    max_retries:
+        Extra rounds after the first attempt; a unit failing every round
+        is reported as a permanent failure, not raised.
+    base_delay, max_delay, jitter, seed:
+        Exponential backoff between rounds: round ``r`` (1-based) sleeps
+        ``min(max_delay, base_delay * 2**(r-1)) * (1 + jitter * u)`` with
+        ``u`` drawn from a generator seeded by ``seed`` — reproducible
+        schedules, and no sleep at all when ``base_delay`` is 0.
+    unit_timeout:
+        Per-unit wall-clock budget in seconds; exceeding it marks the
+        attempt as a retryable timeout failure.
+    validate:
+        Optional payload check ``value -> error message | None`` applied
+        to successful attempts; a message marks the attempt failed (used
+        to catch NaN-poisoned or dropped results).
+
+    If the *pool itself* breaks mid-round (e.g. ``BrokenProcessPool``),
+    the executor degrades to in-process serial execution for the rest of
+    the run — a warning is emitted and ``degraded_`` is set, but the run
+    survives. Workers that raise per-unit never trigger degradation.
+    """
+
+    def __init__(
+        self,
+        inner: Executor | None = None,
+        max_retries: int = 3,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        jitter: float = 0.1,
+        unit_timeout: float | None = None,
+        validate: Callable[[Any], str | None] | None = None,
+        seed: int | None = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_retries < 0:
+            raise ValidationError("max_retries must be >= 0")
+        if base_delay < 0 or max_delay < base_delay:
+            raise ValidationError("need 0 <= base_delay <= max_delay")
+        if jitter < 0:
+            raise ValidationError("jitter must be >= 0")
+        if unit_timeout is not None and unit_timeout <= 0:
+            raise ValidationError("unit_timeout must be > 0 when set")
+        self.inner: Executor = inner if inner is not None else SerialExecutor()
+        self.max_retries = max_retries
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.unit_timeout = unit_timeout
+        self.validate = validate
+        self._rng = np.random.default_rng(seed if seed is not None else 0)
+        self._sleep = sleep
+        self.degraded_ = False
+
+    def _backoff(self, round_index: int) -> float:
+        """Seconds to sleep before retry round ``round_index`` (1-based)."""
+        delay = min(self.max_delay, self.base_delay * 2.0 ** (round_index - 1))
+        return delay * (1.0 + self.jitter * float(self._rng.random()))
+
+    def _run_round(
+        self, worker: _CatchingWorker, batch: list[WorkUnit]
+    ) -> list[tuple[Any, str | None, float]]:
+        """One pool round; degrade to serial if the pool itself fails."""
+        try:
+            return self.inner.map(worker, batch)
+        except Exception as exc:  # pool-level failure, not a unit failure
+            if self.degraded_:
+                raise
+            warnings.warn(
+                f"executor pool failed ({type(exc).__name__}: {exc}); "
+                "degrading to serial execution for the remaining units",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self.degraded_ = True
+            self.inner = SerialExecutor()
+            return self.inner.map(worker, batch)
+
+    def map_with_outcomes(
+        self, fn: Callable[[WorkUnit], T], units: Sequence[WorkUnit]
+    ) -> list[UnitOutcome]:
+        """Run every unit to success or retry exhaustion; never raises
+        for per-unit failures.
+
+        If ``fn`` exposes ``for_attempt(attempt)`` (the fault-injection
+        wrapper does), each round calls the variant bound to that attempt
+        index, which is what makes injected faults transient.
+        """
+        outcomes: list[UnitOutcome | None] = [None] * len(units)
+        pending = list(range(len(units)))
+        last_error: dict[int, str] = {}
+        for attempt in range(self.max_retries + 1):
+            if not pending:
+                break
+            if attempt > 0:
+                delay = self._backoff(attempt)
+                if delay > 0:
+                    self._sleep(delay)
+            round_fn = (
+                fn.for_attempt(attempt)
+                if hasattr(fn, "for_attempt")
+                else fn
+            )
+            worker = _CatchingWorker(round_fn, self.unit_timeout)
+            results = self._run_round(worker, [units[i] for i in pending])
+            still_pending: list[int] = []
+            for index, (value, error, elapsed) in zip(pending, results):
+                if error is None and self.validate is not None:
+                    error = self.validate(value)
+                if error is None:
+                    outcomes[index] = UnitOutcome(
+                        index=index,
+                        value=value,
+                        attempts=attempt + 1,
+                        elapsed=elapsed,
+                    )
+                else:
+                    last_error[index] = error
+                    still_pending.append(index)
+            pending = still_pending
+        for index in pending:
+            outcomes[index] = UnitOutcome(
+                index=index,
+                error=last_error.get(index, "unknown failure"),
+                attempts=self.max_retries + 1,
+            )
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def map(self, fn: Callable[[WorkUnit], T], units: Sequence[WorkUnit]) -> list[T]:
+        """Executor-protocol ``map``: all units must ultimately succeed.
+
+        Raises :class:`repro.exceptions.PartialResultError` if any unit
+        fails permanently; use :meth:`map_with_outcomes` for quorum-style
+        partial-result handling.
+        """
+        outcomes = self.map_with_outcomes(fn, units)
+        failed = [outcome for outcome in outcomes if not outcome.ok]
+        if failed:
+            raise PartialResultError(
+                f"{len(failed)}/{len(units)} work units failed after "
+                f"{self.max_retries + 1} attempts; first failure: "
+                f"unit {failed[0].index}: {failed[0].error}"
+            )
+        return [outcome.value for outcome in outcomes]

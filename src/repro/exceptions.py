@@ -35,3 +35,36 @@ class EmptyPoolError(ReproError):
 
 class DatasetError(ReproError, KeyError):
     """An unknown dataset name was requested from the registry."""
+
+
+class UnitFailureError(ReproError):
+    """A single distributed work unit failed (crash, timeout, bad output).
+
+    Per-unit failures are retryable: the coordinator catches them and
+    re-submits the unit rather than aborting the whole discovery run.
+    """
+
+
+class WorkerCrashError(UnitFailureError):
+    """A worker raised (or was injected with) an exception mid-unit."""
+
+
+class UnitTimeoutError(UnitFailureError):
+    """A work unit exceeded its wall-clock budget (or hung and never
+    returned; hangs are surfaced as this sentinel by the fault harness)."""
+
+
+class PartialResultError(ReproError):
+    """A distributed run completed with some work units permanently lost."""
+
+
+class QuorumError(PartialResultError):
+    """Too few work units of some class succeeded to trust the merged pool.
+
+    Raised when the per-class success fraction falls below
+    ``FaultToleranceConfig.quorum`` after all retries are exhausted.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint directory is unusable or belongs to a different run."""

@@ -47,11 +47,29 @@ def mass(query: np.ndarray, series: np.ndarray, normalized: bool = True) -> np.n
     Returns
     -------
     Array of length ``N - L + 1`` of (non-squared) distances.
+
+    Raises
+    ------
+    ValidationError
+        If either input is not 1-D or contains NaN/inf (non-finite data
+        would silently propagate NaN distances); constant (zero-variance)
+        windows are fine and follow the flat-window convention above.
     """
     query = np.asarray(query, dtype=np.float64)
     series = np.asarray(series, dtype=np.float64)
     if query.ndim != 1 or series.ndim != 1:
         raise ValidationError("mass expects 1-D arrays")
+    if not np.all(np.isfinite(query)):
+        raise ValidationError(
+            "mass query contains NaN or inf; clean or interpolate the "
+            "input (e.g. repro.datasets.perturb.add_dropout fills gaps) "
+            "before computing distance profiles"
+        )
+    if not np.all(np.isfinite(series)):
+        raise ValidationError(
+            "mass series contains NaN or inf; z-normalized distances are "
+            "undefined on non-finite windows — clean the input first"
+        )
     if not normalized:
         return raw_distance_profile(query, series)
     length = query.size

@@ -2,11 +2,42 @@
 
 from __future__ import annotations
 
+import signal
+
 import numpy as np
 import pytest
 
 from repro.datasets.generators import make_planted_dataset
 from repro.ts.series import Dataset
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Per-test wall-clock guard for ``@pytest.mark.timeout_guard(seconds)``.
+
+    Pure stdlib: arms a SIGALRM interval timer around the test body so a
+    test that genuinely hangs (the fault-injection suite provokes hangs
+    on purpose) fails with a TimeoutError instead of wedging the run. On
+    platforms without SIGALRM the marker is a no-op.
+    """
+    marker = item.get_closest_marker("timeout_guard")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    seconds = float(marker.args[0]) if marker.args else 30.0
+
+    def _on_timeout(signum, frame):
+        raise TimeoutError(
+            f"test exceeded its {seconds:g}s timeout_guard budget"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture()

@@ -6,10 +6,13 @@ import numpy as np
 import pytest
 
 from repro.core.config import IPSConfig
-from repro.core.pipeline import IPS, IPSClassifier
+from repro.core.pipeline import IPS, IPSClassifier, score_with_class_fallback
+from repro.core.utility import UtilityScores
 from repro.datasets.generators import make_planted_dataset
-from repro.exceptions import NotFittedError, ValidationError
+from repro.exceptions import EmptyPoolError, NotFittedError, ValidationError
+from repro.instanceprofile.candidates import CandidatePool
 from repro.ts.series import Dataset
+from repro.types import Candidate, CandidateKind
 
 
 @pytest.fixture(scope="module")
@@ -86,6 +89,72 @@ class TestIPSDiscovery:
         result = IPS(_fast_config()).discover(ds)
         assert result.shapelets
         assert result.n_candidates_after_pruning == result.n_candidates_generated
+
+
+def _pool_with(labels: list[int]) -> CandidatePool:
+    pool = CandidatePool()
+    for i, label in enumerate(labels):
+        pool.add(
+            Candidate(
+                values=np.arange(4, dtype=float) + i,
+                label=label,
+                kind=CandidateKind.MOTIF,
+                source_instance=i,
+                start=0,
+                sample_id=0,
+            )
+        )
+    return pool
+
+
+def _trivial_scores(motifs: list[Candidate]) -> UtilityScores:
+    n = len(motifs)
+    return UtilityScores(
+        candidates=motifs, intra=np.zeros(n), inter=np.zeros(n), instance=np.zeros(n)
+    )
+
+
+@pytest.mark.robustness
+class TestScoreWithClassFallback:
+    def test_healthy_classes_score_from_pruned_pool(self):
+        pool = _pool_with([0, 0, 1])
+        pruned = _pool_with([0, 1])
+        scored_pools = []
+
+        def scorer(active, label):
+            scored_pools.append(active)
+            return _trivial_scores(active.motifs(label))
+
+        scores = score_with_class_fallback(scorer, pruned, pool, [0, 1])
+        assert set(scores) == {0, 1}
+        assert all(active is pruned for active in scored_pools)
+
+    def test_emptied_class_falls_back_to_unpruned(self):
+        pool = _pool_with([0, 0, 1])
+        pruned = _pool_with([0])  # class 1 lost everything
+
+        def scorer(active, label):
+            return _trivial_scores(active.motifs(label))
+
+        with pytest.warns(RuntimeWarning, match="class 1: degraded"):
+            scores = score_with_class_fallback(scorer, pruned, pool, [0, 1])
+        assert len(scores[1].candidates) == 1  # recovered from `pool`
+        assert len(scores[0].candidates) == 1
+
+    def test_empty_pool_error_from_scorer_is_caught(self):
+        pool = _pool_with([0, 1])
+        pruned = _pool_with([0, 1])
+        calls = {"count": 0}
+
+        def scorer(active, label):
+            if label == 1 and calls["count"] == 0:
+                calls["count"] += 1
+                raise EmptyPoolError("degraded per-class pool")
+            return _trivial_scores(active.motifs(label))
+
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            scores = score_with_class_fallback(scorer, pruned, pool, [0, 1])
+        assert len(scores[1].candidates) == 1
 
 
 class TestIPSClassifier:

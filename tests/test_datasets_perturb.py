@@ -88,6 +88,72 @@ class TestDropout:
             add_dropout(X, rate=1.0)
 
 
+class TestComposition:
+    """Perturbations compose: output of one is valid input to the next."""
+
+    def test_composed_pipeline_deterministic(self, X):
+        def corrupt(values):
+            out = add_gaussian_noise(values, 0.2, seed=3)
+            out = add_dropout(out, rate=0.1, seed=4)
+            return add_spikes(out, rate=0.02, seed=5)
+
+        first, second = corrupt(X), corrupt(X)
+        assert np.array_equal(first, second)
+        assert first.shape == X.shape
+        assert np.all(np.isfinite(first))
+
+    def test_composition_order_matters(self, X):
+        a = add_dropout(add_gaussian_noise(X, 0.5, seed=1), rate=0.2, seed=2)
+        b = add_gaussian_noise(add_dropout(X, rate=0.2, seed=2), 0.5, seed=1)
+        assert not np.array_equal(a, b)
+
+
+@pytest.mark.robustness
+class TestTrainedCleanEvaluatedPerturbed:
+    """End to end: discovery under injected worker faults, scoring on
+    perturbed data — the full deployment-failure story in one scenario."""
+
+    def test_fault_tolerant_training_matches_clean_on_perturbed_data(self):
+        from repro.benchlib.runners import make_distributed_ips
+        from repro.core.config import FaultToleranceConfig
+        from repro.datasets.loader import load_dataset
+        from repro.distributed.faults import FaultPlan
+
+        data = load_dataset(
+            "GunPoint", seed=0, max_train=16, max_test=24, max_length=100
+        )
+        y_test = data.test.classes_[data.test.y]
+
+        def corrupt(values):
+            return add_spikes(
+                add_dropout(values, rate=0.1, seed=4), rate=0.02, seed=5
+            )
+
+        tolerance = FaultToleranceConfig(max_retries=5, base_delay=0.0)
+        clean = make_distributed_ips(
+            k=3, seed=0, q_n=4, q_s=3, fault_tolerance=tolerance
+        ).fit_dataset(data.train)
+        faulty = make_distributed_ips(
+            k=3,
+            seed=0,
+            q_n=4,
+            q_s=3,
+            fault_plan=FaultPlan(crash_rate=0.2, nan_rate=0.1, seed=33),
+            fault_tolerance=tolerance,
+        ).fit_dataset(data.train)
+
+        assert faulty.discovery_result_.extra["recovered_units"] > 0
+        X_perturbed = corrupt(data.test.X)
+        # Retries fully recover the injected faults, so the two models are
+        # the same model — including on corrupted inputs.
+        assert np.array_equal(
+            clean.predict(X_perturbed), faulty.predict(X_perturbed)
+        )
+        assert faulty.score(X_perturbed, y_test) == clean.score(
+            X_perturbed, y_test
+        )
+
+
 class TestDriftAndWarp:
     def test_drift_changes_mean_profile(self, X):
         out = add_baseline_drift(X, magnitude=2.0, seed=6)

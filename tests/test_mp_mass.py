@@ -57,6 +57,40 @@ class TestMass:
             mass(np.zeros((2, 3)), np.zeros(10))
 
 
+class TestNonFiniteGuards:
+    """NaN/inf inputs fail loudly instead of propagating NaN distances."""
+
+    def test_nan_query_rejected(self, rng):
+        query = rng.normal(size=8)
+        query[3] = np.nan
+        with pytest.raises(ValidationError, match="query contains NaN or inf"):
+            mass(query, rng.normal(size=50))
+
+    def test_inf_series_rejected(self, rng):
+        series = rng.normal(size=50)
+        series[10] = np.inf
+        with pytest.raises(ValidationError, match="series contains NaN or inf"):
+            mass(rng.normal(size=8), series)
+
+    def test_raw_flavour_also_guarded(self, rng):
+        series = rng.normal(size=50)
+        series[0] = np.nan
+        with pytest.raises(ValidationError):
+            mass(rng.normal(size=8), series, normalized=False)
+
+    def test_constant_windows_stay_finite_and_silent(self, rng):
+        """Zero-variance windows follow the flat convention — no divide
+        warnings, no NaNs."""
+        series = rng.normal(size=60)
+        series[20:35] = 4.2  # a flat stretch
+        flat_query = np.full(10, 7.0)
+        with np.errstate(divide="raise", invalid="raise"):
+            from_flat = mass(flat_query, series)
+            from_normal = mass(rng.normal(size=10), series)
+        assert np.all(np.isfinite(from_flat))
+        assert np.all(np.isfinite(from_normal))
+
+
 class TestRawDistanceProfile:
     def test_is_sqrt_of_squared_profile(self, rng):
         t = rng.normal(size=80)
