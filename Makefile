@@ -10,9 +10,13 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Fault-tolerance suite: retry/backoff/quorum/checkpoint + fault injection.
+# Robustness suite: retry/backoff/quorum/checkpoint + fault injection,
+# data contracts & repairs, degenerate-input corpus, anytime budgets —
+# plus a live deadline-budget smoke through the CLI.
 verify-robustness:
 	PYTHONPATH=src $(PYTHON) -m pytest -q -m robustness tests/
+	PYTHONPATH=src $(PYTHON) -m repro run ItalyPowerDemand --method IPS \
+		--max-train 16 --max-test 20 --k 3 --budget-seconds 0.0
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -25,14 +25,17 @@ Package map
 """
 
 from repro._version import __version__
+from repro.core.budget import Budget
 from repro.core.config import IPSConfig
 from repro.core.pipeline import IPS, IPSClassifier
 from repro.datasets.loader import load_dataset
 from repro.ts.series import Dataset
 from repro.types import Candidate, CandidateKind, DiscoveryResult, Shapelet
+from repro.validation import ValidationReport, validate_dataset, validate_series
 
 __all__ = [
     "IPS",
+    "Budget",
     "Candidate",
     "CandidateKind",
     "Dataset",
@@ -40,6 +43,9 @@ __all__ = [
     "IPSClassifier",
     "IPSConfig",
     "Shapelet",
+    "ValidationReport",
     "__version__",
     "load_dataset",
+    "validate_dataset",
+    "validate_series",
 ]

@@ -28,9 +28,16 @@ class ShapeletTransformClassifier(ABC):
     transform, SVM, label round-tripping) is shared.
     """
 
-    def __init__(self, svm_c: float = 1.0, seed: int | None = 0) -> None:
+    def __init__(
+        self, svm_c: float = 1.0, seed: int | None = 0, budget=None
+    ) -> None:
         self.svm_c = svm_c
         self.seed = seed
+        #: Optional :class:`repro.core.budget.Budget`; budget-aware
+        #: baselines check it inside their discovery loops and set
+        #: :attr:`completed_` to False on anytime truncation.
+        self.budget = budget
+        self.completed_: bool = True
         self.shapelets_: list[Shapelet] | None = None
         self.discovery_seconds_: float = float("nan")
         self._transform: ShapeletTransform | None = None

@@ -57,8 +57,9 @@ class FastShapelets(ShapeletTransformClassifier):
         stride_fraction: float = 0.5,
         svm_c: float = 1.0,
         seed: int | None = 0,
+        budget=None,
     ) -> None:
-        super().__init__(svm_c=svm_c, seed=seed)
+        super().__init__(svm_c=svm_c, seed=seed, budget=budget)
         if k < 1 or n_masking_rounds < 1 or refine_top < 1:
             raise ValidationError("k, n_masking_rounds, refine_top must be >= 1")
         if not 1 <= mask_size < sax_segments:
@@ -73,10 +74,19 @@ class FastShapelets(ShapeletTransformClassifier):
         self.stride_fraction = stride_fraction
 
     def discover(self, dataset: Dataset) -> list[Shapelet]:
-        """SAX + random masking discovery."""
+        """SAX + random masking discovery.
+
+        With :attr:`budget` set, the budget is checked between masking
+        rounds (at least one always runs) and between refinement
+        candidates (at least one per class); an exhausted budget
+        truncates at those deterministic boundaries and records itself
+        in ``completed_``.
+        """
         if dataset.n_classes < 2:
             raise ValidationError("Fast Shapelets requires at least 2 classes")
         rng = np.random.default_rng(self.seed)
+        tracker = self.budget.start() if self.budget is not None else None
+        self.completed_ = True
         lengths = resolve_lengths(dataset.series_length, self.length_ratios)
         class_counts = np.bincount(dataset.y, minlength=dataset.n_classes).astype(
             np.float64
@@ -101,11 +111,20 @@ class FastShapelets(ShapeletTransformClassifier):
                     entries.append((word, label, row_idx, start, length))
         if not entries:
             raise ValidationError("Fast Shapelets enumerated no candidates")
+        if tracker is not None:
+            tracker.charge(
+                len(entries), sum(e[4] for e in entries)
+            )
 
         # Random masking: per round, per masked word, count distinct rows
         # per class whose window collides under the mask.
         scores = np.zeros(len(entries))
-        for _round in range(self.n_masking_rounds):
+        rounds_done = 0
+        for round_no in range(self.n_masking_rounds):
+            if tracker is not None and round_no > 0 and tracker.exhausted:
+                self.completed_ = False
+                break
+            rounds_done += 1
             masked_positions = rng.choice(
                 self.sax_segments, size=self.mask_size, replace=False
             )
@@ -129,13 +148,23 @@ class FastShapelets(ShapeletTransformClassifier):
                 others = (normalized.sum() - own) / max(dataset.n_classes - 1, 1)
                 scores[idx] += own - others
 
+        if tracker is not None:
+            tracker.record_phase(
+                "masking",
+                rounds_completed=rounds_done,
+                rounds_total=self.n_masking_rounds,
+            )
+
         # Refine the best candidates per class with exact information gain.
         shapelets: list[Shapelet] = []
         for label in range(dataset.n_classes):
             label_idx = [i for i, e in enumerate(entries) if e[1] == label]
             label_idx.sort(key=lambda i: -scores[i])
             refined: list[tuple[float, int]] = []
-            for i in label_idx[: self.refine_top]:
+            for rank, i in enumerate(label_idx[: self.refine_top]):
+                if tracker is not None and rank > 0 and tracker.exhausted:
+                    self.completed_ = False
+                    break
                 _word, _label, row_idx, start, length = entries[i]
                 values = dataset.X[row_idx][start : start + length]
                 distances = np.array(

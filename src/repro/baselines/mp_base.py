@@ -56,8 +56,9 @@ class MPBaseline(ShapeletTransformClassifier):
         normalized: bool = True,
         svm_c: float = 1.0,
         seed: int | None = 0,
+        budget=None,
     ) -> None:
-        super().__init__(svm_c=svm_c, seed=seed)
+        super().__init__(svm_c=svm_c, seed=seed, budget=budget)
         if k < 1:
             raise ValidationError(f"k must be >= 1, got {k}")
         if exclusion < 1:
@@ -92,17 +93,36 @@ class MPBaseline(ShapeletTransformClassifier):
         return profile_diff(p_cross, p_self), own
 
     def discover(self, dataset: Dataset) -> list[Shapelet]:
-        """Top-k largest-difference windows per class (Formula 4)."""
+        """Top-k largest-difference windows per class (Formula 4).
+
+        With :attr:`budget` set, the length grid is processed
+        length-major (every class at the shortest length first) and the
+        budget is checked between lengths, so an exhausted budget
+        truncates the grid at a deterministic boundary with every class
+        equally covered; ``completed_`` records the truncation.
+        """
         if dataset.n_classes < 2:
             raise ValidationError("the MP baseline requires at least 2 classes")
         lengths = resolve_lengths(dataset.series_length, self.length_ratios)
+        tracker = self.budget.start() if self.budget is not None else None
+        pools_by_class: dict[int, list] = {
+            label: [] for label in range(dataset.n_classes)
+        }
+        lengths_done = 0
+        for length_no, length in enumerate(lengths):
+            if tracker is not None and length_no > 0 and tracker.exhausted:
+                break
+            for label in range(dataset.n_classes):
+                diffs, own = self._class_diffs(dataset, label, length)
+                pools_by_class[label].append((diffs, own, length))
+                if tracker is not None:
+                    tracker.charge(int(diffs.size), int(diffs.size))
+            lengths_done += 1
+        self.completed_ = lengths_done == len(lengths)
         shapelets: list[Shapelet] = []
         for label in range(dataset.n_classes):
             # Pool (diff, position, length) across the length grid.
-            pools = []
-            for length in lengths:
-                diffs, own = self._class_diffs(dataset, label, length)
-                pools.append((diffs, own, length))
+            pools = pools_by_class[label]
             picks: list[tuple[float, int, int]] = []  # (diff, pool_idx, pos)
             working = [p[0].copy() for p in pools]
             for _ in range(self.k):

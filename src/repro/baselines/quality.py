@@ -59,11 +59,13 @@ def best_information_gain(
     right_n = n - left_n
     lc = left_counts[split_points]
     rc = total_counts - lc
-    with np.errstate(divide="ignore", invalid="ignore"):
-        lp = lc / left_n[:, None]
-        rp = rc / right_n[:, None]
-        le = -np.nansum(np.where(lp > 0, lp * np.log2(lp), 0.0), axis=1)
-        re = -np.nansum(np.where(rp > 0, rp * np.log2(rp), 0.0), axis=1)
+    # left_n >= 1 and right_n >= 1 (split points exclude the last index),
+    # so the divisions are safe; zero-probability terms contribute exactly
+    # 0 via log2(1) = 0 instead of suppressing a 0 * log(0) warning.
+    lp = lc / left_n[:, None]
+    rp = rc / right_n[:, None]
+    le = -np.sum(lp * np.log2(np.where(lp > 0.0, lp, 1.0)), axis=1)
+    re = -np.sum(rp * np.log2(np.where(rp > 0.0, rp, 1.0)), axis=1)
     gains = parent - (left_n * le + right_n * re) / n
     idx = int(np.argmax(gains))
     if gains[idx] > best_gain:

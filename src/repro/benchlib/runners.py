@@ -32,13 +32,18 @@ from repro.exceptions import ValidationError
 
 @dataclass(frozen=True)
 class MethodResult:
-    """Accuracy and timing of one method on one dataset."""
+    """Accuracy and timing of one method on one dataset.
+
+    ``completed`` is False when an anytime budget truncated discovery
+    (the accuracy then reflects the best-so-far shapelets).
+    """
 
     method: str
     dataset: str
     accuracy: float
     discovery_seconds: float
     total_seconds: float
+    completed: bool = True
 
 
 class _NeighborAdapter:
@@ -168,20 +173,46 @@ def make_method(name: str, k: int = 5, seed: int | None = 0, **overrides):
 
 
 def evaluate_method(
-    name: str, data: TrainTestData, k: int = 5, seed: int | None = 0, **overrides
+    name: str,
+    data: TrainTestData,
+    k: int = 5,
+    seed: int | None = 0,
+    validation: str = "repair",
+    **overrides,
 ) -> MethodResult:
-    """Fit + score one method on one loaded dataset."""
+    """Fit + score one method on one loaded dataset.
+
+    ``validation`` runs the data contracts on the train split before the
+    model sees it (``"repair"`` default, ``"strict"``, or ``"off"`` for
+    the legacy passthrough); repairs apply to the training data only —
+    the test split is scored as loaded.
+    """
+    if validation != "off":
+        from repro.validation import validate_dataset
+
+        validated = validate_dataset(
+            data.train, mode=validation, name=data.train.name
+        )
+        data = TrainTestData(
+            train=validated.dataset,
+            test=data.test,
+            profile=data.profile,
+            validation=validated.report,
+        )
     model = make_method(name, k=k, seed=seed, **overrides)
     _, fit_seconds = timed(lambda: model.fit_dataset(data.train))
     y_test = data.test.classes_[data.test.y]
     accuracy = model.score(data.test.X, y_test)
     discovery = getattr(model, "discovery_seconds_", float("nan"))
+    completed = bool(getattr(model, "completed_", True))
     if name in ("IPS", "IPS-DIST") and model.discovery_result_ is not None:
         discovery = model.discovery_result_.total_time
+        completed = model.discovery_result_.completed
     return MethodResult(
         method=name,
         dataset=data.name,
         accuracy=float(accuracy),
         discovery_seconds=float(discovery),
         total_seconds=float(fit_seconds),
+        completed=completed,
     )

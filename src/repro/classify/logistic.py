@@ -62,8 +62,13 @@ class LogisticRegression:
             error = p - target
             grad_w = X.T @ error / n + self.l2 * w
             grad_b = float(error.mean())
-            w -= self.lr * grad_w
-            b -= self.lr * grad_b
+            new_w = w - self.lr * grad_w
+            new_b = b - self.lr * grad_b
+            if not (np.isfinite(new_w).all() and np.isfinite(new_b)):
+                # Diverging step (overflow on extreme feature scales):
+                # keep the last finite iterate rather than returning NaN.
+                break
+            w, b = new_w, new_b
             if np.linalg.norm(grad_w) + abs(grad_b) < self.tol:
                 break
         return w, b
@@ -74,6 +79,10 @@ class LogisticRegression:
         y = np.asarray(y, dtype=np.int64)
         if X.ndim != 2 or X.shape[0] != y.shape[0] or X.shape[0] == 0:
             raise ValidationError("X must be (M, d) with matching non-empty y")
+        if not np.isfinite(X).all():
+            raise ValidationError(
+                "logistic regression input contains non-finite values"
+            )
         self.classes_ = np.unique(y)
         if self.classes_.size < 2:
             self.coef_ = np.zeros((1, X.shape[1]))

@@ -23,13 +23,31 @@ class PCA:
         self.explained_variance_: np.ndarray | None = None
 
     def fit(self, X: np.ndarray) -> "PCA":
-        """Learn the principal directions of ``X``."""
+        """Learn the principal directions of ``X``.
+
+        Non-finite input is rejected with a typed error (SVD would
+        otherwise raise an opaque ``LinAlgError`` or silently produce
+        NaN components). Rank-deficient matrices are fine — zero
+        singular values simply contribute zero explained variance — and
+        if the iterative SVD fails to converge the symmetric
+        eigendecomposition of the covariance is used instead.
+        """
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2 or X.shape[0] == 0:
             raise ValidationError("X must be a non-empty 2-D matrix")
+        if not np.isfinite(X).all():
+            raise ValidationError("PCA input contains non-finite values")
         self.mean_ = X.mean(axis=0)
         centered = X - self.mean_
-        _u, s, vt = np.linalg.svd(centered, full_matrices=False)
+        try:
+            _u, s, vt = np.linalg.svd(centered, full_matrices=False)
+        except np.linalg.LinAlgError:
+            # Convergence failure on pathological input: fall back to the
+            # (always-convergent) symmetric eigensolver on X^T X.
+            evals, evecs = np.linalg.eigh(centered.T @ centered)
+            order = np.argsort(evals)[::-1]
+            s = np.sqrt(np.clip(evals[order], 0.0, None))
+            vt = evecs[:, order].T
         k = vt.shape[0] if self.n_components is None else min(self.n_components, vt.shape[0])
         self.components_ = vt[:k]
         denominator = max(X.shape[0] - 1, 1)

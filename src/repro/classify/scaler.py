@@ -12,7 +12,11 @@ class StandardScaler:
     """Per-feature zero-mean / unit-variance scaling.
 
     Constant features are left centred at zero rather than divided by a
-    near-zero standard deviation.
+    near-zero standard deviation. Non-finite cells never poison the
+    statistics: per-column mean/std are computed over the finite entries
+    only (a column with no finite entries scales to all zeros), and
+    :meth:`transform` maps any remaining non-finite cell to 0.0, so the
+    output is finite by construction.
     """
 
     def __init__(self) -> None:
@@ -20,21 +24,34 @@ class StandardScaler:
         self.scale_: np.ndarray | None = None
 
     def fit(self, X: np.ndarray) -> "StandardScaler":
-        """Learn per-column mean and std."""
+        """Learn per-column mean and std (finite entries only)."""
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2 or X.shape[0] == 0:
             raise ValidationError("X must be a non-empty 2-D matrix")
-        self.mean_ = X.mean(axis=0)
-        std = X.std(axis=0)
+        finite = np.isfinite(X)
+        if finite.all():
+            mean = X.mean(axis=0)
+            std = X.std(axis=0)
+        else:
+            counts = np.maximum(finite.sum(axis=0), 1)
+            safe = np.where(finite, X, 0.0)
+            mean = safe.sum(axis=0) / counts
+            var = np.where(finite, (safe - mean) ** 2, 0.0).sum(axis=0) / counts
+            std = np.sqrt(var)
+            dead = ~finite.any(axis=0)
+            mean[dead] = 0.0
+            std[dead] = 0.0
+        self.mean_ = mean
         self.scale_ = np.where(std < FLAT_STD, 1.0, std)
         return self
 
     def transform(self, X: np.ndarray) -> np.ndarray:
-        """Apply the learned scaling."""
+        """Apply the learned scaling; non-finite cells become 0.0."""
         if self.mean_ is None or self.scale_ is None:
             raise NotFittedError("call fit before transform")
         X = np.asarray(X, dtype=np.float64)
-        return (X - self.mean_) / self.scale_
+        scaled = (np.where(np.isfinite(X), X, self.mean_) - self.mean_) / self.scale_
+        return scaled
 
     def fit_transform(self, X: np.ndarray) -> np.ndarray:
         """Fit then transform in one call."""

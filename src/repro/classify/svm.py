@@ -63,6 +63,8 @@ class LinearSVM:
         y = np.asarray(y, dtype=np.float64)
         if X.ndim != 2 or X.shape[0] != y.shape[0] or X.shape[0] == 0:
             raise ValidationError("X must be (M, d) with matching non-empty y")
+        if not np.isfinite(X).all():
+            raise ValidationError("SVM input contains non-finite values")
         labels = np.unique(y)
         if not np.all(np.isin(labels, (-1.0, 1.0))):
             raise ValidationError(f"labels must be -1/+1, got {labels}")

@@ -63,12 +63,27 @@ def cmd_list(_args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     """``repro run <dataset> --method IPS``"""
     data = _load(args)
-    result = evaluate_method(args.method, data, k=args.k, seed=args.seed)
+    overrides: dict = {}
+    if args.budget_seconds is not None or args.max_candidates is not None:
+        from repro.core.budget import Budget
+
+        overrides["budget"] = Budget(
+            max_seconds=args.budget_seconds, max_candidates=args.max_candidates
+        )
+    result = evaluate_method(
+        args.method,
+        data,
+        k=args.k,
+        seed=args.seed,
+        validation=args.validation,
+        **overrides,
+    )
+    suffix = "" if result.completed else " (budget truncated; best-so-far)"
     print(
         f"{result.method} on {result.dataset}: "
         f"accuracy {100 * result.accuracy:.2f}%, "
         f"discovery {result.discovery_seconds:.2f}s, "
-        f"fit total {result.total_seconds:.2f}s"
+        f"fit total {result.total_seconds:.2f}s{suffix}"
     )
     return 0
 
@@ -135,6 +150,25 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="evaluate one method on one dataset")
     _add_common_dataset_args(run)
     run.add_argument("--method", default="IPS", choices=method_names())
+    run.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        help="anytime wall-clock budget for discovery (budget-aware "
+        "methods: IPS, IPS-DIST, BASE, FS)",
+    )
+    run.add_argument(
+        "--max-candidates",
+        type=int,
+        default=None,
+        help="anytime candidate-count budget for discovery",
+    )
+    run.add_argument(
+        "--validation",
+        default="repair",
+        choices=["strict", "repair", "off"],
+        help="data-contract mode applied to the training split",
+    )
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="evaluate several methods")

@@ -13,6 +13,7 @@ Stages (Fig. 5 of the paper):
 transform-and-classify stage behind a ``fit``/``predict`` interface.
 """
 
+from repro.core.budget import Budget, BudgetTracker
 from repro.core.analysis import (
     best_matches,
     coverage_summary,
@@ -28,6 +29,8 @@ from repro.core.tuning import TuningResult, tune_ips
 from repro.core.utility import UtilityScores, score_candidates_brute, score_candidates_dt
 
 __all__ = [
+    "Budget",
+    "BudgetTracker",
     "IPS",
     "IPSClassifier",
     "IPSConfig",

@@ -1,0 +1,162 @@
+"""Anytime resource budgets for shapelet discovery.
+
+A :class:`Budget` bounds a discovery run along three axes — wall-clock
+seconds, generated candidates, and estimated candidate-pool memory. The
+pipeline checks the budget at *deterministic* checkpoints (after each
+full round of per-class generation units, and at phase boundaries), so:
+
+* the run never aborts: on exhaustion it returns the best-so-far result
+  flagged ``DiscoveryResult.completed=False`` with per-phase progress
+  recorded;
+* truncation happens only at round/phase granularity. A candidate or
+  memory budget therefore truncates at an *identical* point on every
+  run with the same seed; a wall-clock deadline tight enough to expire
+  within the first round also truncates identically (at the guaranteed
+  minimum of one full round), which is what the anytime tests pin down.
+
+The first generation round is always completed regardless of the budget
+— an anytime result must cover every class, and one round is the
+smallest unit of work that does.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.exceptions import ValidationError
+
+#: Bytes per candidate value (float64) used by the memory estimate.
+_BYTES_PER_VALUE = 8
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Resource ceiling for one discovery run.
+
+    Attributes
+    ----------
+    max_seconds:
+        Wall-clock deadline measured from :meth:`start`. ``None``
+        disables the deadline.
+    max_candidates:
+        Ceiling on generated candidates; generation stops at the first
+        round boundary at or above it. Deterministic for a fixed seed.
+    max_memory_mb:
+        Ceiling on the *estimated* candidate-pool memory (values only,
+        float64). Deterministic for a fixed seed.
+    """
+
+    max_seconds: float | None = None
+    max_candidates: int | None = None
+    max_memory_mb: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_seconds is not None and self.max_seconds < 0:
+            raise ValidationError(
+                f"max_seconds must be >= 0, got {self.max_seconds}"
+            )
+        if self.max_candidates is not None and self.max_candidates < 1:
+            raise ValidationError(
+                f"max_candidates must be >= 1, got {self.max_candidates}"
+            )
+        if self.max_memory_mb is not None and self.max_memory_mb <= 0:
+            raise ValidationError(
+                f"max_memory_mb must be > 0, got {self.max_memory_mb}"
+            )
+
+    @property
+    def unbounded(self) -> bool:
+        """True when no axis is constrained."""
+        return (
+            self.max_seconds is None
+            and self.max_candidates is None
+            and self.max_memory_mb is None
+        )
+
+    def start(self) -> "BudgetTracker":
+        """Begin tracking a run against this budget."""
+        return BudgetTracker(budget=self)
+
+
+@dataclass
+class BudgetTracker:
+    """Mutable per-run state: spend so far and per-phase progress."""
+
+    budget: Budget
+    started_at: float = field(default_factory=time.monotonic)
+    candidates: int = 0
+    memory_bytes: int = 0
+    exhausted_reason: str | None = None
+    progress: dict = field(default_factory=dict)
+
+    def charge(self, n_candidates: int, n_values: int = 0) -> None:
+        """Account for generated candidates (and their value memory)."""
+        self.candidates += int(n_candidates)
+        self.memory_bytes += int(n_values) * _BYTES_PER_VALUE
+
+    def elapsed(self) -> float:
+        """Seconds since tracking started."""
+        return time.monotonic() - self.started_at
+
+    def check(self) -> str | None:
+        """Return the exhaustion reason, latching the first one seen.
+
+        Checked only at round/phase boundaries so truncation points are
+        reproducible (see the module docstring).
+        """
+        if self.exhausted_reason is not None:
+            return self.exhausted_reason
+        budget = self.budget
+        if (
+            budget.max_candidates is not None
+            and self.candidates >= budget.max_candidates
+        ):
+            self.exhausted_reason = (
+                f"candidate budget reached ({self.candidates} >= "
+                f"{budget.max_candidates})"
+            )
+        elif (
+            budget.max_memory_mb is not None
+            and self.memory_bytes >= budget.max_memory_mb * 1024 * 1024
+        ):
+            self.exhausted_reason = (
+                f"memory budget reached ({self.memory_bytes / 2**20:.2f} MiB "
+                f">= {budget.max_memory_mb} MiB)"
+            )
+        elif (
+            budget.max_seconds is not None
+            and self.elapsed() >= budget.max_seconds
+        ):
+            self.exhausted_reason = (
+                f"deadline reached ({self.elapsed():.3f}s >= "
+                f"{budget.max_seconds}s)"
+            )
+        return self.exhausted_reason
+
+    @property
+    def exhausted(self) -> bool:
+        """True once any axis has run out (latched)."""
+        return self.check() is not None
+
+    def record_phase(self, phase: str, **info: object) -> None:
+        """Record progress for one pipeline phase."""
+        self.progress.setdefault(phase, {}).update(info)
+
+    def snapshot(self) -> dict:
+        """JSON-friendly summary for ``DiscoveryResult.extra['budget']``."""
+        return {
+            "max_seconds": self.budget.max_seconds,
+            "max_candidates": self.budget.max_candidates,
+            "max_memory_mb": self.budget.max_memory_mb,
+            "elapsed_seconds": self.elapsed(),
+            "candidates": self.candidates,
+            "memory_bytes": self.memory_bytes,
+            "exhausted": self.exhausted_reason,
+            "progress": {k: dict(v) for k, v in self.progress.items()},
+        }
+
+
+def null_tracker() -> BudgetTracker:
+    """A tracker over an unbounded budget (never exhausts)."""
+    return Budget().start()

@@ -4,7 +4,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.budget import Budget
 from repro.exceptions import ValidationError
+
+#: Accepted values of ``IPSConfig.validation_mode``.
+VALIDATION_MODES: tuple[str, ...] = ("strict", "repair", "off")
 
 #: The paper's candidate-length ratio grid.
 DEFAULT_LENGTH_RATIOS: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5)
@@ -131,6 +135,21 @@ class IPSConfig:
         Optional :class:`FaultToleranceConfig` enabling retries, quorum
         merging, and checkpointing in the distributed pipeline; ``None``
         keeps the historical fail-fast behaviour.
+    validation_mode:
+        Data-contract handling on ``fit``: ``"repair"`` (default — apply
+        deterministic repair policies and record them in
+        ``DiscoveryResult.extra["validation_report"]``), ``"strict"``
+        (raise :class:`~repro.exceptions.ValidationError` on any
+        ERROR-severity finding), or ``"off"`` (legacy passthrough). See
+        :mod:`repro.validation`.
+    min_class_size:
+        Classes with fewer training examples are flagged by validation
+        (WARNING severity; discovery still runs).
+    budget:
+        Optional :class:`repro.core.budget.Budget`. When set, discovery
+        becomes *anytime*: the budget is checked at round and phase
+        boundaries, and on exhaustion a valid best-so-far result is
+        returned with ``completed=False`` instead of running to the end.
     """
 
     k: int = 5
@@ -151,6 +170,9 @@ class IPSConfig:
     normalize_utility_sums: bool = True
     seed: int | None = 0
     fault_tolerance: FaultToleranceConfig | None = None
+    validation_mode: str = "repair"
+    min_class_size: int = 2
+    budget: Budget | None = None
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -185,3 +207,14 @@ class IPSConfig:
             raise ValidationError(
                 "fault_tolerance must be a FaultToleranceConfig or None"
             )
+        if self.validation_mode not in VALIDATION_MODES:
+            raise ValidationError(
+                f"unknown validation_mode {self.validation_mode!r}; "
+                f"choose from {VALIDATION_MODES}"
+            )
+        if self.min_class_size < 1:
+            raise ValidationError(
+                f"min_class_size must be >= 1, got {self.min_class_size}"
+            )
+        if self.budget is not None and not isinstance(self.budget, Budget):
+            raise ValidationError("budget must be a Budget or None")

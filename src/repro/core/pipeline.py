@@ -93,9 +93,22 @@ class IPS:
         self.prune_report_: PruneReport | None = None
 
     def discover(self, dataset: Dataset) -> DiscoveryResult:
-        """Run candidate generation, pruning, and top-k selection."""
+        """Run candidate generation, pruning, and top-k selection.
+
+        With ``config.budget`` set, the run is *anytime*: the budget is
+        checked between generation rounds and at phase boundaries. On
+        exhaustion, generation truncates at a round boundary (every
+        class equally covered), pruning is skipped, and selection runs
+        on whatever pool exists — the result is valid but flagged
+        ``completed=False``, with ``extra["budget"]`` recording per-phase
+        progress. Truncation points are reproducible: candidate/memory
+        budgets always cut at the same round for a fixed seed, and a
+        deadline tight enough to expire within the first round cuts at
+        the guaranteed one-round minimum.
+        """
         config = self.config
         lengths = resolve_lengths(dataset.series_length, config.length_ratios)
+        tracker = config.budget.start() if config.budget is not None else None
 
         start = time.perf_counter()
         pool = generate_candidates(
@@ -107,14 +120,20 @@ class IPS:
             discords_per_profile=config.discords_per_profile,
             normalized=config.normalized_profiles,
             seed=config.seed,
+            budget_tracker=tracker,
         )
         time_generation = time.perf_counter() - start
         self.pool_ = pool
 
         multi_class = dataset.n_classes > 1
+        out_of_budget = tracker is not None and tracker.exhausted
         start = time.perf_counter()
         dabf: DABF | None = None
-        if multi_class and config.use_dabf:
+        if out_of_budget:
+            # Pruning is an optimization, not a correctness stage: skip
+            # it to leave the remaining budget to selection.
+            pruned, report = pool.copy(), PruneReport()
+        elif multi_class and config.use_dabf:
             dabf = DABF.build(
                 pool,
                 scheme=config.lsh_scheme,
@@ -133,9 +152,13 @@ class IPS:
         time_pruning = time.perf_counter() - start
         self.pruned_pool_ = pruned
         self.prune_report_ = report
+        if tracker is not None:
+            tracker.record_phase("pruning", skipped=out_of_budget)
+            out_of_budget = tracker.exhausted
 
         start = time.perf_counter()
-        if config.use_dt_cr and dabf is None:
+        use_dt = config.use_dt_cr and not out_of_budget
+        if use_dt and dabf is None:
             # DT needs the bucket tables even when DABF pruning is off.
             dabf = DABF.build(
                 pool,
@@ -148,7 +171,7 @@ class IPS:
         shared_cache = _PairDistanceCache()
 
         def _score(active_pool: CandidatePool, label: int) -> UtilityScores:
-            if config.use_dt_cr:
+            if use_dt:
                 return score_candidates_dt(
                     dataset,
                     active_pool,
@@ -171,6 +194,27 @@ class IPS:
         shapelets = select_top_k_per_class(scores_by_class, config.k)
         time_selection = time.perf_counter() - start
 
+        extra = {
+            "lengths": lengths,
+            "prune_report": report,
+            "scores_by_class": scores_by_class,
+        }
+        completed = True
+        if tracker is not None:
+            tracker.record_phase(
+                "selection", classes_scored=len(scores_by_class), dt_used=use_dt
+            )
+            # "Completed" means every phase did its full work — a deadline
+            # expiring after the last phase finished does not un-complete it.
+            gen_truncated = tracker.progress.get("generation", {}).get(
+                "truncated", False
+            )
+            completed = not (
+                gen_truncated
+                or tracker.progress.get("pruning", {}).get("skipped", False)
+                or (config.use_dt_cr and not use_dt)
+            )
+            extra["budget"] = tracker.snapshot()
         return DiscoveryResult(
             shapelets=shapelets,
             n_candidates_generated=len(pool),
@@ -178,24 +222,33 @@ class IPS:
             time_candidate_generation=time_generation,
             time_pruning=time_pruning,
             time_selection=time_selection,
-            extra={
-                "lengths": lengths,
-                "prune_report": report,
-                "scores_by_class": scores_by_class,
-            },
+            completed=completed,
+            extra=extra,
         )
 
 
 class _Feature1NN:
-    """1NN on the shapelet-feature space (one of the classic choices)."""
+    """1NN on the shapelet-feature space (one of the classic choices).
+
+    Non-finite feature cells (a degenerate transform can emit them) are
+    zeroed deterministically on both sides, so a NaN in one column can
+    never poison every distance and flip ``argmin`` arbitrarily.
+    """
 
     def __init__(self) -> None:
         self._X: np.ndarray | None = None
         self._y: np.ndarray | None = None
 
+    @staticmethod
+    def _sanitize(X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if np.isfinite(X).all():
+            return X
+        return np.where(np.isfinite(X), X, 0.0)
+
     def fit(self, X: np.ndarray, y: np.ndarray) -> "_Feature1NN":
         """Memorize the feature matrix."""
-        self._X = np.asarray(X, dtype=np.float64)
+        self._X = self._sanitize(X)
         self._y = np.asarray(y, dtype=np.int64)
         return self
 
@@ -203,7 +256,7 @@ class _Feature1NN:
         """Nearest-neighbour label per feature row."""
         if self._X is None:
             raise NotFittedError("call fit before predict")
-        X = np.asarray(X, dtype=np.float64)
+        X = self._sanitize(X)
         out = np.empty(X.shape[0], dtype=np.int64)
         for i, row in enumerate(X):
             diffs = self._X - row
@@ -242,9 +295,35 @@ class IPSClassifier:
         self._svm: OneVsRestSVM | None = None
         self._dataset: Dataset | None = None
 
-    def fit_dataset(self, dataset: Dataset) -> "IPSClassifier":
-        """Fit on an already-constructed :class:`Dataset`."""
+    def _validate(self, X, y, name: str = ""):
+        """Route training input through the data contracts."""
+        from repro.validation import validate_dataset
+
+        return validate_dataset(
+            X,
+            y,
+            mode=self.config.validation_mode,
+            min_class_size=self.config.min_class_size,
+            name=name,
+        )
+
+    def fit_dataset(
+        self, dataset: Dataset, _validation_report=None
+    ) -> "IPSClassifier":
+        """Fit on an already-constructed :class:`Dataset`.
+
+        Unless ``config.validation_mode == "off"``, the dataset is first
+        checked against the data contracts (:mod:`repro.validation`);
+        the resulting report is attached to
+        ``discovery_result_.extra["validation_report"]``.
+        """
+        validation_report = _validation_report
+        if validation_report is None and self.config.validation_mode != "off":
+            validated = self._validate(dataset, None)
+            dataset = validated.dataset
+            validation_report = validated.report
         result = self.discoverer_.discover(dataset)
+        result.extra["validation_report"] = validation_report
         self.discovery_result_ = result
         self.shapelets_ = result.shapelets
         self._dataset = dataset
@@ -257,8 +336,19 @@ class IPSClassifier:
         return self
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "IPSClassifier":
-        """Fit on raw arrays."""
-        return self.fit_dataset(Dataset(X=X, y=y))
+        """Fit on raw arrays.
+
+        In ``"repair"``/``"strict"`` validation modes the raw arrays are
+        validated *before* :class:`Dataset` construction, so NaN gaps and
+        ragged rows reach the repair policies instead of the
+        constructor's blanket rejection.
+        """
+        if self.config.validation_mode == "off":
+            return self.fit_dataset(Dataset(X=X, y=y))
+        validated = self._validate(X, y)
+        return self.fit_dataset(
+            validated.dataset, _validation_report=validated.report
+        )
 
     def _check_fitted(self) -> None:
         if self._svm is None or self._transform is None or self._scaler is None:

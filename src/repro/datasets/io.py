@@ -20,12 +20,20 @@ from repro.exceptions import ValidationError
 from repro.ts.series import Dataset
 
 
-def read_ucr_file(path: str | pathlib.Path, name: str = "") -> Dataset:
+def read_ucr_file(
+    path: str | pathlib.Path, name: str = "", repair: bool = False
+) -> Dataset:
     """Parse one UCR TSV/CSV file into a :class:`Dataset`.
 
     Labels may be arbitrary integers (including negatives, as in some UCR
-    sets); they are remapped by the :class:`Dataset` constructor. Rows must
-    be equal length.
+    sets); they are remapped by the :class:`Dataset` constructor.
+
+    Parsed rows go through :func:`repro.validation.validate_dataset`:
+    with ``repair=False`` (default) ragged lengths and NaN/inf cells
+    raise a :class:`~repro.exceptions.ValidationError` naming the
+    offending row indices; with ``repair=True`` the deterministic repair
+    policies run instead (pad/truncate to the majority length,
+    interpolate gaps, drop rows with no finite values).
     """
     path = pathlib.Path(path)
     if not path.exists():
@@ -56,13 +64,19 @@ def read_ucr_file(path: str | pathlib.Path, name: str = "") -> Dataset:
             rows.append(values)
     if not rows:
         raise ValidationError(f"{path}: no instances found")
-    lengths = {row.size for row in rows}
-    if len(lengths) != 1:
-        raise ValidationError(
-            f"{path}: unequal series lengths {sorted(lengths)} (this loader "
-            f"supports the equal-length UCR datasets the paper evaluates)"
+    from repro.validation import validate_dataset
+
+    try:
+        validated = validate_dataset(
+            rows,
+            labels,
+            mode="repair" if repair else "strict",
+            min_series_length=1,  # fit-time validation owns the length contract
+            name=name or path.stem,
         )
-    return Dataset(X=np.vstack(rows), y=np.asarray(labels), name=name or path.stem)
+    except ValidationError as exc:
+        raise ValidationError(f"{path}: {exc}") from exc
+    return validated.dataset
 
 
 def write_ucr_file(dataset: Dataset, path: str | pathlib.Path) -> None:
@@ -77,17 +91,19 @@ def write_ucr_file(dataset: Dataset, path: str | pathlib.Path) -> None:
 
 
 def load_ucr_directory(
-    root: str | pathlib.Path, name: str
+    root: str | pathlib.Path, name: str, repair: bool = False
 ) -> TrainTestData:
     """Load ``<root>/<name>/<name>_TRAIN.tsv`` and ``..._TEST.tsv``.
 
     Matches the real archive's directory layout. The registry profile is
     attached when the name is known (for metadata display); unknown names
-    get a synthesized profile from the files themselves.
+    get a synthesized profile from the files themselves. ``repair``
+    forwards to :func:`read_ucr_file` (apply repair policies instead of
+    raising on contract violations).
     """
     root = pathlib.Path(root)
-    train = read_ucr_file(root / name / f"{name}_TRAIN.tsv", name=name)
-    test = read_ucr_file(root / name / f"{name}_TEST.tsv", name=name)
+    train = read_ucr_file(root / name / f"{name}_TRAIN.tsv", name=name, repair=repair)
+    test = read_ucr_file(root / name / f"{name}_TEST.tsv", name=name, repair=repair)
     if train.series_length != test.series_length:
         raise ValidationError(
             f"{name}: train length {train.series_length} != test length "

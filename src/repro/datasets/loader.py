@@ -9,6 +9,7 @@ relative orderings — see DESIGN.md).
 
 from __future__ import annotations
 
+import typing
 from dataclasses import dataclass
 
 
@@ -19,6 +20,9 @@ from repro.datasets.registry import DatasetProfile, get_profile
 from repro.exceptions import ValidationError
 from repro.ts.series import Dataset
 
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.validation import ValidationReport
+
 #: Simple in-process cache; benchmarks reload the same datasets repeatedly.
 _CACHE: dict[tuple, "TrainTestData"] = {}
 _CACHE_LIMIT = 64
@@ -26,11 +30,17 @@ _CACHE_LIMIT = 64
 
 @dataclass(frozen=True)
 class TrainTestData:
-    """A generated dataset split plus its registry profile."""
+    """A generated dataset split plus its registry profile.
+
+    ``validation`` carries the :class:`~repro.validation.ValidationReport`
+    of the pool the split was cut from, when the loader ran the data
+    contracts (``None`` for legacy callers and ``validation="off"``).
+    """
 
     train: Dataset
     test: Dataset
     profile: DatasetProfile
+    validation: "ValidationReport | None" = None
 
     @property
     def name(self) -> str:
@@ -83,6 +93,7 @@ def load_dataset(
     max_train: int | None = None,
     max_test: int | None = None,
     max_length: int | None = None,
+    validation: str = "repair",
 ) -> TrainTestData:
     """Generate (or fetch from cache) a dataset by registry name.
 
@@ -97,6 +108,11 @@ def load_dataset(
         Optional caps below the registered sizes. Class counts are never
         reduced; ``max_train`` is clamped upward to at least 2 instances
         per class so every class is learnable.
+    validation:
+        Data-contract mode for the generated pool: ``"repair"``
+        (default), ``"strict"``, or ``"off"``. The resulting
+        :class:`~repro.validation.ValidationReport` is attached to
+        :attr:`TrainTestData.validation`.
     """
     profile = get_profile(name)
     n_train = profile.n_train if max_train is None else min(profile.n_train, max_train)
@@ -106,12 +122,19 @@ def load_dataset(
     n_test = max(n_test, profile.n_classes)
     length = max(length, 24)
 
-    key = (name, seed, n_train, n_test, length)
+    key = (name, seed, n_train, n_test, length, validation)
     cached = _CACHE.get(key)
     if cached is not None:
         return cached
 
     pool = _generate_pool(profile, n_train + n_test, length, seed)
+    report = None
+    if validation != "off":
+        from repro.validation import validate_dataset
+
+        validated = validate_dataset(pool, mode=validation, name=name)
+        pool = validated.dataset
+        report = validated.report
     test_fraction = n_test / (n_train + n_test)
     X_train, y_train, X_test, y_test = train_test_split(
         pool.X,
@@ -124,6 +147,7 @@ def load_dataset(
         train=Dataset(X=X_train, y=y_train, name=name),
         test=Dataset(X=X_test, y=y_test, name=name),
         profile=profile,
+        validation=report,
     )
     if len(_CACHE) >= _CACHE_LIMIT:
         _CACHE.pop(next(iter(_CACHE)))

@@ -27,7 +27,11 @@ import numpy as np
 from repro.core.config import FaultToleranceConfig, IPSConfig
 from repro.core.pipeline import restore_emptied_classes, score_with_class_fallback
 from repro.core.selection import select_top_k_per_class
-from repro.core.utility import UtilityScores, score_candidates_dt
+from repro.core.utility import (
+    UtilityScores,
+    score_candidates_brute,
+    score_candidates_dt,
+)
 from repro.distributed.checkpoint import CheckpointStore, unit_key
 from repro.distributed.executor import (
     Executor,
@@ -192,8 +196,17 @@ class DistributedIPS:
         units: list[WorkUnit],
         worker,
         fault_tolerance: FaultToleranceConfig,
-    ) -> tuple[list[UnitOutcome], dict]:
-        """Execute units under retries + optional checkpoint resume."""
+        tracker=None,
+    ) -> tuple[list[WorkUnit], list[UnitOutcome], dict]:
+        """Execute units under retries + optional checkpoint resume.
+
+        With a budget ``tracker``, fresh units are executed one
+        *round* (same ``sample_id`` across classes) at a time and the
+        budget is checked between rounds; units beyond the truncation
+        round are never attempted (and are excluded from the quorum
+        denominator). The first round always runs. Returns the attempted
+        units, their outcomes (aligned), and run statistics.
+        """
         config = self.config
         outcomes: list[UnitOutcome | None] = [None] * len(units)
         remaining = list(range(len(units)))
@@ -210,6 +223,10 @@ class DistributedIPS:
                         index=index, value=cached, from_checkpoint=True
                     )
                     checkpoint_hits += 1
+                    if tracker is not None:
+                        tracker.charge(
+                            len(cached), sum(c.length for c in cached)
+                        )
                 else:
                     fresh.append(index)
             remaining = fresh
@@ -226,20 +243,55 @@ class DistributedIPS:
             validate=validate_unit_result,
             seed=jitter_seed,
         )
-        computed = retrying.map_with_outcomes(
-            worker, [units[i] for i in remaining]
-        )
-        for index, outcome in zip(remaining, computed):
-            outcome.index = index
-            outcomes[index] = outcome
-            if store is not None and outcome.ok:
-                store.save(unit_key(units[index]), outcome.value)
+        if tracker is None:
+            batches = [remaining]
+        else:
+            by_round: dict[int, list[int]] = {}
+            for index in remaining:
+                by_round.setdefault(units[index].sample_id, []).append(index)
+            batches = [by_round[s] for s in sorted(by_round)]
+        n_computed = 0
+        rounds_run = 0
+        for batch_no, batch in enumerate(batches):
+            if tracker is not None and batch_no > 0 and tracker.exhausted:
+                break
+            computed = retrying.map_with_outcomes(
+                worker, [units[i] for i in batch]
+            )
+            rounds_run += 1
+            for index, outcome in zip(batch, computed):
+                outcome.index = index
+                outcomes[index] = outcome
+                n_computed += 1
+                if store is not None and outcome.ok:
+                    store.save(unit_key(units[index]), outcome.value)
+                if tracker is not None and outcome.ok:
+                    tracker.charge(
+                        len(outcome.value),
+                        sum(c.length for c in outcome.value),
+                    )
+        if tracker is not None:
+            tracker.record_phase(
+                "generation",
+                rounds_completed=rounds_run,
+                rounds_total=len(batches),
+                truncated=rounds_run < len(batches),
+            )
         stats = {
             "checkpoint_hits": checkpoint_hits,
-            "n_units_computed": len(remaining),
+            "n_units_computed": n_computed,
             "executor_degraded": retrying.degraded_,
         }
-        return [o for o in outcomes if o is not None], stats
+        attempted = [
+            (units[i], outcomes[i])
+            for i in range(len(units))
+            if outcomes[i] is not None
+        ]
+        return (
+            [u for u, _ in attempted],
+            [o for _, o in attempted],
+            stats,
+        )
 
     def _merge_outcomes(
         self,
@@ -314,6 +366,7 @@ class DistributedIPS:
         if dataset.n_series < 1:
             raise ValidationError("empty dataset")
         config = self.config
+        tracker = config.budget.start() if config.budget is not None else None
 
         start = time.perf_counter()
         units = self.build_work_units(dataset)
@@ -325,25 +378,59 @@ class DistributedIPS:
                 fault_tolerance = FaultToleranceConfig()
 
         run_stats: dict = {}
-        if fault_tolerance is None:
+        attempted_units = units
+        if fault_tolerance is None and tracker is None:
             per_unit = self.executor.map(worker, units)
             outcomes = [
                 UnitOutcome(index=i, value=value)
                 for i, value in enumerate(per_unit)
             ]
             quorum = 1.0
+        elif fault_tolerance is None:
+            # Fail-fast semantics, but executed one round (same sample_id
+            # across classes) at a time so the budget can truncate at a
+            # deterministic round boundary. The first round always runs.
+            by_round: dict[int, list[int]] = {}
+            for i, unit in enumerate(units):
+                by_round.setdefault(unit.sample_id, []).append(i)
+            attempted: list[tuple[WorkUnit, UnitOutcome]] = []
+            rounds_run = 0
+            rounds = [by_round[s] for s in sorted(by_round)]
+            for round_no, batch in enumerate(rounds):
+                if round_no > 0 and tracker.exhausted:
+                    break
+                values = self.executor.map(worker, [units[i] for i in batch])
+                rounds_run += 1
+                for i, value in zip(batch, values):
+                    attempted.append((units[i], UnitOutcome(index=i, value=value)))
+                    tracker.charge(len(value), sum(c.length for c in value))
+            attempted.sort(key=lambda pair: pair[1].index)
+            attempted_units = [u for u, _ in attempted]
+            outcomes = [o for _, o in attempted]
+            tracker.record_phase(
+                "generation",
+                rounds_completed=rounds_run,
+                rounds_total=len(rounds),
+                truncated=rounds_run < len(rounds),
+            )
+            quorum = 1.0
         else:
-            outcomes, run_stats = self._run_fault_tolerant(
-                dataset, units, worker, fault_tolerance
+            attempted_units, outcomes, run_stats = self._run_fault_tolerant(
+                dataset, units, worker, fault_tolerance, tracker
             )
             quorum = fault_tolerance.quorum
-        pool, merge_stats = self._merge_outcomes(units, outcomes, quorum)
+        pool, merge_stats = self._merge_outcomes(attempted_units, outcomes, quorum)
         if len(pool) == 0:
             raise EmptyPoolError("distributed generation produced no candidates")
         time_generation = time.perf_counter() - start
 
+        out_of_budget = tracker is not None and tracker.exhausted
         start = time.perf_counter()
-        if dataset.n_classes > 1:
+        if out_of_budget:
+            # Anytime truncation: skip pruning, fall back to brute scoring.
+            dabf = None
+            pruned, report = pool.copy(), PruneReport()
+        elif dataset.n_classes > 1:
             dabf = DABF.build(
                 pool,
                 scheme=config.lsh_scheme,
@@ -357,10 +444,20 @@ class DistributedIPS:
             dabf = DABF.build(pool, seed=config.seed)
             pruned, report = pool.copy(), PruneReport()
         time_pruning = time.perf_counter() - start
+        if tracker is not None:
+            tracker.record_phase("pruning", skipped=out_of_budget)
 
         start = time.perf_counter()
 
         def _score(active_pool: CandidatePool, label: int) -> UtilityScores:
+            if dabf is None:
+                return score_candidates_brute(
+                    dataset,
+                    active_pool,
+                    label,
+                    use_cr=False,
+                    normalize=config.normalize_utility_sums,
+                )
             return score_candidates_dt(
                 dataset,
                 active_pool,
@@ -375,6 +472,24 @@ class DistributedIPS:
         shapelets = select_top_k_per_class(scores_by_class, config.k)
         time_selection = time.perf_counter() - start
 
+        extra = {
+            "n_work_units": len(units),
+            "prune_report": report,
+            **merge_stats,
+            **run_stats,
+        }
+        completed = True
+        if tracker is not None:
+            tracker.record_phase(
+                "selection",
+                classes_scored=len(scores_by_class),
+                dt_used=dabf is not None,
+            )
+            completed = not (
+                tracker.progress.get("generation", {}).get("truncated", False)
+                or out_of_budget
+            )
+            extra["budget"] = tracker.snapshot()
         return DiscoveryResult(
             shapelets=shapelets,
             n_candidates_generated=len(pool),
@@ -382,10 +497,6 @@ class DistributedIPS:
             time_candidate_generation=time_generation,
             time_pruning=time_pruning,
             time_selection=time_selection,
-            extra={
-                "n_work_units": len(units),
-                "prune_report": report,
-                **merge_stats,
-                **run_stats,
-            },
+            completed=completed,
+            extra=extra,
         )

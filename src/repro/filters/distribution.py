@@ -90,6 +90,9 @@ def fit_best_distribution(
     results: list[DistributionFit] = []
     for name, dist in families:
         try:
+            # Narrow, justified suppression: scipy's MLE fitters probe bad
+            # parameter regions internally. The output IS checked — any
+            # non-finite pdf disqualifies the family just below.
             with np.errstate(all="ignore"):
                 params = dist.fit(values)
                 fitted = dist.pdf(centers, *params)

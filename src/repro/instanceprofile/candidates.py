@@ -96,18 +96,18 @@ class CandidatePool:
 
 
 def _harvest(
-    pool: CandidatePool,
+    out: list[Candidate],
     ip,
     label: int,
     sample_id: int,
     kind: CandidateKind,
     per_profile: int,
 ) -> None:
-    """Extract top positions from one instance profile into the pool."""
+    """Extract top positions from one instance profile into ``out``."""
     picker = top_k_motifs if kind is CandidateKind.MOTIF else top_k_discords
     for position, _value in picker(ip.profile, per_profile):
         instance_id, offset = ip.locate(position)
-        pool.add(
+        out.append(
             Candidate(
                 values=ip.subsequence(position),
                 label=label,
@@ -119,6 +119,34 @@ def _harvest(
         )
 
 
+def _unit_candidates(
+    dataset: Dataset,
+    rows: np.ndarray,
+    label: int,
+    sample_id: int,
+    lengths: list[int],
+    motifs_per_profile: int,
+    discords_per_profile: int,
+    normalized: bool,
+) -> list[Candidate]:
+    """Algorithm-1 inner loop for one (class, sample) work unit."""
+    sample = concatenate_series(dataset.X[rows], instance_ids=rows)
+    unit: list[Candidate] = []
+    min_instance = int(np.diff(sample.boundaries).min())
+    for length in lengths:
+        if length > min_instance:
+            # Window longer than some instance: skip this length.
+            continue
+        ip = instance_profile(sample, length, normalized=normalized)
+        if not np.any(np.isfinite(ip.values)):
+            continue
+        _harvest(unit, ip, label, sample_id, CandidateKind.MOTIF, motifs_per_profile)
+        _harvest(
+            unit, ip, label, sample_id, CandidateKind.DISCORD, discords_per_profile
+        )
+    return unit
+
+
 def generate_candidates(
     dataset: Dataset,
     q_n: int,
@@ -128,6 +156,7 @@ def generate_candidates(
     discords_per_profile: int = 1,
     normalized: bool = True,
     seed: int | np.random.Generator | None = None,
+    budget_tracker=None,
 ) -> CandidatePool:
     """Algorithm 1: generate the candidate pool Phi with the IP.
 
@@ -148,6 +177,15 @@ def generate_candidates(
         Distance flavour for the underlying profile computation.
     seed:
         Reproducibility seed for the bagging sampler.
+    budget_tracker:
+        Optional :class:`repro.core.budget.BudgetTracker`. Units are
+        processed round-robin across classes (all classes at sample 0,
+        then sample 1, ...) and the budget is checked between rounds, so
+        an exhausted budget truncates at a round boundary with every
+        class equally covered. The first round always completes. The
+        per-class candidate lists are identical to the unbudgeted run up
+        to the truncation point: bagging samples are pre-drawn in the
+        historical class-major RNG order.
     """
     if not lengths:
         raise ValidationError("at least one candidate length is required")
@@ -158,29 +196,41 @@ def generate_candidates(
                 f"{dataset.series_length}"
             )
     sampler = BaggingSampler(q_n=q_n, q_s=q_s, seed=seed)
+    # Class-major draw order keeps pools bit-identical to older releases.
+    samples_by_class = [
+        sampler.samples_for_class(dataset.class_indices(label))
+        for label in range(dataset.n_classes)
+    ]
     pool = CandidatePool()
-    for label in range(dataset.n_classes):
-        class_rows = dataset.class_indices(label)
-        for sample_id, rows in enumerate(sampler.samples_for_class(class_rows)):
-            sample = concatenate_series(dataset.X[rows], instance_ids=rows)
-            for length in lengths:
-                if length > min(np.diff(sample.boundaries)):
-                    # Window longer than some instance: skip this length.
-                    continue
-                ip = instance_profile(sample, length, normalized=normalized)
-                if not np.any(np.isfinite(ip.values)):
-                    continue
-                _harvest(
-                    pool, ip, label, sample_id, CandidateKind.MOTIF, motifs_per_profile
+    rounds_completed = 0
+    for sample_id in range(q_n):
+        if budget_tracker is not None and sample_id > 0 and budget_tracker.exhausted:
+            break
+        for label in range(dataset.n_classes):
+            unit = _unit_candidates(
+                dataset,
+                samples_by_class[label][sample_id],
+                label,
+                sample_id,
+                lengths,
+                motifs_per_profile,
+                discords_per_profile,
+                normalized,
+            )
+            for candidate in unit:
+                pool.add(candidate)
+            if budget_tracker is not None:
+                budget_tracker.charge(
+                    len(unit), sum(c.length for c in unit)
                 )
-                _harvest(
-                    pool,
-                    ip,
-                    label,
-                    sample_id,
-                    CandidateKind.DISCORD,
-                    discords_per_profile,
-                )
+        rounds_completed += 1
+    if budget_tracker is not None:
+        budget_tracker.record_phase(
+            "generation",
+            rounds_completed=rounds_completed,
+            rounds_total=q_n,
+            truncated=rounds_completed < q_n,
+        )
     if len(pool) == 0:
         raise EmptyPoolError(
             "candidate generation produced no candidates; check lengths and data"

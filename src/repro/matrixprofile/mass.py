@@ -80,10 +80,11 @@ def mass(query: np.ndarray, series: np.ndarray, normalized: bool = True) -> np.n
 
     q_flat = q_std < FLAT_STD
     t_flat = stds < FLAT_STD
-    with np.errstate(divide="ignore", invalid="ignore"):
-        corr = (dots - length * q_mean * means) / (
-            length * max(q_std, FLAT_STD) * np.maximum(stds, FLAT_STD)
-        )
+    # Denominators are clamped to FLAT_STD, inputs are validated finite:
+    # no divide/invalid can occur, so no errstate suppression is needed.
+    corr = (dots - length * q_mean * means) / (
+        length * max(q_std, FLAT_STD) * np.maximum(stds, FLAT_STD)
+    )
     # Clip correlation into [-1, 1] against FFT round-off.
     corr = np.clip(corr, -1.0, 1.0)
     sq = 2.0 * length * (1.0 - corr)

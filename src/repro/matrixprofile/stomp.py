@@ -59,10 +59,11 @@ def _row_distances(
         s_a = stds_a[i] if stds_a is not None else stds[i]
         a_flat = s_a < FLAT_STD
         b_flat = stds < FLAT_STD
-        with np.errstate(divide="ignore", invalid="ignore"):
-            corr = (qt_row - window * m_a * means) / (
-                window * max(s_a, FLAT_STD) * np.maximum(stds, FLAT_STD)
-            )
+        # Denominators are clamped to FLAT_STD and inputs are finite, so
+        # no divide/invalid can occur; flat windows are patched below.
+        corr = (qt_row - window * m_a * means) / (
+            window * max(s_a, FLAT_STD) * np.maximum(stds, FLAT_STD)
+        )
         corr = np.clip(corr, -1.0, 1.0)
         sq = 2.0 * window * (1.0 - corr)
         if a_flat:

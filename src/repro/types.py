@@ -161,6 +161,12 @@ class DiscoveryResult:
 
     The per-stage timings feed the Table V breakdown benchmark; the
     candidate counts feed the DABF pruning-rate diagnostics.
+
+    ``completed`` is False when an anytime resource budget
+    (:class:`repro.core.budget.Budget`) ran out before the pipeline
+    finished; the result is still a valid best-so-far shapelet set, and
+    ``extra["budget"]`` records per-phase progress and the exhaustion
+    reason.
     """
 
     shapelets: list[Shapelet]
@@ -169,6 +175,7 @@ class DiscoveryResult:
     time_candidate_generation: float = 0.0
     time_pruning: float = 0.0
     time_selection: float = 0.0
+    completed: bool = True
     extra: dict = field(default_factory=dict)
 
     @property

@@ -1,0 +1,50 @@
+"""Data contracts for datasets entering the IPS pipeline.
+
+Real archive data is dirty: the UCR-archive paper (Dau et al. 2019)
+documents missing values, variable-length series, and long flat regions
+in published datasets. This package turns those pathologies into
+*findings* with a severity and a deterministic *repair policy*, instead
+of letting them surface as opaque numpy errors deep inside a kernel.
+
+Entry points
+------------
+``validate_dataset(X, y, mode=...)``
+    Check a labelled dataset (dense matrix, ragged row list, or an
+    existing :class:`repro.ts.series.Dataset`) against the contracts and
+    return a repaired :class:`~repro.validation.contracts.ValidatedDataset`
+    plus a structured report.
+``validate_series(values, mode=...)``
+    The single-series subset of the same contracts.
+
+Modes: ``"strict"`` raises :class:`repro.exceptions.ValidationError` on
+the first ERROR-severity finding, ``"repair"`` applies each finding's
+repair policy and records what changed, ``"off"`` skips the checks.
+"""
+
+from repro.validation.contracts import (
+    Finding,
+    RepairRecord,
+    Severity,
+    ValidatedDataset,
+    ValidationReport,
+    validate_dataset,
+    validate_series,
+)
+from repro.validation.repair import (
+    drop_rows,
+    interpolate_gaps,
+    pad_or_truncate,
+)
+
+__all__ = [
+    "Finding",
+    "RepairRecord",
+    "Severity",
+    "ValidatedDataset",
+    "ValidationReport",
+    "drop_rows",
+    "interpolate_gaps",
+    "pad_or_truncate",
+    "validate_dataset",
+    "validate_series",
+]

@@ -1,0 +1,497 @@
+"""Data contracts: findings, severities, and the validation entry points.
+
+A *contract check* inspects the raw input and emits :class:`Finding`
+objects. Each finding carries a severity and names the deterministic
+repair policy that would fix it:
+
+===================  ========  =======================================
+code                 severity  repair policy
+===================  ========  =======================================
+``empty``            ERROR     none (always raises)
+``ragged-lengths``   ERROR     ``pad_or_truncate`` to majority length
+``non-finite``       ERROR     ``interpolate_gaps`` per row
+``unrepairable-row`` ERROR     ``drop`` (row has no finite values)
+``short-series``     ERROR     ``pad_or_truncate`` to the minimum
+``constant-series``  WARNING   none needed (flat-window convention)
+``all-identical``    WARNING   none (dataset carries no signal)
+``duplicate-rows``   WARNING   recorded; ``drop`` only when asked
+``conflicting-dup``  WARNING   recorded (same series, different label)
+``small-class``      WARNING   recorded (class below ``min_class_size``)
+===================  ========  =======================================
+
+``mode="strict"`` raises on ERROR findings, ``mode="repair"`` applies the
+policies and records every change, ``mode="off"`` skips the checks and
+constructs the :class:`~repro.ts.series.Dataset` directly (the legacy
+path — NaN input then fails in the ``Dataset`` constructor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.ts.preprocessing import FLAT_STD
+from repro.ts.series import Dataset
+from repro.validation.repair import (
+    interpolate_gaps,
+    majority_length,
+    pad_or_truncate,
+)
+
+VALIDATION_MODES = ("strict", "repair", "off")
+
+
+class Severity(str, Enum):
+    """How bad a finding is: ERROR blocks a strict run, WARNING does not."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One contract violation, with the rows it concerns."""
+
+    code: str
+    severity: Severity
+    message: str
+    rows: tuple[int, ...] = ()
+    repair: str | None = None
+
+    def __str__(self) -> str:
+        loc = f" (rows {list(self.rows[:10])})" if self.rows else ""
+        return f"[{self.severity.value}] {self.code}: {self.message}{loc}"
+
+
+@dataclass(frozen=True)
+class RepairRecord:
+    """One repair the validator actually applied."""
+
+    code: str
+    policy: str
+    rows: tuple[int, ...]
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.code} -> {self.policy} on rows {list(self.rows[:10])}"
+
+
+@dataclass
+class ValidationReport:
+    """Structured outcome of a validation pass.
+
+    Attached to ``DiscoveryResult.extra["validation_report"]`` so a
+    discovery run records exactly what was repaired in its inputs.
+    """
+
+    mode: str
+    name: str = ""
+    findings: list[Finding] = field(default_factory=list)
+    repairs: list[RepairRecord] = field(default_factory=list)
+    n_series_in: int = 0
+    n_series_out: int = 0
+
+    @property
+    def errors(self) -> list[Finding]:
+        """ERROR-severity findings."""
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        """WARNING-severity findings."""
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR finding is left unrepaired."""
+        repaired = {(r.code, r.rows) for r in self.repairs}
+        return all((f.code, f.rows) in repaired for f in self.errors)
+
+    def add(self, finding: Finding) -> None:
+        """Record a finding."""
+        self.findings.append(finding)
+
+    def record_repair(
+        self, finding: Finding, policy: str, detail: str = ""
+    ) -> None:
+        """Record that ``finding`` was fixed by ``policy``."""
+        self.repairs.append(
+            RepairRecord(
+                code=finding.code, policy=policy, rows=finding.rows, detail=detail
+            )
+        )
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary."""
+        label = self.name or "<unnamed>"
+        lines = [
+            f"validation of {label} (mode={self.mode}): "
+            f"{len(self.errors)} errors, {len(self.warnings)} warnings, "
+            f"{len(self.repairs)} repairs, "
+            f"{self.n_series_in} -> {self.n_series_out} series"
+        ]
+        lines.extend(f"  {f}" for f in self.findings)
+        lines.extend(f"  repaired: {r}" for r in self.repairs)
+        return "\n".join(lines)
+
+    def raise_if_errors(self) -> None:
+        """Raise :class:`ValidationError` when unrepaired errors remain."""
+        repaired = {(r.code, r.rows) for r in self.repairs}
+        open_errors = [
+            f for f in self.errors if (f.code, f.rows) not in repaired
+        ]
+        if open_errors:
+            detail = "; ".join(str(f) for f in open_errors[:5])
+            raise ValidationError(
+                f"{self.name or 'dataset'} failed validation: {detail}"
+            )
+
+
+@dataclass(frozen=True)
+class ValidatedDataset:
+    """A repaired dataset plus the report describing what happened."""
+
+    dataset: Dataset
+    report: ValidationReport
+
+
+def _coerce_rows(X: object) -> list[np.ndarray]:
+    """Turn the accepted input shapes into a list of 1-D float rows."""
+    if isinstance(X, np.ndarray) and X.ndim == 2:
+        return [np.asarray(row, dtype=np.float64) for row in X]
+    if isinstance(X, np.ndarray) and X.ndim == 1:
+        return [np.asarray(X, dtype=np.float64)]
+    rows = []
+    for i, row in enumerate(X):
+        arr = np.asarray(row, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValidationError(f"row {i} is not 1-D (shape {arr.shape})")
+        rows.append(arr)
+    return rows
+
+
+def _check_mode(mode: str) -> None:
+    if mode not in VALIDATION_MODES:
+        raise ValidationError(
+            f"unknown validation mode {mode!r}; choose from {VALIDATION_MODES}"
+        )
+
+
+def validate_series(
+    series: np.ndarray,
+    *,
+    mode: str = "strict",
+    min_length: int = 3,
+    name: str = "series",
+) -> tuple[np.ndarray, ValidationReport]:
+    """Validate (and in repair mode fix) a single 1-D series.
+
+    Returns the (possibly repaired) float64 array and the report. An
+    empty series, or one with no finite values, is unrepairable and
+    always raises.
+    """
+    _check_mode(mode)
+    arr = np.asarray(series, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    report = ValidationReport(mode=mode, name=name, n_series_in=1, n_series_out=1)
+    if mode == "off":
+        return arr.copy(), report
+
+    finite = np.isfinite(arr)
+    if not finite.all():
+        finding = Finding(
+            code="non-finite",
+            severity=Severity.ERROR,
+            message=f"{int((~finite).sum())} non-finite values",
+            rows=(0,),
+            repair="interpolate_gaps",
+        )
+        report.add(finding)
+        if mode == "repair" and finite.any():
+            arr, n_filled = interpolate_gaps(arr)
+            report.record_repair(
+                finding, "interpolate_gaps", f"filled {n_filled} values"
+            )
+    if arr.size < min_length:
+        finding = Finding(
+            code="short-series",
+            severity=Severity.ERROR,
+            message=f"length {arr.size} < required minimum {min_length}",
+            rows=(0,),
+            repair="pad_or_truncate",
+        )
+        report.add(finding)
+        if mode == "repair":
+            arr = pad_or_truncate(arr, min_length)
+            report.record_repair(
+                finding, "pad_or_truncate", f"padded to {min_length}"
+            )
+    if arr.size and np.isfinite(arr).all() and float(np.std(arr)) < FLAT_STD:
+        report.add(
+            Finding(
+                code="constant-series",
+                severity=Severity.WARNING,
+                message="series is constant (flat-window convention applies)",
+                rows=(0,),
+            )
+        )
+    if mode == "strict":
+        report.raise_if_errors()
+    return arr.copy(), report
+
+
+def validate_dataset(
+    X: object,
+    y: object = None,
+    *,
+    mode: str = "repair",
+    min_class_size: int = 2,
+    min_series_length: int = 3,
+    drop_duplicates: bool = False,
+    name: str = "",
+) -> ValidatedDataset:
+    """Check a labelled dataset against the data contracts.
+
+    Parameters
+    ----------
+    X:
+        ``(M, N)`` matrix, a list of 1-D arrays (may be ragged), or an
+        existing :class:`Dataset` (then ``y`` must be omitted).
+    y:
+        Integer labels, one per row.
+    mode:
+        ``"strict"`` (raise on errors), ``"repair"`` (fix and record), or
+        ``"off"`` (legacy passthrough).
+    min_class_size:
+        Classes with fewer examples are flagged (WARNING).
+    min_series_length:
+        Series shorter than this are an ERROR; the repair policy pads.
+        The IPS pipeline needs at least 3 points for its shortest
+        candidate length (see ``resolve_lengths``).
+    drop_duplicates:
+        When True (repair mode), exact duplicate rows with the same
+        label are dropped, keeping the first occurrence.
+    name:
+        Dataset name, carried into the report and the repaired dataset.
+    """
+    _check_mode(mode)
+    if isinstance(X, Dataset):
+        if y is not None:
+            raise ValidationError("pass either a Dataset or (X, y), not both")
+        y = X.classes_[X.y]
+        name = name or X.name
+        X = X.X
+    if y is None:
+        raise ValidationError("labels y are required")
+
+    rows = _coerce_rows(X)
+    labels = np.asarray(y)
+    if labels.ndim != 1 or labels.shape[0] != len(rows):
+        raise ValidationError(
+            f"labels length {labels.shape} does not match {len(rows)} series"
+        )
+    if len(rows) == 0:
+        raise ValidationError("dataset is empty")
+    report = ValidationReport(mode=mode, name=name, n_series_in=len(rows))
+    if mode == "off":
+        dataset = Dataset(X=np.vstack(rows), y=labels, name=name)
+        report.n_series_out = dataset.n_series
+        return ValidatedDataset(dataset=dataset, report=report)
+
+    # 1. Ragged lengths -> pad/truncate to the majority length.
+    lengths = [row.size for row in rows]
+    if len(set(lengths)) > 1:
+        target = majority_length(lengths)
+        ragged = tuple(i for i, n in enumerate(lengths) if n != target)
+        finding = Finding(
+            code="ragged-lengths",
+            severity=Severity.ERROR,
+            message=(
+                f"series lengths differ ({sorted(set(lengths))}); "
+                f"majority length is {target}"
+            ),
+            rows=ragged,
+            repair="pad_or_truncate",
+        )
+        report.add(finding)
+        if mode == "repair":
+            rows = [
+                pad_or_truncate(row, target) if row.size != target else row
+                for row in rows
+            ]
+            report.record_repair(
+                finding, "pad_or_truncate", f"target length {target}"
+            )
+
+    # 2. Non-finite values -> interpolate; hopeless rows -> drop.
+    gap_rows = tuple(
+        i for i, row in enumerate(rows) if not np.isfinite(row).all()
+    )
+    if gap_rows:
+        hopeless = tuple(
+            i for i in gap_rows if not np.isfinite(rows[i]).any()
+        )
+        repairable = tuple(i for i in gap_rows if i not in set(hopeless))
+        if repairable:
+            finding = Finding(
+                code="non-finite",
+                severity=Severity.ERROR,
+                message=f"{len(repairable)} series contain NaN/inf gaps",
+                rows=repairable,
+                repair="interpolate_gaps",
+            )
+            report.add(finding)
+            if mode == "repair":
+                filled = 0
+                for i in repairable:
+                    rows[i], n = interpolate_gaps(rows[i])
+                    filled += n
+                report.record_repair(
+                    finding, "interpolate_gaps", f"filled {filled} values"
+                )
+        if hopeless:
+            finding = Finding(
+                code="unrepairable-row",
+                severity=Severity.ERROR,
+                message=f"{len(hopeless)} series have no finite values",
+                rows=hopeless,
+                repair="drop",
+            )
+            report.add(finding)
+            if mode == "repair":
+                keep = [i for i in range(len(rows)) if i not in set(hopeless)]
+                if not keep:
+                    raise ValidationError(
+                        f"{name or 'dataset'}: every series is unrepairable"
+                    )
+                rows = [rows[i] for i in keep]
+                labels = labels[keep]
+                report.record_repair(finding, "drop", "removed hopeless rows")
+
+    # 3. Series too short for any shapelet length -> pad.
+    if mode == "repair" or not report.errors:
+        common = rows[0].size if len({r.size for r in rows}) == 1 else None
+    else:
+        common = None
+    if common is not None and common < min_series_length:
+        finding = Finding(
+            code="short-series",
+            severity=Severity.ERROR,
+            message=(
+                f"series length {common} is below the minimum "
+                f"{min_series_length} required by the shapelet-length grid"
+            ),
+            rows=tuple(range(len(rows))),
+            repair="pad_or_truncate",
+        )
+        report.add(finding)
+        if mode == "repair":
+            rows = [pad_or_truncate(row, min_series_length) for row in rows]
+            report.record_repair(
+                finding, "pad_or_truncate", f"padded to {min_series_length}"
+            )
+
+    # 4. Constant series (legal; the flat-window convention covers them).
+    flat = tuple(
+        i
+        for i, row in enumerate(rows)
+        if np.isfinite(row).all() and float(np.std(row)) < FLAT_STD
+    )
+    if flat:
+        report.add(
+            Finding(
+                code="constant-series",
+                severity=Severity.WARNING,
+                message=(
+                    f"{len(flat)} constant series (z-normalized distances "
+                    "follow the flat-window convention)"
+                ),
+                rows=flat,
+            )
+        )
+
+    # 5. Duplicates: same values, same or conflicting label.
+    seen: dict[bytes, tuple[int, int]] = {}
+    dup_same: list[int] = []
+    dup_conflict: list[int] = []
+    for i, row in enumerate(rows):
+        key = row.tobytes()
+        if key in seen:
+            first_row, first_label = seen[key]
+            if int(labels[i]) == first_label:
+                dup_same.append(i)
+            else:
+                dup_conflict.append(i)
+        else:
+            seen[key] = (i, int(labels[i]))
+    if len(seen) == 1 and len(rows) > 1:
+        report.add(
+            Finding(
+                code="all-identical",
+                severity=Severity.WARNING,
+                message="every series is identical; the data carries no signal",
+                rows=tuple(range(len(rows))),
+            )
+        )
+    else:
+        if dup_same:
+            finding = Finding(
+                code="duplicate-rows",
+                severity=Severity.WARNING,
+                message=f"{len(dup_same)} exact duplicate series (same label)",
+                rows=tuple(dup_same),
+                repair="drop" if drop_duplicates else None,
+            )
+            report.add(finding)
+            if mode == "repair" and drop_duplicates:
+                keep = [i for i in range(len(rows)) if i not in set(dup_same)]
+                rows = [rows[i] for i in keep]
+                labels = labels[keep]
+                report.record_repair(finding, "drop", "kept first occurrences")
+        if dup_conflict:
+            report.add(
+                Finding(
+                    code="conflicting-dup",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"{len(dup_conflict)} series duplicate an earlier "
+                        "series under a different label"
+                    ),
+                    rows=tuple(dup_conflict),
+                )
+            )
+
+    # 6. Classes with too few examples.
+    unique, counts = np.unique(np.asarray(labels, dtype=np.int64), return_counts=True)
+    small = unique[counts < min_class_size]
+    if small.size:
+        small_rows = tuple(
+            int(i)
+            for i in np.flatnonzero(np.isin(np.asarray(labels, dtype=np.int64), small))
+        )
+        report.add(
+            Finding(
+                code="small-class",
+                severity=Severity.WARNING,
+                message=(
+                    f"classes {sorted(int(c) for c in small)} have fewer than "
+                    f"{min_class_size} examples; their profiles degrade to "
+                    "self-joins"
+                ),
+                rows=small_rows,
+            )
+        )
+
+    if mode == "strict":
+        report.raise_if_errors()
+
+    dataset = Dataset(X=np.vstack(rows), y=labels, name=name)
+    report.n_series_out = dataset.n_series
+    return ValidatedDataset(dataset=dataset, report=report)

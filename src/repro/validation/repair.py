@@ -1,0 +1,86 @@
+"""Deterministic repair policies applied by the validation layer.
+
+Every policy is a pure function of its inputs: the same dirty array is
+always repaired to the same clean array, so a run on repaired data is as
+reproducible as a run on clean data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def interpolate_gaps(series: np.ndarray) -> tuple[np.ndarray, int]:
+    """Fill non-finite gaps by linear interpolation between finite points.
+
+    Interior gaps are linearly interpolated; leading/trailing gaps are
+    filled with the nearest finite value (no extrapolation is invented).
+
+    Returns the repaired copy and the number of values filled. A series
+    with no finite values cannot be repaired and raises
+    :class:`ValidationError` — callers fall back to drop-with-record.
+    """
+    arr = np.asarray(series, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValidationError(f"interpolate_gaps expects 1-D, got {arr.shape}")
+    finite = np.isfinite(arr)
+    n_bad = int(arr.size - finite.sum())
+    if n_bad == 0:
+        return arr.copy(), 0
+    if not finite.any():
+        raise ValidationError("series has no finite values to interpolate from")
+    positions = np.arange(arr.size)
+    repaired = arr.copy()
+    repaired[~finite] = np.interp(
+        positions[~finite], positions[finite], arr[finite]
+    )
+    return repaired, n_bad
+
+
+def pad_or_truncate(series: np.ndarray, target_length: int) -> np.ndarray:
+    """Bring a series to ``target_length``: truncate the tail or edge-pad.
+
+    Padding replicates the last value (edge padding invents no new
+    dynamics, unlike zero padding which fabricates a level shift).
+    """
+    arr = np.asarray(series, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValidationError("pad_or_truncate expects a non-empty 1-D series")
+    if target_length < 1:
+        raise ValidationError(f"target_length must be >= 1, got {target_length}")
+    if arr.size == target_length:
+        return arr.copy()
+    if arr.size > target_length:
+        return arr[:target_length].copy()
+    pad = np.full(target_length - arr.size, arr[-1])
+    return np.concatenate([arr, pad])
+
+
+def drop_rows(
+    X: np.ndarray, y: np.ndarray, rows: list[int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Remove the given row indices from a dataset (drop-with-record).
+
+    The *record* half of the policy lives in the caller's
+    :class:`~repro.validation.contracts.RepairRecord`; this helper only
+    performs the deterministic removal.
+    """
+    keep = np.setdiff1d(np.arange(len(X)), np.asarray(rows, dtype=np.int64))
+    if keep.size == 0:
+        raise ValidationError("repair would drop every instance")
+    return X[keep], np.asarray(y)[keep]
+
+
+def majority_length(lengths: list[int]) -> int:
+    """The repair target for ragged datasets: most common length.
+
+    Ties break toward the *longer* length (truncation discards real data;
+    edge padding is the milder distortion).
+    """
+    if not lengths:
+        raise ValidationError("no lengths to vote over")
+    values, counts = np.unique(np.asarray(lengths, dtype=np.int64), return_counts=True)
+    best = counts.max()
+    return int(values[counts == best].max())

@@ -1,0 +1,252 @@
+"""Tests for repro.validation: data contracts and repair policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.validation import (
+    Severity,
+    ValidationReport,
+    interpolate_gaps,
+    pad_or_truncate,
+    validate_dataset,
+    validate_series,
+)
+
+pytestmark = pytest.mark.robustness
+
+
+def _codes(report: ValidationReport) -> set[str]:
+    return {f.code for f in report.findings}
+
+
+class TestRepairPrimitives:
+    def test_interpolate_gaps_linear(self):
+        series = np.array([0.0, np.nan, 2.0, np.nan, np.nan, 5.0])
+        repaired, n = interpolate_gaps(series)
+        assert n == 3
+        assert np.allclose(repaired, [0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
+
+    def test_interpolate_gaps_edge_fill(self):
+        series = np.array([np.nan, 1.0, np.nan])
+        repaired, _ = interpolate_gaps(series)
+        assert np.allclose(repaired, [1.0, 1.0, 1.0])
+
+    def test_interpolate_gaps_all_nan_raises(self):
+        with pytest.raises(ValidationError):
+            interpolate_gaps(np.array([np.nan, np.nan]))
+
+    def test_pad_replicates_edge(self):
+        out = pad_or_truncate(np.array([1.0, 2.0]), 5)
+        assert np.allclose(out, [1.0, 2.0, 2.0, 2.0, 2.0])
+
+    def test_truncate(self):
+        out = pad_or_truncate(np.arange(6.0), 4)
+        assert np.allclose(out, [0.0, 1.0, 2.0, 3.0])
+
+
+class TestValidateSeries:
+    def test_clean_series_empty_report(self):
+        arr, report = validate_series(np.sin(np.arange(20.0)))
+        assert not report.findings
+        assert report.ok
+
+    def test_nan_gap_strict_raises(self):
+        series = np.array([1.0, np.nan, 3.0, 4.0])
+        with pytest.raises(ValidationError):
+            validate_series(series, mode="strict")
+
+    def test_nan_gap_repaired(self):
+        series = np.array([1.0, np.nan, 3.0, 4.0])
+        arr, report = validate_series(series, mode="repair")
+        assert np.isfinite(arr).all()
+        assert np.allclose(arr, [1.0, 2.0, 3.0, 4.0])
+        assert report.ok
+        assert report.repairs[0].policy == "interpolate_gaps"
+
+    def test_short_series_padded(self):
+        arr, report = validate_series(np.array([1.0, 2.0]), mode="repair")
+        assert arr.size == 3
+        assert "short-series" in _codes(report)
+
+    def test_constant_series_warns_only(self):
+        arr, report = validate_series(np.full(10, 3.0), mode="strict")
+        assert "constant-series" in _codes(report)
+        assert not report.errors
+
+    def test_off_mode_passthrough(self):
+        series = np.array([1.0, np.nan, 3.0])
+        arr, report = validate_series(series, mode="off")
+        assert np.isnan(arr[1])
+        assert not report.findings
+
+
+class TestValidateDataset:
+    def test_clean_data_is_noop(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(6, 20))
+        validated = validate_dataset(X, [0, 0, 0, 1, 1, 1])
+        assert not validated.report.findings
+        assert np.allclose(validated.dataset.X, X)
+
+    def test_ragged_rows_padded_to_majority(self):
+        rows = [np.arange(10.0), np.arange(10.0), np.arange(7.0)]
+        validated = validate_dataset(rows, [0, 1, 1], mode="repair")
+        assert validated.dataset.series_length == 10
+        assert "ragged-lengths" in _codes(validated.report)
+        finding = next(
+            f for f in validated.report.findings if f.code == "ragged-lengths"
+        )
+        assert finding.rows == (2,)
+
+    def test_ragged_strict_raises_with_row_index(self):
+        rows = [np.arange(10.0), np.arange(7.0)]
+        with pytest.raises(ValidationError, match="ragged"):
+            validate_dataset(rows, [0, 1], mode="strict")
+
+    def test_nan_gaps_interpolated(self):
+        X = np.tile(np.arange(8.0), (4, 1))
+        X[1, 3] = np.nan
+        validated = validate_dataset(X, [0, 0, 1, 1], mode="repair")
+        assert np.isfinite(validated.dataset.X).all()
+        assert validated.report.repairs[0].policy == "interpolate_gaps"
+
+    def test_hopeless_row_dropped(self):
+        X = np.vstack([np.arange(6.0), np.full(6, np.nan), np.arange(6.0) * 2])
+        validated = validate_dataset(X, [0, 0, 1], mode="repair")
+        assert validated.dataset.n_series == 2
+        assert "unrepairable-row" in _codes(validated.report)
+        assert validated.report.n_series_in == 3
+        assert validated.report.n_series_out == 2
+
+    def test_constant_series_flagged(self):
+        X = np.vstack([np.full(12, 2.0), np.sin(np.arange(12.0))])
+        validated = validate_dataset(X, [0, 1], min_class_size=1)
+        finding = next(
+            f for f in validated.report.findings if f.code == "constant-series"
+        )
+        assert finding.rows == (0,)
+        assert finding.severity is Severity.WARNING
+
+    def test_all_identical_flagged(self):
+        X = np.tile(np.arange(10.0), (4, 1))
+        validated = validate_dataset(X, [0, 0, 1, 1])
+        assert "all-identical" in _codes(validated.report)
+
+    def test_duplicates_kept_by_default(self):
+        base = np.sin(np.arange(10.0))
+        X = np.vstack([base, base, base * 2, base * 3])
+        validated = validate_dataset(X, [0, 0, 1, 1])
+        assert "duplicate-rows" in _codes(validated.report)
+        assert validated.dataset.n_series == 4
+
+    def test_duplicates_dropped_on_request(self):
+        base = np.sin(np.arange(10.0))
+        X = np.vstack([base, base, base * 2, base * 3])
+        validated = validate_dataset(
+            X, [0, 0, 1, 1], drop_duplicates=True, min_class_size=1
+        )
+        assert validated.dataset.n_series == 3
+
+    def test_conflicting_duplicate_flagged(self):
+        base = np.sin(np.arange(10.0))
+        X = np.vstack([base, base, base * 2])
+        validated = validate_dataset(X, [0, 1, 1])
+        assert "conflicting-dup" in _codes(validated.report)
+
+    def test_small_class_flagged(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(5, 15))
+        validated = validate_dataset(X, [0, 0, 0, 0, 1])
+        finding = next(
+            f for f in validated.report.findings if f.code == "small-class"
+        )
+        assert finding.rows == (4,)
+
+    def test_dataset_input_round_trips_labels(self):
+        from repro.ts.series import Dataset
+
+        ds = Dataset(X=np.random.default_rng(2).normal(size=(4, 10)), y=[-1, -1, 7, 7])
+        validated = validate_dataset(ds)
+        assert validated.dataset.classes_.tolist() == [-1, 7]
+
+    def test_repair_is_deterministic(self):
+        X = np.tile(np.arange(10.0), (4, 1))
+        X[0, 2] = np.nan
+        X[3, 7] = np.inf
+        a = validate_dataset(X, [0, 0, 1, 1], mode="repair")
+        b = validate_dataset(X, [0, 0, 1, 1], mode="repair")
+        assert np.array_equal(a.dataset.X, b.dataset.X)
+        assert [str(f) for f in a.report.findings] == [
+            str(f) for f in b.report.findings
+        ]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_dataset(np.ones((2, 5)), [0, 1], mode="lenient")
+
+    def test_summary_mentions_repairs(self):
+        X = np.tile(np.arange(8.0), (2, 1))
+        X[0, 1] = np.nan
+        validated = validate_dataset(X, [0, 1], mode="repair", name="demo")
+        text = validated.report.summary()
+        assert "demo" in text
+        assert "interpolate_gaps" in text
+
+
+class TestPipelineIntegration:
+    def test_fit_repairs_nan_and_records_report(self):
+        from repro.core.config import IPSConfig
+        from repro.core.pipeline import IPSClassifier
+        from repro.datasets.generators import make_planted_dataset
+
+        ds = make_planted_dataset(n_classes=2, n_instances=10, length=40, seed=3)
+        X = ds.X.copy()
+        X[0, 5] = np.nan
+        X[3] = 1.5  # one flat instance
+        clf = IPSClassifier(IPSConfig(q_n=3, q_s=2, k=2, seed=0))
+        clf.fit(X, ds.classes_[ds.y])
+        report = clf.discovery_result_.extra["validation_report"]
+        assert "non-finite" in {f.code for f in report.findings}
+        assert "constant-series" in {f.code for f in report.findings}
+        assert report.ok
+        preds = clf.predict(X)
+        assert preds.shape == (X.shape[0],)
+
+    def test_fit_strict_raises_on_nan(self):
+        from repro.core.config import IPSConfig
+        from repro.core.pipeline import IPSClassifier
+
+        X = np.random.default_rng(0).normal(size=(8, 30))
+        X[2, 4] = np.nan
+        y = [0, 0, 0, 0, 1, 1, 1, 1]
+        clf = IPSClassifier(IPSConfig(validation_mode="strict"))
+        with pytest.raises(ValidationError):
+            clf.fit(X, y)
+
+    def test_read_ucr_file_reports_ragged_row(self, tmp_path):
+        from repro.datasets.io import read_ucr_file
+
+        path = tmp_path / "ragged.tsv"
+        path.write_text("1\t0.5\t0.6\t0.7\n1\t1.5\t1.6\t1.7\n2\t2.5\n")
+        with pytest.raises(ValidationError, match=r"rows \[2\]"):
+            read_ucr_file(path)
+
+    def test_read_ucr_file_repair_mode(self, tmp_path):
+        from repro.datasets.io import read_ucr_file
+
+        path = tmp_path / "dirty.tsv"
+        path.write_text("1\t0.5\tnan\t0.7\n1\t1.5\t1.6\t1.7\n2\t2.5\t2.6\n")
+        ds = read_ucr_file(path, repair=True)
+        assert ds.n_series == 3
+        assert ds.series_length == 3
+        assert np.isfinite(ds.X).all()
+
+    def test_load_dataset_attaches_report(self):
+        from repro.datasets.loader import load_dataset
+
+        data = load_dataset("ItalyPowerDemand", max_train=8, max_test=8)
+        assert data.validation is not None
+        assert data.validation.mode == "repair"
