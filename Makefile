@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test verify-robustness bench examples smoke clean
+.PHONY: install test verify-robustness verify-perf bench examples smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -17,6 +17,14 @@ verify-robustness:
 	PYTHONPATH=src $(PYTHON) -m pytest -q -m robustness tests/
 	PYTHONPATH=src $(PYTHON) -m repro run ItalyPowerDemand --method IPS \
 		--max-train 16 --max-test 20 --k 3 --budget-seconds 0.0
+
+# Kernel-engine gate: batched-vs-scalar equivalence tests, then the
+# micro-benchmark smoke (100 queries x 50 series). Writes machine-keyed
+# results to BENCH_kernels.json and fails if the batched path is slower
+# than the scalar loops it replaced.
+verify-perf:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_kernels.py
+	PYTHONPATH=src $(PYTHON) -m repro.benchlib.perfbench
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

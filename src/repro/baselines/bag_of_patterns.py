@@ -16,9 +16,10 @@ from repro.classify.scaler import StandardScaler
 from repro.classify.svm import OneVsRestSVM
 from repro.exceptions import NotFittedError, ValidationError
 from repro.ts.series import Dataset
+from repro.types import ParamsMixin
 
 
-class BagOfPatterns:
+class BagOfPatterns(ParamsMixin):
     """BOP classifier.
 
     Parameters

@@ -18,10 +18,10 @@ from repro.classify.svm import OneVsRestSVM
 from repro.core.transform import ShapeletTransform
 from repro.exceptions import NotFittedError
 from repro.ts.series import Dataset
-from repro.types import Shapelet
+from repro.types import ParamsMixin, Shapelet
 
 
-class ShapeletTransformClassifier(ABC):
+class ShapeletTransformClassifier(ParamsMixin, ABC):
     """Template: discover shapelets, then transform + scale + linear SVM.
 
     Subclasses implement :meth:`discover`; everything else (timing,

@@ -14,6 +14,7 @@ import numpy as np
 from repro.baselines.sfa import SFA
 from repro.exceptions import NotFittedError, ValidationError
 from repro.ts.series import Dataset
+from repro.types import ParamsMixin
 
 
 def boss_distance(query_hist: dict, reference_hist: dict) -> float:
@@ -26,7 +27,7 @@ def boss_distance(query_hist: dict, reference_hist: dict) -> float:
     )
 
 
-class BOSS:
+class BOSS(ParamsMixin):
     """BOSS classifier.
 
     Parameters

@@ -26,7 +26,7 @@ from repro.baselines.sax import sax_word
 from repro.exceptions import ValidationError
 from repro.filters.bloom import BloomFilter
 from repro.instanceprofile.sampling import resolve_lengths
-from repro.ts.distance import distance_profile
+from repro.kernels import distance_profile
 from repro.ts.series import Dataset
 from repro.types import Shapelet
 

@@ -19,7 +19,7 @@ from repro.baselines.quality import best_information_gain
 from repro.baselines.sax import sax_word
 from repro.exceptions import ValidationError
 from repro.instanceprofile.sampling import resolve_lengths
-from repro.ts.distance import distance_profile
+from repro.kernels import SeriesCache, batch_min_distance
 from repro.ts.series import Dataset
 from repro.types import Shapelet
 
@@ -156,6 +156,10 @@ class FastShapelets(ShapeletTransformClassifier):
             )
 
         # Refine the best candidates per class with exact information gain.
+        # One cache spans the whole refinement: the training matrix's FFT
+        # spectra and window statistics are shared across every candidate
+        # (and across classes), instead of being redone per candidate.
+        refine_cache = SeriesCache()
         shapelets: list[Shapelet] = []
         for label in range(dataset.n_classes):
             label_idx = [i for i, e in enumerate(entries) if e[1] == label]
@@ -167,12 +171,9 @@ class FastShapelets(ShapeletTransformClassifier):
                     break
                 _word, _label, row_idx, start, length = entries[i]
                 values = dataset.X[row_idx][start : start + length]
-                distances = np.array(
-                    [
-                        distance_profile(values, dataset.X[t]).min() / length
-                        for t in range(dataset.n_series)
-                    ]
-                )
+                distances = batch_min_distance(
+                    [values], dataset.X, cache=refine_cache
+                )[:, 0]
                 gain, _threshold = best_information_gain(distances, dataset.y)
                 refined.append((gain, i))
             refined.sort(key=lambda item: -item[0])

@@ -14,6 +14,7 @@ import numpy as np
 from repro.classify.tree import DecisionTree
 from repro.exceptions import NotFittedError, ValidationError
 from repro.ts.series import Dataset
+from repro.types import ParamsMixin
 
 
 def interval_features(X: np.ndarray, intervals: np.ndarray) -> np.ndarray:
@@ -40,7 +41,7 @@ def interval_features(X: np.ndarray, intervals: np.ndarray) -> np.ndarray:
     return np.hstack(blocks)
 
 
-class TimeSeriesForest:
+class TimeSeriesForest(ParamsMixin):
     """TSF classifier.
 
     Parameters

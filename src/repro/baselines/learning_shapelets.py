@@ -25,7 +25,7 @@ import numpy as np
 from repro.classify.kmeans import KMeans
 from repro.exceptions import NotFittedError, ValidationError
 from repro.ts.series import Dataset
-from repro.types import Shapelet
+from repro.types import ParamsMixin, Shapelet
 
 
 def _softmax_rows(Z: np.ndarray) -> np.ndarray:
@@ -34,7 +34,7 @@ def _softmax_rows(Z: np.ndarray) -> np.ndarray:
     return E / E.sum(axis=1, keepdims=True)
 
 
-class LearningShapelets:
+class LearningShapelets(ParamsMixin):
     """LTS classifier.
 
     Parameters

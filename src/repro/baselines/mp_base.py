@@ -22,6 +22,7 @@ import numpy as np
 from repro.baselines.base import ShapeletTransformClassifier
 from repro.exceptions import ValidationError
 from repro.instanceprofile.sampling import resolve_lengths
+from repro.kernels import SeriesCache
 from repro.matrixprofile.profile import profile_diff
 from repro.matrixprofile.stomp import ab_join, stomp_self_join
 from repro.ts.concat import concatenate_series
@@ -68,19 +69,42 @@ class MPBaseline(ShapeletTransformClassifier):
         self.exclusion = exclusion
         self.normalized = normalized
 
-    def _class_diffs(
-        self, dataset: Dataset, label: int, length: int
-    ) -> tuple[np.ndarray, "np.ndarray"]:
-        """diff(P_C,other, P_CC) for one class and window length."""
+    def _class_concats(self, dataset: Dataset, label: int):
+        """The per-class (own, other) concatenations of Formula 4."""
         own = concatenate_series(
             dataset.series_of_class(label), instance_ids=dataset.class_indices(label)
         )
         other_rows = np.flatnonzero(dataset.y != label)
         other = concatenate_series(dataset.X[other_rows], instance_ids=other_rows)
+        return own, other
+
+    def _class_diffs(
+        self,
+        dataset: Dataset,
+        label: int,
+        length: int,
+        cache: SeriesCache | None = None,
+        concat=None,
+    ) -> tuple[np.ndarray, "np.ndarray"]:
+        """diff(P_C,other, P_CC) for one class and window length.
+
+        ``concat`` lets :meth:`discover` pass pre-built concatenations so
+        a shared ``cache`` (:class:`repro.kernels.SeriesCache`) can reuse
+        the long series' cumulative sums and FFT spectra across the whole
+        length grid — the concatenated arrays stay the same objects, so
+        the cache keys stay stable.
+        """
+        own, other = (
+            concat if concat is not None else self._class_concats(dataset, label)
+        )
         mask_own = own.valid_window_mask(length)
         mask_other = other.valid_window_mask(length)
         p_self = stomp_self_join(
-            own.values, length, valid_mask=mask_own, normalized=self.normalized
+            own.values,
+            length,
+            valid_mask=mask_own,
+            normalized=self.normalized,
+            cache=cache,
         )
         p_cross = ab_join(
             own.values,
@@ -89,6 +113,7 @@ class MPBaseline(ShapeletTransformClassifier):
             valid_mask_a=mask_own,
             valid_mask_b=mask_other,
             normalized=self.normalized,
+            cache=cache,
         )
         return profile_diff(p_cross, p_self), own
 
@@ -105,6 +130,14 @@ class MPBaseline(ShapeletTransformClassifier):
             raise ValidationError("the MP baseline requires at least 2 classes")
         lengths = resolve_lengths(dataset.series_length, self.length_ratios)
         tracker = self.budget.start() if self.budget is not None else None
+        # One kernel cache and one set of concatenations for the whole
+        # run: the class series' FFT spectra and rolling statistics are
+        # computed once and reused across the entire length grid.
+        cache = SeriesCache()
+        concats = {
+            label: self._class_concats(dataset, label)
+            for label in range(dataset.n_classes)
+        }
         pools_by_class: dict[int, list] = {
             label: [] for label in range(dataset.n_classes)
         }
@@ -113,7 +146,9 @@ class MPBaseline(ShapeletTransformClassifier):
             if tracker is not None and length_no > 0 and tracker.exhausted:
                 break
             for label in range(dataset.n_classes):
-                diffs, own = self._class_diffs(dataset, label, length)
+                diffs, own = self._class_diffs(
+                    dataset, label, length, cache=cache, concat=concats[label]
+                )
                 pools_by_class[label].append((diffs, own, length))
                 if tracker is not None:
                     tracker.charge(int(diffs.size), int(diffs.size))

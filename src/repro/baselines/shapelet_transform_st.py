@@ -16,7 +16,7 @@ from repro.baselines.base import ShapeletTransformClassifier
 from repro.baselines.quality import best_information_gain
 from repro.exceptions import ValidationError
 from repro.instanceprofile.sampling import resolve_lengths
-from repro.ts.distance import distance_profile, subsequence_distance
+from repro.kernels import distance_profile, subsequence_distance
 from repro.ts.series import Dataset
 from repro.types import Shapelet
 

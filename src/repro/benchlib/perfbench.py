@@ -1,0 +1,213 @@
+"""Kernel micro-benchmark behind ``make verify-perf``.
+
+Times the batched kernel engine against the equivalent scalar loops on a
+fixed synthetic workload (default: 100 queries x 50 series, the
+acceptance workload of the kernels redesign), verifies the two paths
+agree bit-for-bit, and persists the result to ``BENCH_kernels.json`` at
+the repository root, keyed by a machine fingerprint so runs from
+different machines coexist.
+
+The process exits non-zero when the batched path fails to beat the
+scalar path — the engine's whole reason to exist — making the target a
+regression gate, not just a report.
+
+Run as::
+
+    PYTHONPATH=src python -m repro.benchlib.perfbench
+    PYTHONPATH=src python -m repro.benchlib.perfbench --queries 20 --series 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.kernels import (
+    PerfCounters,
+    SeriesCache,
+    batch_mass,
+    batch_min_distance,
+    mass,
+    subsequence_distance,
+)
+
+#: Default acceptance workload: 100 queries against 50 series.
+DEFAULT_QUERIES = 100
+DEFAULT_SERIES = 50
+DEFAULT_SERIES_LENGTH = 300
+DEFAULT_QUERY_LENGTH = 30
+
+
+def machine_key() -> str:
+    """Stable fingerprint of this machine for the results file."""
+    return "-".join(
+        part
+        for part in (
+            platform.system().lower(),
+            platform.machine(),
+            platform.python_version(),
+        )
+        if part
+    )
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Minimum wall time over ``repeats`` runs (noise-resistant)."""
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_benchmark(
+    n_queries: int = DEFAULT_QUERIES,
+    n_series: int = DEFAULT_SERIES,
+    series_length: int = DEFAULT_SERIES_LENGTH,
+    query_length: int = DEFAULT_QUERY_LENGTH,
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict:
+    """Time scalar vs batched kernels on one workload; returns the record."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n_series, series_length))
+    queries = rng.normal(size=(n_queries, query_length))
+    query_list = list(queries)
+
+    # -- Def.-4 distance matrix: per-pair scalar loop vs one batched call.
+    def scalar_min_distance():
+        out = np.empty((n_series, n_queries))
+        for j in range(n_series):
+            for i in range(n_queries):
+                out[j, i] = subsequence_distance(query_list[i], X[j])
+        return out
+
+    counters = PerfCounters()
+
+    def batched_min_distance():
+        return batch_min_distance(
+            query_list, X, cache=SeriesCache(counters=counters)
+        )
+
+    scalar_result = scalar_min_distance()
+    batched_result = batched_min_distance()
+    if not np.array_equal(scalar_result, batched_result):
+        raise AssertionError(
+            "batched kernel output differs from the scalar loop"
+        )
+    t_scalar = _best_of(repeats, scalar_min_distance)
+    t_batch = _best_of(repeats, batched_min_distance)
+
+    # -- MASS profiles: per-query loop vs one batched FFT pass.
+    series = rng.normal(size=series_length * 4)
+
+    def scalar_mass():
+        return [mass(q, series) for q in query_list]
+
+    def batched_mass():
+        return batch_mass(queries, series)
+
+    t_scalar_mass = _best_of(repeats, scalar_mass)
+    t_batch_mass = _best_of(repeats, batched_mass)
+
+    return {
+        "workload": {
+            "n_queries": n_queries,
+            "n_series": n_series,
+            "series_length": series_length,
+            "query_length": query_length,
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "min_distance": {
+            "scalar_seconds": t_scalar,
+            "batch_seconds": t_batch,
+            "speedup": t_scalar / t_batch if t_batch > 0 else float("inf"),
+        },
+        "mass": {
+            "scalar_seconds": t_scalar_mass,
+            "batch_seconds": t_batch_mass,
+            "speedup": (
+                t_scalar_mass / t_batch_mass
+                if t_batch_mass > 0
+                else float("inf")
+            ),
+        },
+        "bit_identical": True,
+        "perf_counters": counters.snapshot(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def persist(record: dict, path: Path) -> None:
+    """Merge the record into the machine-keyed results file."""
+    existing: dict = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            existing = {}
+    existing[machine_key()] = record
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--queries", type=int, default=DEFAULT_QUERIES)
+    parser.add_argument("--series", type=int, default=DEFAULT_SERIES)
+    parser.add_argument(
+        "--series-length", type=int, default=DEFAULT_SERIES_LENGTH
+    )
+    parser.add_argument(
+        "--query-length", type=int, default=DEFAULT_QUERY_LENGTH
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parents[3] / "BENCH_kernels.json",
+        help="machine-keyed results file (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    record = run_benchmark(
+        n_queries=args.queries,
+        n_series=args.series,
+        series_length=args.series_length,
+        query_length=args.query_length,
+        repeats=args.repeats,
+    )
+    persist(record, args.output)
+
+    dist, mass_rec = record["min_distance"], record["mass"]
+    print(f"machine            {machine_key()}")
+    print(
+        f"min_distance       scalar {dist['scalar_seconds']:.4f}s   "
+        f"batch {dist['batch_seconds']:.4f}s   "
+        f"speedup {dist['speedup']:.1f}x"
+    )
+    print(
+        f"mass profiles      scalar {mass_rec['scalar_seconds']:.4f}s   "
+        f"batch {mass_rec['batch_seconds']:.4f}s   "
+        f"speedup {mass_rec['speedup']:.1f}x"
+    )
+    print(f"results written to {args.output}")
+
+    if dist["speedup"] < 1.0 or mass_rec["speedup"] < 1.0:
+        print(
+            "FAIL: batched kernels slower than the scalar loops",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,9 +5,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import NotFittedError, ValidationError
+from repro.types import ParamsMixin
 
 
-class KMeans:
+class KMeans(ParamsMixin):
     """k-means clustering.
 
     Parameters

@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import NotFittedError, ValidationError
+from repro.types import ParamsMixin
 
 
 def sigmoid(z: np.ndarray) -> np.ndarray:
@@ -21,7 +22,7 @@ def sigmoid(z: np.ndarray) -> np.ndarray:
     return out
 
 
-class LogisticRegression:
+class LogisticRegression(ParamsMixin):
     """Binary/multinomial (one-vs-rest) logistic regression.
 
     Parameters
@@ -123,3 +124,9 @@ class LogisticRegression:
             return np.full(X.shape[0], self.classes_[0], dtype=np.int64)
         probs = self.predict_proba(X)
         return self.classes_[np.argmax(probs, axis=1)].astype(np.int64)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy against original-valued labels."""
+        from repro.classify.metrics import accuracy_score
+
+        return accuracy_score(np.asarray(y, dtype=np.int64), self.predict(X))

@@ -11,9 +11,10 @@ import numpy as np
 
 from repro.exceptions import NotFittedError, ValidationError
 from repro.ts.preprocessing import FLAT_STD
+from repro.types import ParamsMixin
 
 
-class GaussianNB:
+class GaussianNB(ParamsMixin):
     """Gaussian naive Bayes classifier.
 
     Per-class, per-feature normal likelihoods with a variance floor

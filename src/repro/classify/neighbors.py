@@ -12,9 +12,10 @@ import numpy as np
 
 from repro.exceptions import NotFittedError, ValidationError
 from repro.ts.dtw import dtw_distance, lb_keogh
+from repro.types import ParamsMixin
 
 
-class OneNearestNeighbor:
+class OneNearestNeighbor(ParamsMixin):
     """1NN classifier under Euclidean or DTW distance.
 
     Parameters

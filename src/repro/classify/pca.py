@@ -5,9 +5,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import NotFittedError, ValidationError
+from repro.types import ParamsMixin
 
 
-class PCA:
+class PCA(ParamsMixin):
     """Centered PCA keeping ``n_components`` directions.
 
     ``n_components=None`` keeps every direction (a pure rotation), which is

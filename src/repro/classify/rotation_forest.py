@@ -13,9 +13,10 @@ import numpy as np
 from repro.classify.pca import PCA
 from repro.classify.tree import DecisionTree
 from repro.exceptions import NotFittedError, ValidationError
+from repro.types import ParamsMixin
 
 
-class RotationForest:
+class RotationForest(ParamsMixin):
     """Rotation Forest classifier.
 
     Parameters

@@ -6,9 +6,10 @@ import numpy as np
 
 from repro.exceptions import NotFittedError, ValidationError
 from repro.ts.preprocessing import FLAT_STD
+from repro.types import ParamsMixin
 
 
-class StandardScaler:
+class StandardScaler(ParamsMixin):
     """Per-feature zero-mean / unit-variance scaling.
 
     Constant features are left centred at zero rather than divided by a

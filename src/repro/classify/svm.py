@@ -19,9 +19,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import NotFittedError, ValidationError
+from repro.types import ParamsMixin
 
 
-class LinearSVM:
+class LinearSVM(ParamsMixin):
     """Binary linear SVM (labels must be -1 / +1).
 
     Parameters
@@ -129,8 +130,14 @@ class LinearSVM:
         """Labels in {-1, +1}."""
         return np.where(self.decision_function(X) >= 0.0, 1, -1).astype(np.int64)
 
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy against -1/+1 labels."""
+        from repro.classify.metrics import accuracy_score
 
-class OneVsRestSVM:
+        return accuracy_score(np.asarray(y, dtype=np.int64), self.predict(X))
+
+
+class OneVsRestSVM(ParamsMixin):
     """Multi-class linear SVM via one-vs-rest decision-value argmax.
 
     Accepts arbitrary integer labels; binary problems collapse to a single

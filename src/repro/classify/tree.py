@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import NotFittedError, ValidationError
+from repro.types import ParamsMixin
 
 
 @dataclass
@@ -38,7 +39,7 @@ def _gini_from_counts(counts: np.ndarray, total: np.ndarray) -> np.ndarray:
     return 1.0 - np.sum(proportions * proportions, axis=1)
 
 
-class DecisionTree:
+class DecisionTree(ParamsMixin):
     """CART classifier.
 
     Parameters
@@ -161,6 +162,12 @@ class DecisionTree:
         X = np.asarray(X, dtype=np.float64)
         internal = np.array([self._predict_one(x) for x in X], dtype=np.int64)
         return self.classes_[internal]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy against original-valued labels."""
+        from repro.classify.metrics import accuracy_score
+
+        return accuracy_score(np.asarray(y, dtype=np.int64), self.predict(X))
 
     def depth(self) -> int:
         """Actual depth of the grown tree."""

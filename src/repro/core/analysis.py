@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.baselines.quality import best_information_gain
 from repro.exceptions import ValidationError
-from repro.ts.distance import distance_profile
+from repro.kernels import distance_profile
 from repro.ts.series import Dataset
 from repro.types import Shapelet
 

@@ -150,6 +150,14 @@ class IPSConfig:
         becomes *anytime*: the budget is checked at round and phase
         boundaries, and on exhaustion a valid best-so-far result is
         returned with ``completed=False`` instead of running to the end.
+    kernel_cache:
+        Share one :class:`repro.kernels.SeriesCache` across the discovery
+        phases (matrix profiles, utility scoring, shapelet transform), so
+        each series' FFT spectrum and rolling statistics are computed once
+        per run. Results are bit-identical either way — ``False`` only
+        disables the reuse (the equivalence-testing and micro-benchmark
+        arm). Perf counters are collected regardless and surface at
+        ``DiscoveryResult.extra["perf"]``.
     """
 
     k: int = 5
@@ -173,6 +181,7 @@ class IPSConfig:
     validation_mode: str = "repair"
     min_class_size: int = 2
     budget: Budget | None = None
+    kernel_cache: bool = True
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:

@@ -23,9 +23,10 @@ from repro.core.utility import (
 from repro.exceptions import EmptyPoolError, NotFittedError, ValidationError
 from repro.filters.dabf import DABF, NaivePruner, PruneReport
 from repro.instanceprofile.candidates import CandidatePool, generate_candidates
+from repro.kernels import PerfCounters, SeriesCache
 from repro.instanceprofile.sampling import resolve_lengths
 from repro.ts.series import Dataset
-from repro.types import DiscoveryResult, Shapelet
+from repro.types import DiscoveryResult, ParamsMixin, Shapelet
 
 
 def restore_emptied_classes(
@@ -91,6 +92,8 @@ class IPS:
         self.pruned_pool_: CandidatePool | None = None
         self.dabf_: DABF | None = None
         self.prune_report_: PruneReport | None = None
+        self.perf_counters_: PerfCounters | None = None
+        self.kernel_cache_: SeriesCache | None = None
 
     def discover(self, dataset: Dataset) -> DiscoveryResult:
         """Run candidate generation, pruning, and top-k selection.
@@ -109,19 +112,28 @@ class IPS:
         config = self.config
         lengths = resolve_lengths(dataset.series_length, config.length_ratios)
         tracker = config.budget.start() if config.budget is not None else None
+        counters = PerfCounters()
+        self.perf_counters_ = counters
+        # Run-wide series cache shared by the scoring and transform phases
+        # (generation uses per-unit caches to bound memory — see
+        # instanceprofile.candidates — but reports into the same counters).
+        run_cache = SeriesCache(counters=counters) if config.kernel_cache else None
+        self.kernel_cache_ = run_cache
 
         start = time.perf_counter()
-        pool = generate_candidates(
-            dataset,
-            q_n=config.q_n,
-            q_s=config.q_s,
-            lengths=lengths,
-            motifs_per_profile=config.motifs_per_profile,
-            discords_per_profile=config.discords_per_profile,
-            normalized=config.normalized_profiles,
-            seed=config.seed,
-            budget_tracker=tracker,
-        )
+        with counters.phase("generation"):
+            pool = generate_candidates(
+                dataset,
+                q_n=config.q_n,
+                q_s=config.q_s,
+                lengths=lengths,
+                motifs_per_profile=config.motifs_per_profile,
+                discords_per_profile=config.discords_per_profile,
+                normalized=config.normalized_profiles,
+                seed=config.seed,
+                budget_tracker=tracker,
+                perf_counters=counters,
+            )
         time_generation = time.perf_counter() - start
         self.pool_ = pool
 
@@ -129,26 +141,27 @@ class IPS:
         out_of_budget = tracker is not None and tracker.exhausted
         start = time.perf_counter()
         dabf: DABF | None = None
-        if out_of_budget:
-            # Pruning is an optimization, not a correctness stage: skip
-            # it to leave the remaining budget to selection.
-            pruned, report = pool.copy(), PruneReport()
-        elif multi_class and config.use_dabf:
-            dabf = DABF.build(
-                pool,
-                scheme=config.lsh_scheme,
-                n_projections=config.n_projections,
-                bins=config.bins,
-                seed=config.seed,
-            )
-            pruned, report = dabf.prune(pool, theta=config.theta)
-            pruned = restore_emptied_classes(pool, pruned)
-        elif multi_class:
-            pruner = NaivePruner(pool, theta=config.theta, seed=config.seed)
-            pruned, report = pruner.prune(pool)
-            pruned = restore_emptied_classes(pool, pruned)
-        else:
-            pruned, report = pool.copy(), PruneReport()
+        with counters.phase("pruning"):
+            if out_of_budget:
+                # Pruning is an optimization, not a correctness stage: skip
+                # it to leave the remaining budget to selection.
+                pruned, report = pool.copy(), PruneReport()
+            elif multi_class and config.use_dabf:
+                dabf = DABF.build(
+                    pool,
+                    scheme=config.lsh_scheme,
+                    n_projections=config.n_projections,
+                    bins=config.bins,
+                    seed=config.seed,
+                )
+                pruned, report = dabf.prune(pool, theta=config.theta)
+                pruned = restore_emptied_classes(pool, pruned)
+            elif multi_class:
+                pruner = NaivePruner(pool, theta=config.theta, seed=config.seed)
+                pruned, report = pruner.prune(pool)
+                pruned = restore_emptied_classes(pool, pruned)
+            else:
+                pruned, report = pool.copy(), PruneReport()
         time_pruning = time.perf_counter() - start
         self.pruned_pool_ = pruned
         self.prune_report_ = report
@@ -186,18 +199,25 @@ class IPS:
                 use_cr=False,
                 normalize=config.normalize_utility_sums,
                 cache=shared_cache,
+                series_cache=(
+                    run_cache
+                    if run_cache is not None
+                    else SeriesCache(counters=counters)
+                ),
             )
 
-        scores_by_class = score_with_class_fallback(
-            _score, pruned, pool, range(dataset.n_classes)
-        )
-        shapelets = select_top_k_per_class(scores_by_class, config.k)
+        with counters.phase("selection"):
+            scores_by_class = score_with_class_fallback(
+                _score, pruned, pool, range(dataset.n_classes)
+            )
+            shapelets = select_top_k_per_class(scores_by_class, config.k)
         time_selection = time.perf_counter() - start
 
         extra = {
             "lengths": lengths,
             "prune_report": report,
             "scores_by_class": scores_by_class,
+            "perf": counters.snapshot(),
         }
         completed = True
         if tracker is not None:
@@ -275,7 +295,7 @@ def _make_final_classifier(config: IPSConfig):
     return _Feature1NN()
 
 
-class IPSClassifier:
+class IPSClassifier(ParamsMixin):
     """IPS discovery + shapelet transform + standardization + classifier.
 
     The final classifier defaults to the paper's linear SVM and can be
@@ -327,8 +347,24 @@ class IPSClassifier:
         self.discovery_result_ = result
         self.shapelets_ = result.shapelets
         self._dataset = dataset
-        self._transform = ShapeletTransform(result.shapelets)
-        features = self._transform.transform(dataset.X)
+        # Share the discovery run's series cache with the transform, so
+        # the training series' FFT spectra and window statistics computed
+        # during utility scoring are reused here instead of redone.
+        # getattr: drop-in discoverers (e.g. DistributedIPS) may not
+        # expose the kernel-cache attributes.
+        counters = getattr(self.discoverer_, "perf_counters_", None)
+        transform_cache = getattr(self.discoverer_, "kernel_cache_", None)
+        if transform_cache is None and counters is not None:
+            transform_cache = SeriesCache(counters=counters)
+        self._transform = ShapeletTransform(
+            result.shapelets, cache=transform_cache
+        )
+        if counters is not None:
+            with counters.phase("transform"):
+                features = self._transform.transform(dataset.X)
+            result.extra["perf"] = counters.snapshot()
+        else:
+            features = self._transform.transform(dataset.X)
         self._scaler = StandardScaler()
         scaled = self._scaler.fit_transform(features)
         self._svm = _make_final_classifier(self.config)

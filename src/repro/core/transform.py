@@ -5,12 +5,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import NotFittedError, ValidationError
-from repro.ts.distance import pairwise_subsequence_distance
+from repro.kernels import SeriesCache, batch_min_distance
 from repro.ts.dtw import dtw_distance
-from repro.types import Shapelet
+from repro.types import ParamsMixin, Shapelet
 
 
-class ShapeletTransform:
+class ShapeletTransform(ParamsMixin):
     """Transforms series into the shapelet-distance feature space.
 
     Given discovered shapelets ``S_1..S_m``, a series ``T_j`` becomes the
@@ -28,6 +28,14 @@ class ShapeletTransform:
         same length (O(M N L^2), so reserve it for small problems).
     dtw_band:
         Sakoe-Chiba half-width for the DTW metric.
+    cache:
+        Optional :class:`repro.kernels.SeriesCache`. Per-row window
+        statistics and FFT spectra of ``X`` are hoisted through it, so
+        they are computed once per series instead of once per shapelet —
+        and, when the cache is shared with discovery, reused across the
+        whole pipeline. Without one, each :meth:`transform` call uses a
+        private cache (stats still computed once per call, not per
+        shapelet).
     """
 
     def __init__(
@@ -35,11 +43,13 @@ class ShapeletTransform:
         shapelets: list[Shapelet] | None = None,
         metric: str = "euclidean",
         dtw_band: int | None = 5,
+        cache: SeriesCache | None = None,
     ) -> None:
         if metric not in ("euclidean", "dtw"):
             raise ValidationError(f"unknown metric {metric!r}")
         self.metric = metric
         self.dtw_band = dtw_band
+        self.cache = cache
         self.shapelets_: list[Shapelet] | None = None
         if shapelets is not None:
             self.fit(shapelets)
@@ -66,8 +76,9 @@ class ShapeletTransform:
         if X.ndim == 1:
             X = X.reshape(1, -1)
         if self.metric == "euclidean":
-            return pairwise_subsequence_distance(
-                [s.values for s in self.shapelets_], X
+            cache = self.cache if self.cache is not None else SeriesCache()
+            return batch_min_distance(
+                [s.values for s in self.shapelets_], X, cache=cache
             )
         return self._transform_dtw(X)
 

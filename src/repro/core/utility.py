@@ -43,7 +43,7 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.filters.dabf import DABF
 from repro.instanceprofile.candidates import CandidatePool
-from repro.ts.distance import distance_profile, subsequence_distance
+from repro.kernels import SeriesCache, batch_min_distance, subsequence_distance
 from repro.ts.series import Dataset
 from repro.types import Candidate
 
@@ -114,6 +114,7 @@ def score_candidates_brute(
     use_cr: bool = True,
     normalize: bool = True,
     cache: _PairDistanceCache | None = None,
+    series_cache: SeriesCache | None = None,
 ) -> UtilityScores:
     """Brute-force utilities for the motif candidates of one class.
 
@@ -121,7 +122,9 @@ def score_candidates_brute(
     repeated utility calculation" arm, used for the Table V timing
     comparison); ``use_cr=True`` computes each unordered pair once, and a
     shared ``cache`` additionally reuses cross-class pairs between the
-    per-class passes.
+    per-class passes. The intra-instance sums run through the batched
+    kernel engine; ``series_cache`` shares the training series' FFT
+    spectra and window statistics with the other pipeline phases.
     """
     motifs = pool.motifs(label)
     if not motifs:
@@ -157,11 +160,16 @@ def score_candidates_brute(
             for other in others:
                 inter_sums[i] += subsequence_distance(motifs[i].values, other.values)
 
+    # One batched kernel pass replaces the per-(candidate, instance)
+    # Python loop; row-major accumulation keeps the historical summation
+    # order, so the sums are bit-identical to the scalar path.
     instance_sums = np.zeros(n)
-    for i, candidate in enumerate(motifs):
-        for row in instances:
-            profile = distance_profile(candidate.values, row)
-            instance_sums[i] += profile.min() / candidate.length
+    if instances.shape[0]:
+        per_pair = batch_min_distance(
+            [c.values for c in motifs], instances, cache=series_cache
+        )
+        for row_distances in per_pair:
+            instance_sums += row_distances
 
     return UtilityScores(
         candidates=motifs,

@@ -1,0 +1,177 @@
+"""Registry of every public estimator, for conformance enforcement.
+
+The :class:`repro.types.Estimator` / :class:`repro.types.Transformer`
+protocols state the *shape* of the contract; this module enumerates who
+must honour it. The registry drives ``tests/test_estimators.py``, which
+fits every entry on a small synthetic problem and asserts the behavioural
+half of the contract: predicting before ``fit`` raises
+:class:`~repro.exceptions.NotFittedError`, ``fit`` returns ``self``,
+``predict`` emits one integer label per row, and ``get_params`` reflects
+the constructor arguments.
+
+Entries use deliberately small settings — the registry exists to check
+conformance, not accuracy. New public estimators must be added here;
+the conformance test cross-checks the registry against the package
+namespaces so an estimator cannot be silently left out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+#: How an estimator is fitted in the conformance harness.
+#:
+#: - ``"features"`` — ``fit(X, y)`` on a 2-D feature matrix with integer
+#:   labels; the ordinary classifier contract.
+#: - ``"series"`` — ``fit(X, y)`` on raw ``(M, N)`` time series (shapelet
+#:   and dictionary methods; typically slower, so kept tiny).
+#: - ``"binary_pm1"`` — ``fit(X, y)`` with labels restricted to -1/+1
+#:   (the low-level binary SVM).
+#: - ``"unsupervised"`` — ``fit(X)`` without labels (clustering).
+#: - ``"transform"`` — transformer contract: ``fit(X)`` then
+#:   ``transform(X)``; no ``predict``.
+#: - ``"shapelets"`` — :class:`repro.core.transform.ShapeletTransform`:
+#:   fitted with a shapelet list, transforms raw series.
+FIT_STYLES = (
+    "features",
+    "series",
+    "binary_pm1",
+    "unsupervised",
+    "transform",
+    "shapelets",
+)
+
+
+@dataclass(frozen=True)
+class EstimatorSpec:
+    """One registry entry: a public estimator and how to exercise it."""
+
+    name: str
+    factory: Callable[[], object]
+    fit_style: str
+
+    def __post_init__(self) -> None:
+        if self.fit_style not in FIT_STYLES:
+            raise ValueError(
+                f"unknown fit_style {self.fit_style!r} for {self.name}"
+            )
+
+    def make(self) -> object:
+        """A fresh, unfitted instance."""
+        return self.factory()
+
+
+def _feature_specs() -> list[EstimatorSpec]:
+    from repro.classify.logistic import LogisticRegression
+    from repro.classify.naive_bayes import GaussianNB
+    from repro.classify.neighbors import OneNearestNeighbor
+    from repro.classify.rotation_forest import RotationForest
+    from repro.classify.svm import LinearSVM, OneVsRestSVM
+    from repro.classify.tree import DecisionTree
+
+    return [
+        EstimatorSpec("GaussianNB", GaussianNB, "features"),
+        EstimatorSpec(
+            "LogisticRegression",
+            lambda: LogisticRegression(max_epochs=50),
+            "features",
+        ),
+        EstimatorSpec(
+            "DecisionTree", lambda: DecisionTree(max_depth=3), "features"
+        ),
+        EstimatorSpec(
+            "OneVsRestSVM", lambda: OneVsRestSVM(max_epochs=50), "features"
+        ),
+        EstimatorSpec("OneNearestNeighbor", OneNearestNeighbor, "features"),
+        EstimatorSpec(
+            "RotationForest",
+            lambda: RotationForest(n_estimators=3, group_size=2),
+            "features",
+        ),
+        EstimatorSpec(
+            "LinearSVM", lambda: LinearSVM(max_epochs=50), "binary_pm1"
+        ),
+    ]
+
+
+def _series_specs() -> list[EstimatorSpec]:
+    from repro.baselines.bag_of_patterns import BagOfPatterns
+    from repro.baselines.boss import BOSS
+    from repro.baselines.bspcover import BSPCover
+    from repro.baselines.elis import ELIS
+    from repro.baselines.fast_shapelets import FastShapelets
+    from repro.baselines.interval_forest import TimeSeriesForest
+    from repro.baselines.learning_shapelets import LearningShapelets
+    from repro.baselines.mp_base import MPBaseline
+    from repro.baselines.scalable_discovery import ScalableDiscovery
+    from repro.baselines.shapelet_transform_st import ShapeletTransformST
+    from repro.core.config import IPSConfig
+    from repro.core.pipeline import IPSClassifier
+
+    fast_ips = IPSConfig(
+        k=2, q_n=2, q_s=2, length_ratios=(0.2, 0.3), seed=0
+    )
+    return [
+        EstimatorSpec(
+            "IPSClassifier", lambda: IPSClassifier(fast_ips), "series"
+        ),
+        EstimatorSpec("MPBaseline", lambda: MPBaseline(k=2), "series"),
+        EstimatorSpec(
+            "FastShapelets",
+            lambda: FastShapelets(k=2, n_masking_rounds=2, refine_top=3),
+            "series",
+        ),
+        EstimatorSpec("BSPCover", lambda: BSPCover(k=2), "series"),
+        EstimatorSpec(
+            "ShapeletTransformST", lambda: ShapeletTransformST(k=2), "series"
+        ),
+        EstimatorSpec(
+            "ScalableDiscovery",
+            lambda: ScalableDiscovery(k=2, n_clusters=3, samples_per_class=8),
+            "series",
+        ),
+        EstimatorSpec(
+            "LearningShapelets",
+            lambda: LearningShapelets(k_per_class=1, epochs=20),
+            "series",
+        ),
+        EstimatorSpec(
+            "ELIS", lambda: ELIS(k_per_class=1, epochs=20), "series"
+        ),
+        EstimatorSpec(
+            "TimeSeriesForest",
+            lambda: TimeSeriesForest(n_estimators=3),
+            "series",
+        ),
+        EstimatorSpec("BagOfPatterns", BagOfPatterns, "series"),
+        EstimatorSpec("BOSS", BOSS, "series"),
+    ]
+
+
+def _transform_specs() -> list[EstimatorSpec]:
+    from repro.classify.kmeans import KMeans
+    from repro.classify.pca import PCA
+    from repro.classify.scaler import StandardScaler
+    from repro.core.transform import ShapeletTransform
+
+    return [
+        EstimatorSpec("StandardScaler", StandardScaler, "transform"),
+        EstimatorSpec("PCA", lambda: PCA(n_components=2), "transform"),
+        EstimatorSpec(
+            "ShapeletTransform", ShapeletTransform, "shapelets"
+        ),
+        EstimatorSpec(
+            "KMeans", lambda: KMeans(n_clusters=2, seed=0), "unsupervised"
+        ),
+    ]
+
+
+def estimator_registry() -> list[EstimatorSpec]:
+    """Every public estimator/transformer, with conformance-scale settings."""
+    return _feature_specs() + _series_specs() + _transform_specs()
+
+
+def registry_names() -> list[str]:
+    """Names of all registered estimators, in registry order."""
+    return [spec.name for spec in estimator_registry()]

@@ -32,7 +32,7 @@ from repro.filters.distribution import DistributionFit, fit_best_distribution
 from repro.instanceprofile.candidates import CandidatePool
 from repro.lsh.base import make_lsh
 from repro.lsh.table import LSHTable
-from repro.ts.distance import subsequence_distance
+from repro.kernels import subsequence_distance
 from repro.ts.preprocessing import FLAT_STD, linear_interpolate_resample, znormalize
 from repro.types import Candidate
 

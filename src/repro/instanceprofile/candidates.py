@@ -16,6 +16,7 @@ import numpy as np
 from repro.exceptions import EmptyPoolError, ValidationError
 from repro.instanceprofile.profile import instance_profile
 from repro.instanceprofile.sampling import BaggingSampler
+from repro.kernels import SeriesCache
 from repro.matrixprofile.discovery import top_k_discords, top_k_motifs
 from repro.ts.concat import concatenate_series
 from repro.ts.series import Dataset
@@ -128,16 +129,28 @@ def _unit_candidates(
     motifs_per_profile: int,
     discords_per_profile: int,
     normalized: bool,
+    counters=None,
 ) -> list[Candidate]:
-    """Algorithm-1 inner loop for one (class, sample) work unit."""
+    """Algorithm-1 inner loop for one (class, sample) work unit.
+
+    Each unit gets a private :class:`~repro.kernels.SeriesCache` scoped
+    to its concatenated sample: the sample's cumulative sums and FFT
+    spectra are computed once and reused across the whole candidate-length
+    grid, then released with the unit (bounding memory over the
+    ``Q_N x n_classes`` unit stream). ``counters`` aggregates the cache's
+    hit/miss/FFT tallies into the run-wide perf counters.
+    """
     sample = concatenate_series(dataset.X[rows], instance_ids=rows)
+    unit_cache = SeriesCache(counters=counters)
     unit: list[Candidate] = []
     min_instance = int(np.diff(sample.boundaries).min())
     for length in lengths:
         if length > min_instance:
             # Window longer than some instance: skip this length.
             continue
-        ip = instance_profile(sample, length, normalized=normalized)
+        ip = instance_profile(
+            sample, length, normalized=normalized, cache=unit_cache
+        )
         if not np.any(np.isfinite(ip.values)):
             continue
         _harvest(unit, ip, label, sample_id, CandidateKind.MOTIF, motifs_per_profile)
@@ -157,6 +170,7 @@ def generate_candidates(
     normalized: bool = True,
     seed: int | np.random.Generator | None = None,
     budget_tracker=None,
+    perf_counters=None,
 ) -> CandidatePool:
     """Algorithm 1: generate the candidate pool Phi with the IP.
 
@@ -186,6 +200,10 @@ def generate_candidates(
         per-class candidate lists are identical to the unbudgeted run up
         to the truncation point: bagging samples are pre-drawn in the
         historical class-major RNG order.
+    perf_counters:
+        Optional :class:`repro.kernels.PerfCounters`; per-unit kernel
+        caches report their hit/miss/FFT tallies into it. Never affects
+        the candidates produced.
     """
     if not lengths:
         raise ValidationError("at least one candidate length is required")
@@ -216,6 +234,7 @@ def generate_candidates(
                 motifs_per_profile,
                 discords_per_profile,
                 normalized,
+                counters=perf_counters,
             )
             for candidate in unit:
                 pool.add(candidate)

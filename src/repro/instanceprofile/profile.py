@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels import SeriesCache
 from repro.matrixprofile.profile import MatrixProfile
 from repro.matrixprofile.stomp import stomp_self_join
 from repro.ts.concat import ConcatenatedSeries
@@ -43,7 +44,10 @@ class InstanceProfile:
 
 
 def instance_profile(
-    sample: ConcatenatedSeries, window: int, normalized: bool = True
+    sample: ConcatenatedSeries,
+    window: int,
+    normalized: bool = True,
+    cache: SeriesCache | None = None,
 ) -> InstanceProfile:
     """Compute the instance profile of a concatenated sample (Def. 8/9).
 
@@ -53,6 +57,10 @@ def instance_profile(
     masked out entirely. A single-instance sample (a class with only one
     training instance) has no "other instance", so it degrades to the
     ordinary within-series matrix profile with trivial-match exclusion.
+
+    ``cache`` (a :class:`repro.kernels.SeriesCache`) lets the candidate
+    generator share the sample's cumulative sums and FFT spectra across
+    the candidate-length grid instead of recomputing them per length.
     """
     n_out = num_windows(len(sample), window)
     valid = sample.valid_window_mask(window)
@@ -67,5 +75,6 @@ def instance_profile(
         valid_mask=valid,
         normalized=normalized,
         groups=groups,
+        cache=cache,
     )
     return InstanceProfile(profile=profile, sample=sample, window=window)

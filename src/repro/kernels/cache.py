@@ -1,0 +1,162 @@
+"""Per-series memoization of the quantities every distance kernel needs.
+
+Every subsequence-distance computation in the pipeline boils down to three
+ingredients per series: cumulative sums (for rolling means/stds and window
+sums of squares), and an FFT spectrum (for sliding dot products). Before
+this module each call path recomputed them from scratch — the instance
+profile recomputed a sample's cumulative sums once per candidate length,
+and the shapelet transform re-ran one FFT of every series per shapelet.
+
+:class:`SeriesCache` computes each ingredient exactly once per array and
+hands it to every later phase. Derived results are bit-identical to the
+historical per-call computations (same formulas, same FFT sizes), so a
+cached run produces exactly the same numbers as an uncached one.
+
+Keying and ownership
+--------------------
+Entries are keyed by the *identity* of the array object passed in; the
+cache holds a strong reference, so an entry stays valid for the cache's
+lifetime and ``id`` reuse cannot alias entries. Consequences for callers:
+
+* pass the *same array object* to benefit from reuse (``X[i]`` creates a
+  fresh view per access — hoist rows, or pass the whole 2-D matrix);
+* arrays must be treated as immutable while cached (mutating one silently
+  invalidates its derived quantities);
+* scope a cache to one discovery run; it is not a process-global store.
+
+1-D and 2-D arrays are both accepted; all quantities are computed along
+the last axis, so a 2-D ``(M, N)`` dataset matrix gets batched rolling
+stats and spectra in one shot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import fft as sp_fft
+
+from repro.kernels.perf import PerfCounters
+
+
+class _Entry:
+    """Cached derived quantities of one array."""
+
+    __slots__ = ("original", "array", "cumsums", "mean_std", "ssq", "spectra")
+
+    def __init__(self, original, array: np.ndarray) -> None:
+        self.original = original  # strong ref: pins id(), prevents aliasing
+        self.array = array
+        self.cumsums: tuple[np.ndarray, np.ndarray] | None = None
+        self.mean_std: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self.ssq: dict[int, np.ndarray] = {}
+        self.spectra: dict[int, np.ndarray] = {}
+
+
+class SeriesCache:
+    """Compute-once store of per-series FFTs and rolling statistics.
+
+    Parameters
+    ----------
+    counters:
+        Optional :class:`~repro.kernels.PerfCounters`; hit/miss/FFT tallies
+        are recorded there. A fresh instance is created when omitted so the
+        cache can always report its own statistics.
+    """
+
+    def __init__(self, counters: PerfCounters | None = None) -> None:
+        self.counters = counters if counters is not None else PerfCounters()
+        self._entries: dict[int, _Entry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (and the strong references pinning them)."""
+        self._entries.clear()
+
+    def _entry(self, arr) -> _Entry:
+        entry = self._entries.get(id(arr))
+        if entry is None or entry.original is not arr:
+            entry = _Entry(arr, np.asarray(arr, dtype=np.float64))
+            self._entries[id(arr)] = entry
+        return entry
+
+    def as_float64(self, arr) -> np.ndarray:
+        """The cached float64 view/copy of ``arr``."""
+        return self._entry(arr).array
+
+    def cumsums(self, arr) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-prefixed cumulative sums of values and squares (last axis).
+
+        Returns ``(csum, csum2)`` with one leading zero per row, matching
+        the layout of the historical per-call computation so every
+        consumer's arithmetic (and bits) is unchanged.
+        """
+        entry = self._entry(arr)
+        if entry.cumsums is not None:
+            self.counters.cache_hits += 1
+            return entry.cumsums
+        self.counters.cache_misses += 1
+        a = entry.array
+        if a.ndim == 1:
+            csum = np.concatenate([[0.0], np.cumsum(a)])
+            csum2 = np.concatenate([[0.0], np.cumsum(a * a)])
+        else:
+            zeros = np.zeros(a.shape[:-1] + (1,), dtype=np.float64)
+            csum = np.concatenate([zeros, np.cumsum(a, axis=-1)], axis=-1)
+            csum2 = np.concatenate([zeros, np.cumsum(a * a, axis=-1)], axis=-1)
+        entry.cumsums = (csum, csum2)
+        return entry.cumsums
+
+    def sliding_mean_std(self, arr, window: int) -> tuple[np.ndarray, np.ndarray]:
+        """Rolling mean/std of every length-``window`` subsequence.
+
+        Identical formula (and bits) to the historical
+        ``repro.ts.distance.sliding_mean_std``; negative variances from
+        cancellation are clipped at zero.
+        """
+        entry = self._entry(arr)
+        cached = entry.mean_std.get(window)
+        if cached is not None:
+            self.counters.cache_hits += 1
+            return cached
+        self.counters.cache_misses += 1
+        csum, csum2 = self.cumsums(arr)
+        sums = csum[..., window:] - csum[..., :-window]
+        sums2 = csum2[..., window:] - csum2[..., :-window]
+        means = sums / window
+        variances = np.maximum(sums2 / window - means * means, 0.0)
+        stds = np.sqrt(variances)
+        entry.mean_std[window] = (means, stds)
+        return entry.mean_std[window]
+
+    def window_ssq(self, arr, window: int) -> np.ndarray:
+        """Sum of squares of every length-``window`` subsequence."""
+        entry = self._entry(arr)
+        cached = entry.ssq.get(window)
+        if cached is not None:
+            self.counters.cache_hits += 1
+            return cached
+        self.counters.cache_misses += 1
+        _csum, csum2 = self.cumsums(arr)
+        entry.ssq[window] = csum2[..., window:] - csum2[..., :-window]
+        return entry.ssq[window]
+
+    def spectrum(self, arr, n_fft: int) -> np.ndarray:
+        """Real FFT of ``arr`` zero-padded to ``n_fft`` (last axis).
+
+        This is the expensive half of every sliding dot product; caching
+        it means each series is transformed once per FFT size instead of
+        once per query.
+        """
+        entry = self._entry(arr)
+        cached = entry.spectra.get(n_fft)
+        if cached is not None:
+            self.counters.cache_hits += 1
+            return cached
+        self.counters.cache_misses += 1
+        a = entry.array
+        self.counters.fft_count += 1 if a.ndim == 1 else int(
+            np.prod(a.shape[:-1])
+        )
+        entry.spectra[n_fft] = sp_fft.rfft(a, n_fft, axis=-1)
+        return entry.spectra[n_fft]

@@ -1,0 +1,457 @@
+"""The distance kernels: scalar reference paths and batched FFT paths.
+
+Every kernel here is built on one identity — for a query ``q`` and a
+series ``t``,
+
+    ||t_j - q||^2 = sum(t_j^2) - 2 (t (x) q)_j + sum(q^2)
+
+with ``(x)`` the sliding correlation, computed as an FFT convolution. The
+batched kernels amortize the expensive halves across queries and series:
+the series spectrum is computed once (and cached in a
+:class:`~repro.kernels.SeriesCache`), all same-length queries are
+transformed in one batched FFT, and the pointwise products run as one
+vectorized multiply instead of a Python loop per query.
+
+Bit-compatibility contract
+--------------------------
+The batched kernels produce *bit-identical* outputs to the scalar ones,
+and the scalar ones are bit-identical to the historical implementations
+in ``repro.ts.distance`` / ``repro.matrixprofile.mass``: the FFT size is
+the same ``next_fast_len(N + L - 1)`` that ``scipy.signal.fftconvolve``
+picks, the direct-method cutover for tiny outputs is preserved, and every
+elementwise formula keeps its operation order. Discovery results are
+therefore unchanged whether caching/batching is on or off — the
+equivalence suite in ``tests/test_kernels.py`` pins this down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import fft as sp_fft
+
+from repro.exceptions import LengthError, ValidationError
+from repro.kernels.cache import SeriesCache
+from repro.ts.preprocessing import FLAT_STD
+from repro.ts.windows import num_windows
+
+#: Below this many output windows the direct method beats the FFT
+#: (kept identical to the historical ``repro.ts.distance`` cutover).
+_FFT_CUTOVER = 8
+
+#: Soft ceiling on elements per batched inverse-FFT block; query chunks
+#: are sized so ``n_series * chunk * n_fft`` stays below it.
+_CHUNK_ELEMENTS = 1 << 23
+
+
+def _fft_size(n_series: int, n_query: int) -> int:
+    """The padded FFT length ``fftconvolve`` would choose (real inputs)."""
+    return sp_fft.next_fast_len(n_series + n_query - 1, True)
+
+
+# ---------------------------------------------------------------------------
+# Scalar kernels (single query, single series)
+# ---------------------------------------------------------------------------
+
+
+def squared_euclidean(a, b) -> float:
+    """Plain squared Euclidean distance between two equal-length series."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValidationError(f"shape mismatch: {a.shape} vs {b.shape}")
+    diff = a - b
+    return float(np.dot(diff, diff))
+
+
+def euclidean_distance(a, b) -> float:
+    """Euclidean distance between two equal-length series."""
+    return float(np.sqrt(squared_euclidean(a, b)))
+
+
+def sliding_mean_std(series, window: int, *, cache: SeriesCache | None = None):
+    """Mean and std of every length-``window`` subsequence.
+
+    Returns ``(means, stds)`` each of length ``N - L + 1``. With a
+    ``cache``, the cumulative sums behind them are computed once per
+    series and shared across windows and phases.
+    """
+    if cache is not None:
+        return cache.sliding_mean_std(series, window)
+    arr = np.asarray(series, dtype=np.float64)
+    n_out = num_windows(arr.size, window)
+    csum = np.concatenate([[0.0], np.cumsum(arr)])
+    csum2 = np.concatenate([[0.0], np.cumsum(arr * arr)])
+    sums = csum[window:] - csum[:-window]
+    sums2 = csum2[window:] - csum2[:-window]
+    means = sums / window
+    variances = np.maximum(sums2 / window - means * means, 0.0)
+    stds = np.sqrt(variances)
+    assert means.size == n_out
+    return means, stds
+
+
+def _window_ssq(series: np.ndarray, window: int, cache: SeriesCache | None):
+    """Sum of squares of every window (cached when possible)."""
+    if cache is not None:
+        return cache.window_ssq(series, window)
+    csum2 = np.concatenate([[0.0], np.cumsum(series * series)])
+    return csum2[window:] - csum2[:-window]
+
+
+def sliding_dot_product(query, series, *, cache: SeriesCache | None = None):
+    """Dot products of ``query`` with every window of ``series``.
+
+    Returns an array of length ``N - L + 1``. FFT convolution for long
+    inputs, a direct stride loop for tiny ones; with a ``cache``, the
+    series' spectrum is reused across queries of any equal-length batch.
+    """
+    query = np.asarray(query, dtype=np.float64)
+    series = np.asarray(series, dtype=np.float64)
+    n_out = num_windows(series.size, query.size)
+    if cache is not None:
+        cache.counters.kernel_calls += 1
+    if n_out <= _FFT_CUTOVER:
+        windows = np.lib.stride_tricks.sliding_window_view(series, query.size)
+        return windows @ query
+    n_fft = _fft_size(series.size, query.size)
+    if cache is not None:
+        spec_series = cache.spectrum(series, n_fft)
+        cache.counters.fft_count += 2  # query transform + inverse
+    else:
+        spec_series = sp_fft.rfft(series, n_fft)
+    spec_query = sp_fft.rfft(query[::-1], n_fft)
+    full = sp_fft.irfft(spec_series * spec_query, n_fft)
+    return full[query.size - 1 : query.size - 1 + n_out]
+
+
+def distance_profile(query, series, *, cache: SeriesCache | None = None):
+    """Squared Euclidean distance of ``query`` to every window of ``series``.
+
+    Non-normalized (raw values, per Def. 4 of the paper, *before* the 1/L
+    factor). Returns an array of length ``N - L + 1``; tiny negative
+    values from FFT round-off are clipped at zero.
+    """
+    query = np.asarray(query, dtype=np.float64)
+    series = np.asarray(series, dtype=np.float64)
+    if query.ndim != 1 or series.ndim != 1:
+        raise ValidationError("distance_profile expects 1-D arrays")
+    dots = sliding_dot_product(query, series, cache=cache)
+    window_sq = _window_ssq(series, query.size, cache)
+    profile = window_sq - 2.0 * dots + float(np.dot(query, query))
+    return np.maximum(profile, 0.0)
+
+
+def raw_distance_profile(query, series, *, cache: SeriesCache | None = None):
+    """Non-normalized Euclidean distance profile (not squared)."""
+    return np.sqrt(distance_profile(query, series, cache=cache))
+
+
+def subsequence_distance(query, series) -> float:
+    """The paper's Definition 4 distance ``dist(Tp, Tq)``.
+
+    Length-normalized squared Euclidean distance of the shorter input
+    against its best-matching window in the longer one; the arguments may
+    be given in either order.
+    """
+    a = np.asarray(query, dtype=np.float64)
+    b = np.asarray(series, dtype=np.float64)
+    if a.size > b.size:
+        a, b = b, a
+    if a.size == 0:
+        raise LengthError("subsequence_distance requires non-empty inputs")
+    profile = distance_profile(a, b)
+    return float(profile.min() / a.size)
+
+
+def _check_finite_mass(query: np.ndarray, series: np.ndarray) -> None:
+    if not np.all(np.isfinite(query)):
+        raise ValidationError(
+            "mass query contains NaN or inf; clean or interpolate the "
+            "input (e.g. repro.datasets.perturb.add_dropout fills gaps) "
+            "before computing distance profiles"
+        )
+    if not np.all(np.isfinite(series)):
+        raise ValidationError(
+            "mass series contains NaN or inf; z-normalized distances are "
+            "undefined on non-finite windows — clean the input first"
+        )
+
+
+def mass(query, series, *, normalized: bool = True, cache: SeriesCache | None = None):
+    """MASS distance profile of ``query`` against every window of ``series``.
+
+    z-normalized Euclidean distances by default (the matrix-profile
+    convention, with the flat-window rules documented in
+    ``repro.matrixprofile.mass``), raw Euclidean otherwise. Returns an
+    array of length ``N - L + 1`` of non-squared distances.
+    """
+    query = np.asarray(query, dtype=np.float64)
+    series = np.asarray(series, dtype=np.float64)
+    if query.ndim != 1 or series.ndim != 1:
+        raise ValidationError("mass expects 1-D arrays")
+    _check_finite_mass(query, series)
+    if not normalized:
+        return raw_distance_profile(query, series, cache=cache)
+    length = query.size
+    q_mean = float(query.mean())
+    q_std = float(query.std())
+    means, stds = sliding_mean_std(series, length, cache=cache)
+    dots = sliding_dot_product(query, series, cache=cache)
+
+    q_flat = q_std < FLAT_STD
+    t_flat = stds < FLAT_STD
+    # Denominators are clamped to FLAT_STD, inputs are validated finite:
+    # no divide/invalid can occur, so no errstate suppression is needed.
+    corr = (dots - length * q_mean * means) / (
+        length * max(q_std, FLAT_STD) * np.maximum(stds, FLAT_STD)
+    )
+    # Clip correlation into [-1, 1] against FFT round-off.
+    corr = np.clip(corr, -1.0, 1.0)
+    sq = 2.0 * length * (1.0 - corr)
+    if q_flat:
+        # Query z-normalizes to zeros: distance L to any non-flat window.
+        sq = np.where(t_flat, 0.0, float(length))
+    else:
+        sq = np.where(t_flat, float(length), sq)
+    return np.sqrt(np.maximum(sq, 0.0))
+
+
+# ---------------------------------------------------------------------------
+# Batched kernels (many queries and/or many series)
+# ---------------------------------------------------------------------------
+
+
+def _as_query_matrix(queries) -> np.ndarray:
+    """Coerce a query batch into a 2-D ``(Q, L)`` float64 matrix."""
+    if isinstance(queries, np.ndarray) and queries.ndim == 2:
+        return np.asarray(queries, dtype=np.float64)
+    arr = np.asarray(queries, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    if arr.ndim != 2:
+        raise ValidationError(
+            "queries must be a 1-D array, a (Q, L) matrix, or a sequence "
+            "of equal-length 1-D arrays"
+        )
+    return arr
+
+
+def _batch_dots_1d(
+    queries: np.ndarray, series: np.ndarray, cache: SeriesCache | None
+) -> np.ndarray:
+    """Sliding dot products of ``(Q, L)`` queries over one 1-D series."""
+    n_queries, length = queries.shape
+    n_out = num_windows(series.size, length)
+    if n_out <= _FFT_CUTOVER:
+        windows = np.lib.stride_tricks.sliding_window_view(series, length)
+        # Per-query matvec keeps bit parity with the scalar direct path.
+        return np.stack([windows @ q for q in queries])
+    n_fft = _fft_size(series.size, length)
+    if cache is not None:
+        spec_series = cache.spectrum(series, n_fft)
+        cache.counters.fft_count += 2 * n_queries
+    else:
+        spec_series = sp_fft.rfft(series, n_fft)
+    spec_queries = sp_fft.rfft(queries[:, ::-1], n_fft, axis=-1)
+    full = sp_fft.irfft(spec_series[None, :] * spec_queries, n_fft, axis=-1)
+    return full[:, length - 1 : length - 1 + n_out]
+
+
+def _batch_dots_2d(
+    queries: np.ndarray, X: np.ndarray, cache: SeriesCache | None
+) -> np.ndarray:
+    """Sliding dot products of ``(Q, L)`` queries over ``(M, N)`` series.
+
+    Returns ``(M, Q, n_out)``. One batched FFT covers all series (cached
+    across calls), one covers all queries; the pointwise products are
+    chunked over queries to bound peak memory.
+    """
+    n_queries, length = queries.shape
+    n_series, n_points = X.shape
+    n_out = num_windows(n_points, length)
+    if n_out <= _FFT_CUTOVER:
+        windows = np.lib.stride_tricks.sliding_window_view(X, length, axis=-1)
+        out = np.empty((n_series, n_queries, n_out), dtype=np.float64)
+        for qi, q in enumerate(queries):
+            for si in range(n_series):
+                out[si, qi] = windows[si] @ q
+        return out
+    n_fft = _fft_size(n_points, length)
+    if cache is not None:
+        spec_x = cache.spectrum(X, n_fft)
+        cache.counters.fft_count += n_queries * (1 + n_series)
+    else:
+        spec_x = sp_fft.rfft(X, n_fft, axis=-1)
+    spec_queries = sp_fft.rfft(queries[:, ::-1], n_fft, axis=-1)
+    out = np.empty((n_series, n_queries, n_out), dtype=np.float64)
+    chunk = max(1, _CHUNK_ELEMENTS // max(1, n_series * n_fft))
+    for start in range(0, n_queries, chunk):
+        stop = min(start + chunk, n_queries)
+        prod = spec_x[:, None, :] * spec_queries[None, start:stop, :]
+        full = sp_fft.irfft(prod, n_fft, axis=-1)
+        out[:, start:stop, :] = full[..., length - 1 : length - 1 + n_out]
+    return out
+
+
+def batch_sliding_dot(queries, series, *, cache: SeriesCache | None = None):
+    """Sliding dot products of a query batch against one or many series.
+
+    Parameters
+    ----------
+    queries:
+        ``(Q, L)`` matrix (or a single 1-D query) of equal-length queries.
+    series:
+        1-D series of length ``N`` → returns ``(Q, N - L + 1)``; or a
+        ``(M, N)`` matrix → returns ``(M, Q, N - L + 1)``.
+    cache:
+        Optional :class:`~repro.kernels.SeriesCache`; series spectra are
+        computed once per FFT size and shared across calls.
+    """
+    queries = _as_query_matrix(queries)
+    series = np.asarray(series, dtype=np.float64)
+    if cache is not None:
+        cache.counters.batch_calls += 1
+    if series.ndim == 1:
+        return _batch_dots_1d(queries, series, cache)
+    if series.ndim == 2:
+        return _batch_dots_2d(queries, series, cache)
+    raise ValidationError("series must be 1-D or a 2-D (M, N) matrix")
+
+
+def batch_distance_profile(queries, series, *, cache: SeriesCache | None = None):
+    """Raw squared distance profiles of a same-length query batch.
+
+    The batched counterpart of :func:`distance_profile`: ``(Q, n_out)``
+    for a 1-D series, ``(M, Q, n_out)`` for a ``(M, N)`` matrix.
+    """
+    queries = _as_query_matrix(queries)
+    series = np.asarray(series, dtype=np.float64)
+    dots = batch_sliding_dot(queries, series, cache=cache)
+    window_sq = _window_ssq_any(series, queries.shape[1], cache)
+    # Per-query np.dot keeps bit parity with the scalar kernel.
+    q_sq = np.array([float(np.dot(q, q)) for q in queries])
+    if series.ndim == 1:
+        profile = window_sq[None, :] - 2.0 * dots + q_sq[:, None]
+    else:
+        profile = window_sq[:, None, :] - 2.0 * dots + q_sq[None, :, None]
+    return np.maximum(profile, 0.0)
+
+
+def _window_ssq_any(series: np.ndarray, window: int, cache: SeriesCache | None):
+    if cache is not None:
+        return cache.window_ssq(series, window)
+    if series.ndim == 1:
+        csum2 = np.concatenate([[0.0], np.cumsum(series * series)])
+        return csum2[window:] - csum2[:-window]
+    zeros = np.zeros(series.shape[:-1] + (1,), dtype=np.float64)
+    csum2 = np.concatenate([zeros, np.cumsum(series * series, axis=-1)], axis=-1)
+    return csum2[..., window:] - csum2[..., :-window]
+
+
+def batch_mass(queries, series, *, normalized: bool = True, cache: SeriesCache | None = None):
+    """MASS distance profiles for a batch of same-length queries.
+
+    The batched counterpart of :func:`mass`: z-normalized (default) or raw
+    Euclidean distance profiles, ``(Q, n_out)`` against a 1-D series or
+    ``(M, Q, n_out)`` against a ``(M, N)`` series set. Row ``q`` is
+    bit-identical to ``mass(queries[q], series)``.
+    """
+    queries = _as_query_matrix(queries)
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim not in (1, 2):
+        raise ValidationError("series must be 1-D or a 2-D (M, N) matrix")
+    _check_finite_mass(queries, series)
+    if not normalized:
+        return np.sqrt(batch_distance_profile(queries, series, cache=cache))
+    length = queries.shape[1]
+    # Per-query scalar stats keep bit parity with the scalar kernel.
+    q_means = np.array([float(q.mean()) for q in queries])
+    q_stds = np.array([float(q.std()) for q in queries])
+    q_denoms = np.array([length * max(s, FLAT_STD) for s in q_stds])
+    means, stds = _mean_std_any(series, length, cache)
+    dots = batch_sliding_dot(queries, series, cache=cache)
+
+    t_clamped = np.maximum(stds, FLAT_STD)
+    if series.ndim == 1:
+        corr = (dots - length * q_means[:, None] * means[None, :]) / (
+            q_denoms[:, None] * t_clamped[None, :]
+        )
+        t_flat = (stds < FLAT_STD)[None, :]
+        q_flat = (q_stds < FLAT_STD)[:, None]
+    else:
+        corr = (dots - length * q_means[None, :, None] * means[:, None, :]) / (
+            q_denoms[None, :, None] * t_clamped[:, None, :]
+        )
+        t_flat = (stds < FLAT_STD)[:, None, :]
+        q_flat = (q_stds < FLAT_STD)[None, :, None]
+    corr = np.clip(corr, -1.0, 1.0)
+    sq = 2.0 * length * (1.0 - corr)
+    sq = np.where(
+        q_flat,
+        np.where(t_flat, 0.0, float(length)),
+        np.where(t_flat, float(length), sq),
+    )
+    return np.sqrt(np.maximum(sq, 0.0))
+
+
+def _mean_std_any(series: np.ndarray, window: int, cache: SeriesCache | None):
+    if cache is not None:
+        return cache.sliding_mean_std(series, window)
+    if series.ndim == 1:
+        return sliding_mean_std(series, window)
+    zeros = np.zeros(series.shape[:-1] + (1,), dtype=np.float64)
+    csum = np.concatenate([zeros, np.cumsum(series, axis=-1)], axis=-1)
+    csum2 = np.concatenate([zeros, np.cumsum(series * series, axis=-1)], axis=-1)
+    sums = csum[..., window:] - csum[..., :-window]
+    sums2 = csum2[..., window:] - csum2[..., :-window]
+    means = sums / window
+    variances = np.maximum(sums2 / window - means * means, 0.0)
+    return means, np.sqrt(variances)
+
+
+def batch_min_distance(queries, X, *, cache: SeriesCache | None = None):
+    """Def.-4 distances between every query and every series of ``X``.
+
+    The batched replacement for the historical per-query
+    ``pairwise_subsequence_distance`` loop (and the engine behind the
+    shapelet transform). Queries may have *mixed lengths*: they are
+    grouped by length, each group runs as one batched FFT pass, and the
+    series spectra/statistics are shared across groups via the cache.
+
+    Parameters
+    ----------
+    queries:
+        Sequence of 1-D arrays (e.g. shapelet values), or a ``(Q, L)``
+        matrix.
+    X:
+        ``(M, N)`` series matrix.
+    cache:
+        Optional :class:`~repro.kernels.SeriesCache`.
+
+    Returns
+    -------
+    ``(M, Q)`` matrix ``d[j, i] = dist(X[j], queries[i])`` — the paper's
+    shapelet-transform layout (Def. 7), bit-identical to the scalar loop.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValidationError("X must be a 2-D (M, N) matrix")
+    query_arrays = [np.asarray(q, dtype=np.float64) for q in queries]
+    for i, q in enumerate(query_arrays):
+        if q.ndim != 1:
+            raise ValidationError("batch_min_distance queries must be 1-D")
+        if q.size > X.shape[1]:
+            raise LengthError(
+                f"query {i} of length {q.size} exceeds series length {X.shape[1]}"
+            )
+    if cache is not None:
+        cache.counters.batch_calls += 1
+    out = np.empty((X.shape[0], len(query_arrays)), dtype=np.float64)
+    by_length: dict[int, list[int]] = {}
+    for i, q in enumerate(query_arrays):
+        by_length.setdefault(q.size, []).append(i)
+    for length, idxs in by_length.items():
+        group = np.vstack([query_arrays[i] for i in idxs])
+        profiles = batch_distance_profile(group, X, cache=cache)
+        out[:, idxs] = profiles.min(axis=-1) / length
+    return out

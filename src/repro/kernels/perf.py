@@ -1,0 +1,93 @@
+"""Lightweight performance counters for the kernel engine.
+
+A :class:`PerfCounters` instance rides along with a
+:class:`repro.kernels.SeriesCache` (or is used standalone) and tallies how
+much distance-kernel work a discovery run performed: scalar and batched
+kernel invocations, forward/inverse FFT transforms, cache hits and misses,
+and wall-clock seconds per pipeline phase. ``IPS.discover`` attaches a
+:meth:`PerfCounters.snapshot` to ``DiscoveryResult.extra["perf"]`` so
+benchmarks (and ``BENCH_kernels.json``) can report regressions without
+re-instrumenting call sites.
+
+Counting is deliberately cheap (integer adds); the counters never change
+numerical results.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PerfCounters:
+    """Tallies of kernel-engine work.
+
+    Attributes
+    ----------
+    kernel_calls:
+        Scalar (single-query) kernel invocations.
+    batch_calls:
+        Batched (multi-query / multi-series) kernel invocations.
+    fft_count:
+        Individual forward/inverse FFT transforms executed (a batched
+        transform over ``R`` rows counts ``R``).
+    cache_hits, cache_misses:
+        Derived-quantity lookups (cumulative sums, rolling stats, window
+        sums of squares, spectra) served from / inserted into a
+        :class:`~repro.kernels.SeriesCache`.
+    phase_seconds:
+        Wall-clock seconds per named phase, accumulated by :meth:`phase`.
+    """
+
+    kernel_calls: int = 0
+    batch_calls: int = 0
+    fft_count: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str):
+        """Accumulate the wall time of the enclosed block under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+
+    @property
+    def cache_lookups(self) -> int:
+        """Total derived-quantity lookups (hits + misses)."""
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cache lookups served without recomputation."""
+        total = self.cache_lookups
+        return self.cache_hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy, safe to stash in ``DiscoveryResult.extra``."""
+        return {
+            "kernel_calls": self.kernel_calls,
+            "batch_calls": self.batch_calls,
+            "fft_count": self.fft_count,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.hit_rate,
+            "phase_seconds": dict(self.phase_seconds),
+        }
+
+    def merge(self, other: "PerfCounters") -> "PerfCounters":
+        """Fold another counter set into this one (returns self)."""
+        self.kernel_calls += other.kernel_calls
+        self.batch_calls += other.batch_calls
+        self.fft_count += other.fft_count
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        for name, seconds in other.phase_seconds.items():
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+        return self

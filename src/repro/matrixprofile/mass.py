@@ -1,96 +1,45 @@
-"""MASS: Mueen's Algorithm for Similarity Search.
+"""MASS: Mueen's Algorithm for Similarity Search (deprecated shim).
 
-Computes the distance profile of a query against every window of a series in
-O(N log N) using FFT sliding dot products. Two flavours:
-
-* z-normalized Euclidean distance (the matrix-profile convention), via
+The implementation moved to :mod:`repro.kernels` — the batched, caching
+distance-kernel engine — where it gained a ``cache=`` option and a
+multi-query batched counterpart (:func:`repro.kernels.batch_mass`). The
+semantics are unchanged: z-normalized Euclidean distance profiles via
 
       d_j^2 = 2 L (1 - (QT_j - L m_q m_j) / (L s_q s_j))
 
-  where ``QT_j`` is the sliding dot product and ``m/s`` are window
-  means/stds.
-* raw (non-normalized) squared distance, matching the paper's Def. 4
-  before the 1/L factor (delegates to :func:`repro.ts.distance.distance_profile`).
+with the flat-window convention (a constant window z-normalizes to the
+zero vector, so flat-vs-non-flat distance is exactly ``sqrt(L)`` and
+flat-vs-flat is ``0``), or raw Euclidean distances per the paper's Def. 4.
 
-Flat-window convention: the z-normalization of a constant window is the zero
-vector, so the z-normalized squared distance between a flat and a non-flat
-window is exactly ``L`` and between two flat windows is ``0``.
+``mass`` stays importable from here but emits one
+:class:`DeprecationWarning` per process; new code should call
+:func:`repro.kernels.mass` / :func:`repro.kernels.batch_mass`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import ValidationError
-from repro.ts.distance import distance_profile, sliding_dot_product, sliding_mean_std
-from repro.ts.preprocessing import FLAT_STD
+from repro.kernels import (
+    mass as _kernel_mass,
+    raw_distance_profile as _kernel_raw_profile,
+    warn_deprecated_once,
+)
 
 
 def raw_distance_profile(query: np.ndarray, series: np.ndarray) -> np.ndarray:
     """Non-normalized Euclidean distance profile (not squared)."""
-    return np.sqrt(distance_profile(query, series))
+    return _kernel_raw_profile(query, series)
 
 
 def mass(query: np.ndarray, series: np.ndarray, normalized: bool = True) -> np.ndarray:
-    """Distance profile of ``query`` against every window of ``series``.
+    """Deprecated shim for :func:`repro.kernels.mass`.
 
-    Parameters
-    ----------
-    query:
-        1-D array of length L.
-    series:
-        1-D array of length N >= L.
-    normalized:
-        If True (default), z-normalized Euclidean distances as in the matrix
-        profile literature; otherwise raw Euclidean distances.
-
-    Returns
-    -------
-    Array of length ``N - L + 1`` of (non-squared) distances.
-
-    Raises
-    ------
-    ValidationError
-        If either input is not 1-D or contains NaN/inf (non-finite data
-        would silently propagate NaN distances); constant (zero-variance)
-        windows are fine and follow the flat-window convention above.
+    Distance profile of ``query`` against every window of ``series``:
+    z-normalized Euclidean distances by default, raw Euclidean otherwise.
+    Returns an array of length ``N - L + 1`` of (non-squared) distances;
+    non-finite or non-1-D inputs raise
+    :class:`repro.exceptions.ValidationError`.
     """
-    query = np.asarray(query, dtype=np.float64)
-    series = np.asarray(series, dtype=np.float64)
-    if query.ndim != 1 or series.ndim != 1:
-        raise ValidationError("mass expects 1-D arrays")
-    if not np.all(np.isfinite(query)):
-        raise ValidationError(
-            "mass query contains NaN or inf; clean or interpolate the "
-            "input (e.g. repro.datasets.perturb.add_dropout fills gaps) "
-            "before computing distance profiles"
-        )
-    if not np.all(np.isfinite(series)):
-        raise ValidationError(
-            "mass series contains NaN or inf; z-normalized distances are "
-            "undefined on non-finite windows — clean the input first"
-        )
-    if not normalized:
-        return raw_distance_profile(query, series)
-    length = query.size
-    q_mean = float(query.mean())
-    q_std = float(query.std())
-    means, stds = sliding_mean_std(series, length)
-    dots = sliding_dot_product(query, series)
-
-    q_flat = q_std < FLAT_STD
-    t_flat = stds < FLAT_STD
-    # Denominators are clamped to FLAT_STD, inputs are validated finite:
-    # no divide/invalid can occur, so no errstate suppression is needed.
-    corr = (dots - length * q_mean * means) / (
-        length * max(q_std, FLAT_STD) * np.maximum(stds, FLAT_STD)
-    )
-    # Clip correlation into [-1, 1] against FFT round-off.
-    corr = np.clip(corr, -1.0, 1.0)
-    sq = 2.0 * length * (1.0 - corr)
-    if q_flat:
-        # Query z-normalizes to zeros: distance L to any non-flat window.
-        sq = np.where(t_flat, 0.0, float(length))
-    else:
-        sq = np.where(t_flat, float(length), sq)
-    return np.sqrt(np.maximum(sq, 0.0))
+    warn_deprecated_once("repro.matrixprofile.mass.mass", "repro.kernels.mass")
+    return _kernel_mass(query, series, normalized=normalized)

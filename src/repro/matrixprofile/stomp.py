@@ -16,8 +16,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.kernels import SeriesCache, sliding_dot_product, sliding_mean_std
 from repro.matrixprofile.profile import MatrixProfile
-from repro.ts.distance import sliding_dot_product, sliding_mean_std
 from repro.ts.preprocessing import FLAT_STD
 from repro.ts.windows import num_windows
 
@@ -31,11 +31,15 @@ def default_exclusion(window: int) -> int:
     return max(1, int(np.ceil(window / 4)))
 
 
-def _window_stats(series: np.ndarray, window: int, normalized: bool):
+def _window_stats(
+    series: np.ndarray, window: int, normalized: bool, cache: SeriesCache | None
+):
     """Per-window means/stds (normalized) or sums of squares (raw)."""
     if normalized:
-        means, stds = sliding_mean_std(series, window)
+        means, stds = sliding_mean_std(series, window, cache=cache)
         return means, stds, None
+    if cache is not None:
+        return None, None, cache.window_ssq(series, window)
     csum2 = np.concatenate([[0.0], np.cumsum(series * series)])
     ssq = csum2[window:] - csum2[:-window]
     return None, None, ssq
@@ -82,6 +86,7 @@ def stomp_self_join(
     valid_mask: np.ndarray | None = None,
     normalized: bool = True,
     groups: np.ndarray | None = None,
+    cache: SeriesCache | None = None,
 ) -> MatrixProfile:
     """Matrix profile of ``series`` against itself (the paper's Def. 5).
 
@@ -107,6 +112,11 @@ def stomp_self_join(
         This implements the paper's Def. 9 constraint ``m' != m`` (the
         instance profile matches only across instances) with the group id
         being the instance index inside a concatenated sample.
+    cache:
+        Optional :class:`repro.kernels.SeriesCache`. Cumulative sums and
+        FFT spectra of ``series`` are then computed once and shared — in
+        particular across the candidate-length loop of the instance
+        profile, which calls this repeatedly on the same sample.
     """
     series = np.asarray(series, dtype=np.float64)
     if series.ndim != 1:
@@ -130,10 +140,10 @@ def stomp_self_join(
                 f"groups must have shape ({n_out},), got {groups.shape}"
             )
 
-    means, stds, ssq = _window_stats(series, window, normalized)
+    means, stds, ssq = _window_stats(series, window, normalized, cache)
     invalid_cols = ~valid_mask
 
-    first_row = sliding_dot_product(series[:window], series)
+    first_row = sliding_dot_product(series[:window], series, cache=cache)
     qt = first_row.copy()
     first_col = first_row.copy()  # self-join symmetry: QT[i, 0] == QT[0, i]
 
@@ -177,11 +187,14 @@ def ab_join(
     valid_mask_a: np.ndarray | None = None,
     valid_mask_b: np.ndarray | None = None,
     normalized: bool = True,
+    cache: SeriesCache | None = None,
 ) -> MatrixProfile:
     """AB-join profile: for each window of A, its nearest neighbour in B.
 
     No exclusion zone applies (the series are distinct); this is the
-    ``P_AB`` of the paper's Figures 3-4.
+    ``P_AB`` of the paper's Figures 3-4. A ``cache`` shares both series'
+    statistics and spectra across repeated joins (e.g. the BASE
+    baseline's per-class, per-length loop).
     """
     series_a = np.asarray(series_a, dtype=np.float64)
     series_b = np.asarray(series_b, dtype=np.float64)
@@ -202,17 +215,16 @@ def ab_join(
         if valid_mask_b.shape != (n_b,):
             raise ValidationError("valid_mask_b has wrong shape")
 
-    means_b, stds_b, ssq_b = _window_stats(series_b, window, normalized)
+    means_b, stds_b, ssq_b = _window_stats(series_b, window, normalized, cache)
     if normalized:
-        means_a, stds_a = sliding_mean_std(series_a, window)
+        means_a, stds_a = sliding_mean_std(series_a, window, cache=cache)
         ssq_a = None
     else:
         means_a = stds_a = None
-        csum2 = np.concatenate([[0.0], np.cumsum(series_a * series_a)])
-        ssq_a = csum2[window:] - csum2[:-window]
+        _, _, ssq_a = _window_stats(series_a, window, normalized, cache)
 
-    first_row = sliding_dot_product(series_a[:window], series_b)
-    first_col = sliding_dot_product(series_b[:window], series_a)
+    first_row = sliding_dot_product(series_a[:window], series_b, cache=cache)
+    first_col = sliding_dot_product(series_b[:window], series_a, cache=cache)
     qt = first_row.copy()
     invalid_cols = ~valid_mask_b
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import LengthError, ValidationError
-from repro.matrixprofile.mass import mass
+from repro.kernels import mass
 from repro.matrixprofile.profile import MatrixProfile
 from repro.matrixprofile.stomp import default_exclusion, stomp_self_join
 

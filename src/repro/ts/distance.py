@@ -1,152 +1,110 @@
-"""Distance primitives: Euclidean, sliding distance profiles, Def.-4 distance.
+"""Deprecated distance entry points (kept as shims over ``repro.kernels``).
 
-The central quantity of the paper is Definition 4:
+Historically this module *was* the distance substrate: Euclidean
+primitives, sliding profiles, and the paper's Def.-4 distance. That code
+now lives in :mod:`repro.kernels` — a batched, caching engine shared by
+every call path — and these wrappers only delegate, emitting a single
+:class:`DeprecationWarning` per function per process on first use.
 
-    dist(Tp, Tq) = min_j (1/|Tp|) * sum_l (tq_{j+l-1} - tp_l)^2
+Migration map::
 
-i.e. the *length-normalized squared* Euclidean distance of the shorter
-series against its best-matching window in the longer one. Everything that
-scores shapelets (utilities, shapelet transform, BASE) is built on this.
+    sliding_dot_product(q, t)            -> repro.kernels.sliding_dot_product
+    sliding_mean_std(t, w)               -> repro.kernels.sliding_mean_std
+    distance_profile(q, t)               -> repro.kernels.distance_profile
+    subsequence_distance(a, b)           -> repro.kernels.subsequence_distance
+    squared_euclidean / euclidean_distance -> repro.kernels (same names)
+    pairwise_subsequence_distance(qs, X) -> repro.kernels.batch_min_distance
 
-The sliding computation uses the FFT dot-product trick (the non-normalized
-half of MASS): for a query q and series t,
+The kernel-engine versions accept keyword-only options (``cache=`` for
+cross-phase reuse) and have batched counterparts (``batch_mass``,
+``batch_min_distance``) that replace per-query Python loops.
 
-    ||t_j - q||^2 = sum(t_j^2) - 2 * (t (x) q)_j + sum(q^2)
-
-where ``(x)`` is sliding correlation, computed in O(N log N) via
-:func:`scipy.signal.fftconvolve`.
+Imports here are deliberately lazy: ``repro.kernels.engine`` imports
+``repro.ts.preprocessing``/``repro.ts.windows``, which initializes this
+package, so a module-level import back into ``repro.kernels`` would be
+circular.
 """
 
 from __future__ import annotations
 
 import numpy as np
-from scipy.signal import fftconvolve
-
-from repro.exceptions import LengthError, ValidationError
-from repro.ts.windows import num_windows
-
-#: Below this many output windows the direct method beats the FFT.
-_FFT_CUTOVER = 8
 
 
 def squared_euclidean(a: np.ndarray, b: np.ndarray) -> float:
-    """Plain squared Euclidean distance between two equal-length series."""
-    a = np.asarray(a, dtype=np.float64)
-    b = np.asarray(b, dtype=np.float64)
-    if a.shape != b.shape:
-        raise ValidationError(f"shape mismatch: {a.shape} vs {b.shape}")
-    diff = a - b
-    return float(np.dot(diff, diff))
+    """Deprecated shim for :func:`repro.kernels.squared_euclidean`."""
+    from repro import kernels
+
+    kernels.warn_deprecated_once(
+        "repro.ts.distance.squared_euclidean", "repro.kernels.squared_euclidean"
+    )
+    return kernels.squared_euclidean(a, b)
 
 
 def euclidean_distance(a: np.ndarray, b: np.ndarray) -> float:
-    """Euclidean distance between two equal-length series."""
-    return float(np.sqrt(squared_euclidean(a, b)))
+    """Deprecated shim for :func:`repro.kernels.euclidean_distance`."""
+    from repro import kernels
+
+    kernels.warn_deprecated_once(
+        "repro.ts.distance.euclidean_distance", "repro.kernels.euclidean_distance"
+    )
+    return kernels.euclidean_distance(a, b)
 
 
 def sliding_dot_product(query: np.ndarray, series: np.ndarray) -> np.ndarray:
-    """Dot products of ``query`` with every window of ``series``.
+    """Deprecated shim for :func:`repro.kernels.sliding_dot_product`."""
+    from repro import kernels
 
-    Returns an array of length ``N - L + 1``. Uses FFT convolution for long
-    inputs and a direct stride loop for tiny ones.
-    """
-    query = np.asarray(query, dtype=np.float64)
-    series = np.asarray(series, dtype=np.float64)
-    n_out = num_windows(series.size, query.size)
-    if n_out <= _FFT_CUTOVER:
-        windows = np.lib.stride_tricks.sliding_window_view(series, query.size)
-        return windows @ query
-    # Correlation == convolution with the reversed query.
-    full = fftconvolve(series, query[::-1], mode="valid")
-    return full[:n_out]
+    kernels.warn_deprecated_once(
+        "repro.ts.distance.sliding_dot_product",
+        "repro.kernels.sliding_dot_product",
+    )
+    return kernels.sliding_dot_product(query, series)
 
 
 def sliding_mean_std(series: np.ndarray, window: int) -> tuple[np.ndarray, np.ndarray]:
-    """Mean and std of every length-``window`` subsequence, via cumulative sums.
+    """Deprecated shim for :func:`repro.kernels.sliding_mean_std`."""
+    from repro import kernels
 
-    Returns ``(means, stds)`` each of length ``N - L + 1``. Numerical noise
-    can make the variance marginally negative for near-constant windows; it
-    is clipped at zero.
-    """
-    arr = np.asarray(series, dtype=np.float64)
-    n_out = num_windows(arr.size, window)
-    csum = np.concatenate([[0.0], np.cumsum(arr)])
-    csum2 = np.concatenate([[0.0], np.cumsum(arr * arr)])
-    sums = csum[window:] - csum[:-window]
-    sums2 = csum2[window:] - csum2[:-window]
-    means = sums / window
-    variances = np.maximum(sums2 / window - means * means, 0.0)
-    stds = np.sqrt(variances)
-    assert means.size == n_out
-    return means, stds
+    kernels.warn_deprecated_once(
+        "repro.ts.distance.sliding_mean_std", "repro.kernels.sliding_mean_std"
+    )
+    return kernels.sliding_mean_std(series, window)
 
 
 def distance_profile(query: np.ndarray, series: np.ndarray) -> np.ndarray:
-    """Squared Euclidean distance of ``query`` to every window of ``series``.
+    """Deprecated shim for :func:`repro.kernels.distance_profile`."""
+    from repro import kernels
 
-    Non-normalized (raw values, per Def. 4 of the paper, *before* the 1/L
-    factor). Returns an array of length ``N - L + 1``; tiny negative values
-    from FFT round-off are clipped at zero.
-    """
-    query = np.asarray(query, dtype=np.float64)
-    series = np.asarray(series, dtype=np.float64)
-    if query.ndim != 1 or series.ndim != 1:
-        raise ValidationError("distance_profile expects 1-D arrays")
-    dots = sliding_dot_product(query, series)
-    window = query.size
-    csum2 = np.concatenate([[0.0], np.cumsum(series * series)])
-    window_sq = csum2[window:] - csum2[:-window]
-    profile = window_sq - 2.0 * dots + float(np.dot(query, query))
-    return np.maximum(profile, 0.0)
+    kernels.warn_deprecated_once(
+        "repro.ts.distance.distance_profile", "repro.kernels.distance_profile"
+    )
+    return kernels.distance_profile(query, series)
 
 
 def subsequence_distance(query: np.ndarray, series: np.ndarray) -> float:
-    """The paper's Definition 4 distance ``dist(Tp, Tq)``.
+    """Deprecated shim for :func:`repro.kernels.subsequence_distance`."""
+    from repro import kernels
 
-    Length-normalized squared Euclidean distance of the shorter input
-    against its best-matching window in the longer one. The two arguments
-    may be given in either order; the shorter one is always slid over the
-    longer one (w.l.o.g. assumption in the paper).
-    """
-    a = np.asarray(query, dtype=np.float64)
-    b = np.asarray(series, dtype=np.float64)
-    if a.size > b.size:
-        a, b = b, a
-    if a.size == 0:
-        raise LengthError("subsequence_distance requires non-empty inputs")
-    profile = distance_profile(a, b)
-    return float(profile.min() / a.size)
+    kernels.warn_deprecated_once(
+        "repro.ts.distance.subsequence_distance",
+        "repro.kernels.subsequence_distance",
+    )
+    return kernels.subsequence_distance(query, series)
 
 
 def pairwise_subsequence_distance(
     queries: list[np.ndarray] | np.ndarray, X: np.ndarray
 ) -> np.ndarray:
-    """Def.-4 distances between every query and every series in ``X``.
+    """Deprecated shim for :func:`repro.kernels.batch_min_distance`.
 
-    Parameters
-    ----------
-    queries:
-        A sequence of 1-D arrays (possibly different lengths), e.g.
-        shapelets.
-    X:
-        ``(M, N)`` series matrix.
-
-    Returns
-    -------
-    ``(M, len(queries))`` matrix ``d[j, i] = dist(X[j], queries[i])``,
-    matching the paper's shapelet-transform layout (Def. 7).
+    Returns the same ``(M, len(queries))`` Def.-4 distance matrix
+    ``d[j, i] = dist(X[j], queries[i])``, now computed by the batched
+    kernel instead of a per-query Python loop.
     """
-    X = np.asarray(X, dtype=np.float64)
-    if X.ndim != 2:
-        raise ValidationError("X must be a 2-D (M, N) matrix")
-    out = np.empty((X.shape[0], len(queries)), dtype=np.float64)
-    for i, q in enumerate(queries):
-        q = np.asarray(q, dtype=np.float64)
-        if q.size > X.shape[1]:
-            raise LengthError(
-                f"query {i} of length {q.size} exceeds series length {X.shape[1]}"
-            )
-        for j in range(X.shape[0]):
-            profile = distance_profile(q, X[j])
-            out[j, i] = profile.min() / q.size
-    return out
+    from repro import kernels
+
+    kernels.warn_deprecated_once(
+        "repro.ts.distance.pairwise_subsequence_distance",
+        "repro.kernels.batch_min_distance",
+    )
+    return kernels.batch_min_distance(queries, X)

