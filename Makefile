@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test verify-robustness verify-perf bench examples smoke clean
+.PHONY: install test verify-robustness verify-perf verify-obs bench examples smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -25,6 +25,14 @@ verify-robustness:
 verify-perf:
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_kernels.py
 	PYTHONPATH=src $(PYTHON) -m repro.benchlib.perfbench
+
+# Observability gate: span-tree/metrics/manifest/JSONL tests, then the
+# overhead benchmark — counters mode (the default) must stay within 2%
+# of off mode on a full IPS.discover. Writes the "observability" section
+# of BENCH_kernels.json.
+verify-obs:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_obs.py
+	PYTHONPATH=src $(PYTHON) -m repro.benchlib.perfbench --obs-only
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

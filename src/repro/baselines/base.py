@@ -17,6 +17,7 @@ from repro.classify.scaler import StandardScaler
 from repro.classify.svm import OneVsRestSVM
 from repro.core.transform import ShapeletTransform
 from repro.exceptions import NotFittedError
+from repro.kernels import PerfCounters
 from repro.ts.series import Dataset
 from repro.types import ParamsMixin, Shapelet
 
@@ -40,6 +41,13 @@ class ShapeletTransformClassifier(ParamsMixin, ABC):
         self.completed_: bool = True
         self.shapelets_: list[Shapelet] | None = None
         self.discovery_seconds_: float = float("nan")
+        #: Live counters a subclass's ``discover`` can report kernel-cache
+        #: work into (``SeriesCache(counters=self.perf_counters_)``).
+        self.perf_counters_: PerfCounters = PerfCounters()
+        #: Snapshot of :attr:`perf_counters_` taken at the end of
+        #: ``fit_dataset`` — the baseline analogue of
+        #: ``DiscoveryResult.extra["perf"]``.
+        self.perf_: dict | None = None
         self._transform: ShapeletTransform | None = None
         self._scaler: StandardScaler | None = None
         self._svm: OneVsRestSVM | None = None
@@ -51,16 +59,23 @@ class ShapeletTransformClassifier(ParamsMixin, ABC):
 
     def fit_dataset(self, dataset: Dataset) -> "ShapeletTransformClassifier":
         """Discover, then fit the shared transform + SVM stack."""
+        counters = self.perf_counters_ = PerfCounters()
         start = time.perf_counter()
-        shapelets = self.discover(dataset)
+        with counters.phase("discovery"):
+            shapelets = self.discover(dataset)
         self.discovery_seconds_ = time.perf_counter() - start
         self.shapelets_ = shapelets
         self._dataset = dataset
         self._transform = ShapeletTransform(shapelets)
         self._scaler = StandardScaler()
-        features = self._scaler.fit_transform(self._transform.transform(dataset.X))
+        with counters.phase("transform"):
+            features = self._scaler.fit_transform(
+                self._transform.transform(dataset.X)
+            )
         self._svm = OneVsRestSVM(C=self.svm_c, seed=self.seed)
-        self._svm.fit(features, dataset.y)
+        with counters.phase("classify"):
+            self._svm.fit(features, dataset.y)
+        self.perf_ = counters.snapshot()
         return self
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "ShapeletTransformClassifier":

@@ -159,7 +159,8 @@ class FastShapelets(ShapeletTransformClassifier):
         # One cache spans the whole refinement: the training matrix's FFT
         # spectra and window statistics are shared across every candidate
         # (and across classes), instead of being redone per candidate.
-        refine_cache = SeriesCache()
+        # Its hit/miss/FFT tallies land in ``self.perf_``.
+        refine_cache = SeriesCache(counters=self.perf_counters_)
         shapelets: list[Shapelet] = []
         for label in range(dataset.n_classes):
             label_idx = [i for i, e in enumerate(entries) if e[1] == label]

@@ -132,8 +132,9 @@ class MPBaseline(ShapeletTransformClassifier):
         tracker = self.budget.start() if self.budget is not None else None
         # One kernel cache and one set of concatenations for the whole
         # run: the class series' FFT spectra and rolling statistics are
-        # computed once and reused across the entire length grid.
-        cache = SeriesCache()
+        # computed once and reused across the entire length grid. The
+        # cache's hit/miss/FFT tallies land in ``self.perf_``.
+        cache = SeriesCache(counters=self.perf_counters_)
         concats = {
             label: self._class_concats(dataset, label)
             for label in range(dataset.n_classes)

@@ -10,6 +10,9 @@ Commands
     Evaluate several methods on one dataset (a mini Table VI row).
 ``shapelets``
     Discover and print the IPS shapelets of a dataset.
+``obs report``
+    Render the per-phase time breakdown of a saved JSONL trace
+    (written by ``--obs trace+jsonl`` or ``observability="trace+jsonl"``).
 """
 
 from __future__ import annotations
@@ -70,6 +73,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         overrides["budget"] = Budget(
             max_seconds=args.budget_seconds, max_candidates=args.max_candidates
         )
+    if args.obs is not None:
+        if args.method not in ("IPS", "IPS-DIST"):
+            print(
+                f"--obs applies to IPS/IPS-DIST only, not {args.method}",
+                file=sys.stderr,
+            )
+            return 2
+        overrides["observability"] = args.obs
     result = evaluate_method(
         args.method,
         data,
@@ -85,6 +96,27 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"discovery {result.discovery_seconds:.2f}s, "
         f"fit total {result.total_seconds:.2f}s{suffix}"
     )
+    if args.obs == "trace+jsonl":
+        from repro.obs import DEFAULT_JSONL_PATH
+
+        print(
+            f"trace written to {DEFAULT_JSONL_PATH} "
+            "(render with `repro obs report`)"
+        )
+    return 0
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    """``repro obs report [path]``"""
+    from repro.obs import DEFAULT_JSONL_PATH, load_trace, render_report
+
+    path = args.path if args.path is not None else DEFAULT_JSONL_PATH
+    try:
+        trace = load_trace(path)
+    except FileNotFoundError as err:
+        print(str(err), file=sys.stderr)
+        return 1
+    print(render_report(trace))
     return 0
 
 
@@ -169,6 +201,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["strict", "repair", "off"],
         help="data-contract mode applied to the training split",
     )
+    run.add_argument(
+        "--obs",
+        default=None,
+        choices=["off", "counters", "trace", "trace+jsonl"],
+        help="observability mode for the run (IPS / IPS-DIST only); "
+        "trace+jsonl writes .repro-obs/last-run.jsonl for `repro obs report`",
+    )
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="evaluate several methods")
@@ -181,6 +220,19 @@ def build_parser() -> argparse.ArgumentParser:
     shapelets = sub.add_parser("shapelets", help="discover and print shapelets")
     _add_common_dataset_args(shapelets)
     shapelets.set_defaults(func=cmd_shapelets)
+
+    obs = sub.add_parser("obs", help="observability tools")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    report = obs_sub.add_parser(
+        "report", help="render a saved JSONL trace as a time breakdown"
+    )
+    report.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="trace file (default: .repro-obs/last-run.jsonl)",
+    )
+    report.set_defaults(func=cmd_obs_report)
 
     return parser
 

@@ -10,6 +10,9 @@ from repro.exceptions import ValidationError
 #: Accepted values of ``IPSConfig.validation_mode``.
 VALIDATION_MODES: tuple[str, ...] = ("strict", "repair", "off")
 
+#: Accepted values of ``IPSConfig.observability`` (see ``repro.obs``).
+OBSERVABILITY_MODES: tuple[str, ...] = ("off", "counters", "trace", "trace+jsonl")
+
 #: The paper's candidate-length ratio grid.
 DEFAULT_LENGTH_RATIOS: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5)
 
@@ -158,6 +161,19 @@ class IPSConfig:
         disables the reuse (the equivalence-testing and micro-benchmark
         arm). Perf counters are collected regardless and surface at
         ``DiscoveryResult.extra["perf"]``.
+    observability:
+        How much the run observes itself (:mod:`repro.obs`): ``"off"``
+        (no counters, no trace — the no-op singletons ride the hot
+        paths), ``"counters"`` (default: kernel perf counters only,
+        overhead gated at <=2% by ``make verify-obs``), ``"trace"``
+        (adds the span tree, metrics registry, and run manifest at
+        ``DiscoveryResult.extra["trace"]``), or ``"trace+jsonl"``
+        (additionally streams the trace to ``obs_jsonl_path``). Never
+        affects numerical results.
+    obs_jsonl_path:
+        Destination of the ``"trace+jsonl"`` sink; ``None`` uses
+        ``.repro-obs/last-run.jsonl`` (what ``repro obs report`` reads
+        by default).
     """
 
     k: int = 5
@@ -182,6 +198,8 @@ class IPSConfig:
     min_class_size: int = 2
     budget: Budget | None = None
     kernel_cache: bool = True
+    observability: str = "counters"
+    obs_jsonl_path: str | None = None
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -227,3 +245,8 @@ class IPSConfig:
             )
         if self.budget is not None and not isinstance(self.budget, Budget):
             raise ValidationError("budget must be a Budget or None")
+        if self.observability not in OBSERVABILITY_MODES:
+            raise ValidationError(
+                f"unknown observability {self.observability!r}; "
+                f"choose from {OBSERVABILITY_MODES}"
+            )

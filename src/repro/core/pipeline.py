@@ -23,8 +23,15 @@ from repro.core.utility import (
 from repro.exceptions import EmptyPoolError, NotFittedError, ValidationError
 from repro.filters.dabf import DABF, NaivePruner, PruneReport
 from repro.instanceprofile.candidates import CandidatePool, generate_candidates
-from repro.kernels import PerfCounters, SeriesCache
+from repro.kernels import NULL_PERF_COUNTERS, PerfCounters, SeriesCache
 from repro.instanceprofile.sampling import resolve_lengths
+from repro.obs import (
+    DEFAULT_JSONL_PATH,
+    NULL_TRACER,
+    global_metrics,
+    make_tracer,
+    run_manifest,
+)
 from repro.ts.series import Dataset
 from repro.types import DiscoveryResult, ParamsMixin, Shapelet
 
@@ -46,7 +53,7 @@ def restore_emptied_classes(
     return pruned
 
 
-def score_with_class_fallback(scorer, pruned, pool, labels) -> dict:
+def score_with_class_fallback(scorer, pruned, pool, labels, tracer=NULL_TRACER) -> dict:
     """Score every class, surviving a degraded per-class pool.
 
     ``scorer(active_pool, label)`` computes one class's utilities. When
@@ -55,24 +62,30 @@ def score_with_class_fallback(scorer, pruned, pool, labels) -> dict:
     unpruned pool has motifs for that class (possible after a distributed
     quorum merge lost units) — the class falls back to its *unpruned*
     candidates with a warning, instead of aborting the whole run or
-    silently dropping the class.
+    silently dropping the class. ``tracer`` records one ``utility`` span
+    per class (with the fallback flagged) when tracing is active.
     """
     scores_by_class: dict[int, UtilityScores] = {}
     for label in labels:
-        try:
-            scores = scorer(pruned, label)
-            if not scores.candidates and pool.motifs(label):
-                raise EmptyPoolError(
-                    f"pruned pool holds no motif candidates for class {label}"
+        with tracer.span("utility", label=label) as span:
+            try:
+                scores = scorer(pruned, label)
+                if not scores.candidates and pool.motifs(label):
+                    raise EmptyPoolError(
+                        f"pruned pool holds no motif candidates for class {label}"
+                    )
+            except EmptyPoolError as exc:
+                warnings.warn(
+                    f"class {label}: degraded pruned pool ({exc}); falling back "
+                    "to the unpruned candidates for this class",
+                    RuntimeWarning,
+                    stacklevel=2,
                 )
-        except EmptyPoolError as exc:
-            warnings.warn(
-                f"class {label}: degraded pruned pool ({exc}); falling back "
-                "to the unpruned candidates for this class",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            scores = scorer(pool, label)
+                span.set(fallback=True, reason=str(exc))
+                tracer.count("utility.class_fallbacks")
+                scores = scorer(pool, label)
+            span.set(n_candidates=len(scores.candidates))
+            tracer.count("utility.classes_scored")
         scores_by_class[label] = scores
     return scores_by_class
 
@@ -94,6 +107,11 @@ class IPS:
         self.prune_report_: PruneReport | None = None
         self.perf_counters_: PerfCounters | None = None
         self.kernel_cache_: SeriesCache | None = None
+        #: Trace of the last run (``None`` unless tracing was active).
+        self.trace_ = None
+        # A tracer pre-seeded by IPSClassifier so the validation span and
+        # the discovery spans share one trace.
+        self._pending_tracer = None
 
     def discover(self, dataset: Dataset) -> DiscoveryResult:
         """Run candidate generation, pruning, and top-k selection.
@@ -112,7 +130,18 @@ class IPS:
         config = self.config
         lengths = resolve_lengths(dataset.series_length, config.length_ratios)
         tracker = config.budget.start() if config.budget is not None else None
-        counters = PerfCounters()
+        tracer = self._pending_tracer
+        self._pending_tracer = None
+        if tracer is None:
+            tracer = make_tracer(config.observability)
+        self.trace_ = tracer if tracer.active else None
+        if tracer.active:
+            tracer.manifest = run_manifest(config, dataset)
+        counters = (
+            PerfCounters()
+            if config.observability != "off"
+            else NULL_PERF_COUNTERS
+        )
         self.perf_counters_ = counters
         # Run-wide series cache shared by the scoring and transform phases
         # (generation uses per-unit caches to bound memory — see
@@ -120,105 +149,150 @@ class IPS:
         run_cache = SeriesCache(counters=counters) if config.kernel_cache else None
         self.kernel_cache_ = run_cache
 
-        start = time.perf_counter()
-        with counters.phase("generation"):
-            pool = generate_candidates(
-                dataset,
-                q_n=config.q_n,
-                q_s=config.q_s,
-                lengths=lengths,
-                motifs_per_profile=config.motifs_per_profile,
-                discords_per_profile=config.discords_per_profile,
-                normalized=config.normalized_profiles,
-                seed=config.seed,
-                budget_tracker=tracker,
-                perf_counters=counters,
-            )
-        time_generation = time.perf_counter() - start
-        self.pool_ = pool
-
-        multi_class = dataset.n_classes > 1
-        out_of_budget = tracker is not None and tracker.exhausted
-        start = time.perf_counter()
-        dabf: DABF | None = None
-        with counters.phase("pruning"):
-            if out_of_budget:
-                # Pruning is an optimization, not a correctness stage: skip
-                # it to leave the remaining budget to selection.
-                pruned, report = pool.copy(), PruneReport()
-            elif multi_class and config.use_dabf:
-                dabf = DABF.build(
-                    pool,
-                    scheme=config.lsh_scheme,
-                    n_projections=config.n_projections,
-                    bins=config.bins,
+        with tracer.span(
+            "discover",
+            dataset=dataset.name,
+            n_series=dataset.n_series,
+            n_classes=dataset.n_classes,
+            series_length=dataset.series_length,
+            k=config.k,
+            seed=config.seed,
+        ):
+            start = time.perf_counter()
+            with tracer.span(
+                "generation", q_n=config.q_n, q_s=config.q_s, lengths=lengths
+            ) as gen_span, counters.phase("generation"):
+                pool = generate_candidates(
+                    dataset,
+                    q_n=config.q_n,
+                    q_s=config.q_s,
+                    lengths=lengths,
+                    motifs_per_profile=config.motifs_per_profile,
+                    discords_per_profile=config.discords_per_profile,
+                    normalized=config.normalized_profiles,
                     seed=config.seed,
+                    budget_tracker=tracker,
+                    perf_counters=counters,
+                    tracer=tracer,
                 )
-                pruned, report = dabf.prune(pool, theta=config.theta)
-                pruned = restore_emptied_classes(pool, pruned)
-            elif multi_class:
-                pruner = NaivePruner(pool, theta=config.theta, seed=config.seed)
-                pruned, report = pruner.prune(pool)
-                pruned = restore_emptied_classes(pool, pruned)
-            else:
-                pruned, report = pool.copy(), PruneReport()
-        time_pruning = time.perf_counter() - start
-        self.pruned_pool_ = pruned
-        self.prune_report_ = report
-        if tracker is not None:
-            tracker.record_phase("pruning", skipped=out_of_budget)
-            out_of_budget = tracker.exhausted
+                gen_span.set(n_candidates=len(pool))
+                tracer.count("candidates.generated", len(pool))
+            time_generation = time.perf_counter() - start
+            self.pool_ = pool
 
-        start = time.perf_counter()
-        use_dt = config.use_dt_cr and not out_of_budget
-        if use_dt and dabf is None:
-            # DT needs the bucket tables even when DABF pruning is off.
-            dabf = DABF.build(
-                pool,
-                scheme=config.lsh_scheme,
-                n_projections=config.n_projections,
-                bins=config.bins,
-                seed=config.seed,
-            )
-        self.dabf_ = dabf
-        shared_cache = _PairDistanceCache()
+            multi_class = dataset.n_classes > 1
+            out_of_budget = tracker is not None and tracker.exhausted
+            if out_of_budget:
+                tracer.event(
+                    "budget.exhausted",
+                    phase="generation",
+                    reason=tracker.check(),
+                )
+            start = time.perf_counter()
+            dabf: DABF | None = None
+            with tracer.span("pruning") as prune_span, counters.phase("pruning"):
+                if out_of_budget:
+                    # Pruning is an optimization, not a correctness stage:
+                    # skip it to leave the remaining budget to selection.
+                    pruned, report = pool.copy(), PruneReport()
+                    prune_span.set(method="skipped(budget)")
+                elif multi_class and config.use_dabf:
+                    with tracer.span("dabf.build"):
+                        dabf = DABF.build(
+                            pool,
+                            scheme=config.lsh_scheme,
+                            n_projections=config.n_projections,
+                            bins=config.bins,
+                            seed=config.seed,
+                        )
+                    with tracer.span("dabf.prune", theta=config.theta):
+                        pruned, report = dabf.prune(pool, theta=config.theta)
+                    pruned = restore_emptied_classes(pool, pruned)
+                    prune_span.set(method="dabf")
+                elif multi_class:
+                    pruner = NaivePruner(pool, theta=config.theta, seed=config.seed)
+                    pruned, report = pruner.prune(pool)
+                    pruned = restore_emptied_classes(pool, pruned)
+                    prune_span.set(method="naive")
+                else:
+                    pruned, report = pool.copy(), PruneReport()
+                    prune_span.set(method="single-class-passthrough")
+                prune_span.set(
+                    n_removed=report.n_removed, n_kept=len(pruned)
+                )
+                tracer.count("candidates.pruned", report.n_removed)
+            time_pruning = time.perf_counter() - start
+            self.pruned_pool_ = pruned
+            self.prune_report_ = report
+            if tracker is not None:
+                tracker.record_phase("pruning", skipped=out_of_budget)
+                was_exhausted = out_of_budget
+                out_of_budget = tracker.exhausted
+                if out_of_budget and not was_exhausted:
+                    tracer.event(
+                        "budget.exhausted",
+                        phase="pruning",
+                        reason=tracker.check(),
+                    )
 
-        def _score(active_pool: CandidatePool, label: int) -> UtilityScores:
-            if use_dt:
-                return score_candidates_dt(
+            start = time.perf_counter()
+            use_dt = config.use_dt_cr and not out_of_budget
+            if use_dt and dabf is None:
+                # DT needs the bucket tables even when DABF pruning is off.
+                with tracer.span("dabf.build", reason="dt-tables"):
+                    dabf = DABF.build(
+                        pool,
+                        scheme=config.lsh_scheme,
+                        n_projections=config.n_projections,
+                        bins=config.bins,
+                        seed=config.seed,
+                    )
+            self.dabf_ = dabf
+            shared_cache = _PairDistanceCache()
+
+            def _score(active_pool: CandidatePool, label: int) -> UtilityScores:
+                if use_dt:
+                    return score_candidates_dt(
+                        dataset,
+                        active_pool,
+                        label,
+                        dabf,
+                        normalize=config.normalize_utility_sums,
+                    )
+                return score_candidates_brute(
                     dataset,
                     active_pool,
                     label,
-                    dabf,
+                    use_cr=False,
                     normalize=config.normalize_utility_sums,
+                    cache=shared_cache,
+                    series_cache=(
+                        run_cache
+                        if run_cache is not None
+                        else SeriesCache(counters=counters)
+                    ),
                 )
-            return score_candidates_brute(
-                dataset,
-                active_pool,
-                label,
-                use_cr=False,
-                normalize=config.normalize_utility_sums,
-                cache=shared_cache,
-                series_cache=(
-                    run_cache
-                    if run_cache is not None
-                    else SeriesCache(counters=counters)
-                ),
-            )
 
-        with counters.phase("selection"):
-            scores_by_class = score_with_class_fallback(
-                _score, pruned, pool, range(dataset.n_classes)
-            )
-            shapelets = select_top_k_per_class(scores_by_class, config.k)
-        time_selection = time.perf_counter() - start
+            with tracer.span("selection", dt_used=use_dt), counters.phase(
+                "selection"
+            ):
+                scores_by_class = score_with_class_fallback(
+                    _score, pruned, pool, range(dataset.n_classes), tracer=tracer
+                )
+                shapelets = select_top_k_per_class(scores_by_class, config.k)
+            time_selection = time.perf_counter() - start
 
         extra = {
             "lengths": lengths,
             "prune_report": report,
             "scores_by_class": scores_by_class,
-            "perf": counters.snapshot(),
         }
+        if counters.enabled:
+            perf = counters.snapshot()
+            extra["perf"] = perf
+            global_metrics().accumulate_perf(perf)
+            if tracer.active:
+                tracer.metrics.absorb_perf(perf)
         completed = True
         if tracker is not None:
             tracker.record_phase(
@@ -235,6 +309,10 @@ class IPS:
                 or (config.use_dt_cr and not use_dt)
             )
             extra["budget"] = tracker.snapshot()
+        if tracer.active:
+            extra["trace"] = tracer
+            if tracer.mode == "trace+jsonl":
+                tracer.to_jsonl(config.obs_jsonl_path or DEFAULT_JSONL_PATH)
         return DiscoveryResult(
             shapelets=shapelets,
             n_candidates_generated=len(pool),
@@ -314,18 +392,38 @@ class IPSClassifier(ParamsMixin):
         self._scaler: StandardScaler | None = None
         self._svm: OneVsRestSVM | None = None
         self._dataset: Dataset | None = None
+        self._tracer = None
 
-    def _validate(self, X, y, name: str = ""):
+    def _validate(self, X, y, name: str = "", tracer=NULL_TRACER):
         """Route training input through the data contracts."""
         from repro.validation import validate_dataset
 
-        return validate_dataset(
-            X,
-            y,
-            mode=self.config.validation_mode,
-            min_class_size=self.config.min_class_size,
-            name=name,
-        )
+        with tracer.span("validation", mode=self.config.validation_mode) as span:
+            validated = validate_dataset(
+                X,
+                y,
+                mode=self.config.validation_mode,
+                min_class_size=self.config.min_class_size,
+                name=name,
+            )
+            report = validated.report
+            span.set(
+                n_findings=len(getattr(report, "findings", []) or []),
+                n_repairs=len(getattr(report, "repairs", []) or []),
+            )
+            tracer.count(
+                "validation.repairs",
+                len(getattr(report, "repairs", []) or []),
+            )
+        return validated
+
+    def _begin_trace(self):
+        """One tracer per fit, shared by validation and discovery."""
+        tracer = self._tracer
+        if tracer is None:
+            tracer = make_tracer(self.config.observability)
+            self._tracer = tracer
+        return tracer
 
     def fit_dataset(
         self, dataset: Dataset, _validation_report=None
@@ -337,11 +435,16 @@ class IPSClassifier(ParamsMixin):
         the resulting report is attached to
         ``discovery_result_.extra["validation_report"]``.
         """
+        tracer = self._begin_trace()
         validation_report = _validation_report
         if validation_report is None and self.config.validation_mode != "off":
-            validated = self._validate(dataset, None)
+            validated = self._validate(dataset, None, tracer=tracer)
             dataset = validated.dataset
             validation_report = validated.report
+        try:
+            self.discoverer_._pending_tracer = tracer
+        except AttributeError:
+            pass  # exotic drop-in discoverers may reject attribute writes
         result = self.discoverer_.discover(dataset)
         result.extra["validation_report"] = validation_report
         self.discovery_result_ = result
@@ -353,22 +456,35 @@ class IPSClassifier(ParamsMixin):
         # getattr: drop-in discoverers (e.g. DistributedIPS) may not
         # expose the kernel-cache attributes.
         counters = getattr(self.discoverer_, "perf_counters_", None)
+        counting = counters is not None and getattr(counters, "enabled", True)
         transform_cache = getattr(self.discoverer_, "kernel_cache_", None)
         if transform_cache is None and counters is not None:
             transform_cache = SeriesCache(counters=counters)
         self._transform = ShapeletTransform(
             result.shapelets, cache=transform_cache
         )
-        if counters is not None:
-            with counters.phase("transform"):
+        with tracer.span("transform", n_shapelets=len(result.shapelets)):
+            if counting:
+                with counters.phase("transform"):
+                    features = self._transform.transform(dataset.X)
+                result.extra["perf"] = counters.snapshot()
+            else:
                 features = self._transform.transform(dataset.X)
-            result.extra["perf"] = counters.snapshot()
-        else:
-            features = self._transform.transform(dataset.X)
-        self._scaler = StandardScaler()
-        scaled = self._scaler.fit_transform(features)
-        self._svm = _make_final_classifier(self.config)
-        self._svm.fit(scaled, dataset.y)
+        with tracer.span("classify", classifier=self.config.final_classifier):
+            self._scaler = StandardScaler()
+            scaled = self._scaler.fit_transform(features)
+            self._svm = _make_final_classifier(self.config)
+            self._svm.fit(scaled, dataset.y)
+        if tracer.active:
+            if counting:
+                # Idempotent re-absorb so metrics include the transform
+                # phase (replace semantics; span counters untouched).
+                tracer.metrics.absorb_perf(counters.snapshot())
+            if tracer.mode == "trace+jsonl":
+                tracer.to_jsonl(
+                    self.config.obs_jsonl_path or DEFAULT_JSONL_PATH
+                )
+        self._tracer = None
         return self
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "IPSClassifier":
@@ -381,7 +497,7 @@ class IPSClassifier(ParamsMixin):
         """
         if self.config.validation_mode == "off":
             return self.fit_dataset(Dataset(X=X, y=y))
-        validated = self._validate(X, y)
+        validated = self._validate(X, y, tracer=self._begin_trace())
         return self.fit_dataset(
             validated.dataset, _validation_report=validated.report
         )

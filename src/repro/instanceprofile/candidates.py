@@ -18,6 +18,7 @@ from repro.instanceprofile.profile import instance_profile
 from repro.instanceprofile.sampling import BaggingSampler
 from repro.kernels import SeriesCache
 from repro.matrixprofile.discovery import top_k_discords, top_k_motifs
+from repro.obs import NULL_TRACER
 from repro.ts.concat import concatenate_series
 from repro.ts.series import Dataset
 from repro.types import Candidate, CandidateKind
@@ -130,6 +131,7 @@ def _unit_candidates(
     discords_per_profile: int,
     normalized: bool,
     counters=None,
+    tracer=NULL_TRACER,
 ) -> list[Candidate]:
     """Algorithm-1 inner loop for one (class, sample) work unit.
 
@@ -138,25 +140,34 @@ def _unit_candidates(
     spectra are computed once and reused across the whole candidate-length
     grid, then released with the unit (bounding memory over the
     ``Q_N x n_classes`` unit stream). ``counters`` aggregates the cache's
-    hit/miss/FFT tallies into the run-wide perf counters.
+    hit/miss/FFT tallies into the run-wide perf counters; ``tracer``
+    records one ``"unit"`` span with nested per-length ``"mp"`` spans.
     """
-    sample = concatenate_series(dataset.X[rows], instance_ids=rows)
-    unit_cache = SeriesCache(counters=counters)
-    unit: list[Candidate] = []
-    min_instance = int(np.diff(sample.boundaries).min())
-    for length in lengths:
-        if length > min_instance:
-            # Window longer than some instance: skip this length.
-            continue
-        ip = instance_profile(
-            sample, length, normalized=normalized, cache=unit_cache
-        )
-        if not np.any(np.isfinite(ip.values)):
-            continue
-        _harvest(unit, ip, label, sample_id, CandidateKind.MOTIF, motifs_per_profile)
-        _harvest(
-            unit, ip, label, sample_id, CandidateKind.DISCORD, discords_per_profile
-        )
+    with tracer.span("unit", label=label, sample_id=sample_id) as unit_span:
+        sample = concatenate_series(dataset.X[rows], instance_ids=rows)
+        unit_cache = SeriesCache(counters=counters)
+        unit: list[Candidate] = []
+        min_instance = int(np.diff(sample.boundaries).min())
+        for length in lengths:
+            if length > min_instance:
+                # Window longer than some instance: skip this length.
+                continue
+            with tracer.span("mp", length=length) as mp_span:
+                ip = instance_profile(
+                    sample, length, normalized=normalized, cache=unit_cache
+                )
+                if not np.any(np.isfinite(ip.values)):
+                    mp_span.set(degenerate=True)
+                    continue
+                _harvest(
+                    unit, ip, label, sample_id, CandidateKind.MOTIF,
+                    motifs_per_profile,
+                )
+                _harvest(
+                    unit, ip, label, sample_id, CandidateKind.DISCORD,
+                    discords_per_profile,
+                )
+        unit_span.set(n_candidates=len(unit))
     return unit
 
 
@@ -171,6 +182,7 @@ def generate_candidates(
     seed: int | np.random.Generator | None = None,
     budget_tracker=None,
     perf_counters=None,
+    tracer=NULL_TRACER,
 ) -> CandidatePool:
     """Algorithm 1: generate the candidate pool Phi with the IP.
 
@@ -204,7 +216,14 @@ def generate_candidates(
         Optional :class:`repro.kernels.PerfCounters`; per-unit kernel
         caches report their hit/miss/FFT tallies into it. Never affects
         the candidates produced.
+    tracer:
+        Optional :class:`repro.obs.Trace`; each work unit records a
+        ``"unit"`` span (label, sample id, candidate count) containing a
+        ``"mp"`` span per candidate length. Defaults to the no-op
+        :data:`repro.obs.NULL_TRACER`.
     """
+    if tracer is None:
+        tracer = NULL_TRACER
     if not lengths:
         raise ValidationError("at least one candidate length is required")
     for length in lengths:
@@ -235,6 +254,7 @@ def generate_candidates(
                 discords_per_profile,
                 normalized,
                 counters=perf_counters,
+                tracer=tracer,
             )
             for candidate in unit:
                 pool.add(candidate)

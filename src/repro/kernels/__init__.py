@@ -44,9 +44,15 @@ from repro.kernels.engine import (
     squared_euclidean,
     subsequence_distance,
 )
-from repro.kernels.perf import PerfCounters
+from repro.kernels.perf import (
+    NULL_PERF_COUNTERS,
+    NullPerfCounters,
+    PerfCounters,
+)
 
 __all__ = [
+    "NULL_PERF_COUNTERS",
+    "NullPerfCounters",
     "PerfCounters",
     "SeriesCache",
     "batch_distance_profile",

@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 
 @dataclass
@@ -40,6 +41,10 @@ class PerfCounters:
     phase_seconds:
         Wall-clock seconds per named phase, accumulated by :meth:`phase`.
     """
+
+    #: Real counters record; the no-op singleton advertises False so the
+    #: pipeline can skip snapshot/attach work in ``observability="off"``.
+    enabled: ClassVar[bool] = True
 
     kernel_calls: int = 0
     batch_calls: int = 0
@@ -91,3 +96,56 @@ class PerfCounters:
         for name, seconds in other.phase_seconds.items():
             self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
         return self
+
+
+class NullPerfCounters:
+    """Discard-everything stand-in for ``observability="off"`` runs.
+
+    Duck-types :class:`PerfCounters` — increments are swallowed by a
+    no-op ``__setattr__``, reads always see zeros, and :meth:`phase`
+    times nothing — so the kernel hot path (``counters.cache_hits += 1``
+    and friends) runs with zero bookkeeping and zero allocations. Use
+    the shared :data:`NULL_PERF_COUNTERS` singleton; counting is off by
+    construction, so one instance serves every run.
+    """
+
+    enabled = False
+    kernel_calls = 0
+    batch_calls = 0
+    fft_count = 0
+    cache_hits = 0
+    cache_misses = 0
+    cache_lookups = 0
+    hit_rate = 0.0
+
+    def __setattr__(self, name: str, value: object) -> None:
+        pass
+
+    @property
+    def phase_seconds(self) -> dict[str, float]:
+        return {}
+
+    @contextmanager
+    def phase(self, name: str):
+        """Yield without timing anything."""
+        yield self
+
+    def snapshot(self) -> dict:
+        """All-zero snapshot (shape-compatible with the real one)."""
+        return {
+            "kernel_calls": 0,
+            "batch_calls": 0,
+            "fft_count": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cache_hit_rate": 0.0,
+            "phase_seconds": {},
+        }
+
+    def merge(self, other) -> "NullPerfCounters":
+        """Discard ``other`` (returns self)."""
+        return self
+
+
+#: The process-wide no-op counter sink.
+NULL_PERF_COUNTERS = NullPerfCounters()

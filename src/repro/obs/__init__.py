@@ -1,0 +1,76 @@
+"""``repro.obs``: structured tracing, metrics, and run manifests.
+
+The observability layer of the reproduction, threaded through every
+major pipeline stage (candidate generation, matrix profiles, DABF
+pruning, utility scoring, transform, classification, distributed
+retries, budget checks, validation repair). Zero dependencies beyond
+the packages the pipeline already uses.
+
+Four pieces:
+
+* :class:`Trace` / :func:`make_tracer` — nestable ``span("phase",
+  **attrs)`` context managers producing a run-scoped span tree with
+  monotonic timestamps, per-span counters, and a JSONL sink
+  (:meth:`Trace.to_jsonl` / :meth:`Trace.from_jsonl`, bit-identical
+  round trips);
+* :class:`MetricsRegistry` / :func:`global_metrics` — process-local
+  counters, gauges, and summary histograms that absorb the kernel
+  engine's ``PerfCounters`` (kept as the compatible per-run view at
+  ``DiscoveryResult.extra["perf"]``);
+* :func:`run_manifest` — config, seeds, dataset fingerprint, package
+  versions, and git SHA, attached to every trace so a
+  ``DiscoveryResult`` is reproducible from its trace alone;
+* :func:`render_report` — the per-phase time-breakdown tree behind
+  ``repro obs report``.
+
+Select a mode with ``IPSConfig(observability=...)``: ``"off"`` (no
+observability work at all — the null tracer and the no-op perf-counter
+singleton), ``"counters"`` (the default: kernel counters only, overhead
+gated at <=2%), ``"trace"`` (span tree + metrics + manifest at
+``DiscoveryResult.extra["trace"]``), or ``"trace+jsonl"`` (additionally
+stream the trace to a JSONL file, default ``.repro-obs/last-run.jsonl``).
+See ``docs/observability.md``.
+"""
+
+from repro.obs.manifest import (
+    dataset_fingerprint,
+    git_sha,
+    package_versions,
+    run_manifest,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    global_metrics,
+    reset_global_metrics,
+)
+from repro.obs.report import load_trace, render_report
+from repro.obs.trace import (
+    DEFAULT_JSONL_PATH,
+    NULL_TRACER,
+    OBSERVABILITY_MODES,
+    NullTracer,
+    Span,
+    Trace,
+    jsonify,
+    make_tracer,
+)
+
+__all__ = [
+    "DEFAULT_JSONL_PATH",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "OBSERVABILITY_MODES",
+    "Span",
+    "Trace",
+    "dataset_fingerprint",
+    "git_sha",
+    "global_metrics",
+    "jsonify",
+    "load_trace",
+    "make_tracer",
+    "package_versions",
+    "render_report",
+    "reset_global_metrics",
+    "run_manifest",
+]

@@ -1,0 +1,105 @@
+"""Run manifests: everything needed to reproduce a discovery run.
+
+A manifest pins the four reproducibility axes of a run: the full
+:class:`~repro.core.config.IPSConfig` (seeds included), a content
+fingerprint of the training data, the package versions that executed the
+run, and the source revision (git SHA, resolved without spawning a
+subprocess). ``IPS.discover`` attaches one to every trace, so any
+``DiscoveryResult`` carrying ``extra["trace"]`` can be re-derived from
+its manifest alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import platform
+import time
+from pathlib import Path
+
+from repro._version import __version__
+
+
+def git_sha(start: str | Path | None = None) -> str | None:
+    """Best-effort HEAD commit of the enclosing git checkout.
+
+    Reads ``.git`` files directly (no subprocess): resolves ``HEAD``
+    through one level of symbolic ref, falling back to
+    ``packed-refs``. Returns ``None`` outside a checkout or on any
+    parsing hiccup — a manifest must never fail a run.
+    """
+    try:
+        here = Path(start) if start is not None else Path(__file__).resolve()
+        for parent in [here, *here.parents]:
+            git_dir = parent / ".git"
+            if not git_dir.is_dir():
+                continue
+            head = (git_dir / "HEAD").read_text().strip()
+            if not head.startswith("ref:"):
+                return head or None
+            ref = head.split(None, 1)[1].strip()
+            ref_file = git_dir / ref
+            if ref_file.exists():
+                return ref_file.read_text().strip() or None
+            packed = git_dir / "packed-refs"
+            if packed.exists():
+                for line in packed.read_text().splitlines():
+                    if line.endswith(ref) and not line.startswith(("#", "^")):
+                        return line.split(None, 1)[0]
+            return None
+    except OSError:
+        return None
+    return None
+
+
+def dataset_fingerprint(dataset) -> dict:
+    """Content identity of a :class:`~repro.ts.series.Dataset`.
+
+    The SHA-256 spans the value matrix, the internal labels, and the
+    original class values, so any change to the training data changes
+    the fingerprint.
+    """
+    digest = hashlib.sha256()
+    digest.update(dataset.X.tobytes())
+    digest.update(dataset.y.tobytes())
+    digest.update(dataset.classes_.tobytes())
+    return {
+        "name": dataset.name,
+        "n_series": dataset.n_series,
+        "series_length": dataset.series_length,
+        "n_classes": dataset.n_classes,
+        "sha256": digest.hexdigest(),
+    }
+
+
+def package_versions() -> dict:
+    """Versions of the packages that determine numerical results."""
+    import numpy
+    import scipy
+
+    return {
+        "repro": __version__,
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "python": platform.python_version(),
+    }
+
+
+def run_manifest(config, dataset=None) -> dict:
+    """Build the manifest of one discovery run.
+
+    Only called in the trace modes — fingerprinting hashes the whole
+    training matrix, which would violate the counters-mode overhead
+    budget if done unconditionally.
+    """
+    from repro.obs.trace import jsonify
+
+    return {
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": jsonify(dataclasses.asdict(config)),
+        "seed": config.seed,
+        "dataset": dataset_fingerprint(dataset) if dataset is not None else None,
+        "versions": package_versions(),
+        "platform": platform.platform(),
+        "git_sha": git_sha(),
+    }

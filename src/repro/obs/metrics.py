@@ -1,0 +1,145 @@
+"""Process-local metrics: counters, gauges, and summary histograms.
+
+A :class:`MetricsRegistry` is a plain in-process store — no exporters, no
+threads. Each :class:`~repro.obs.trace.Trace` owns one (per-run metrics);
+a module-level registry (:func:`global_metrics`) additionally accumulates
+kernel-engine tallies across every run of the process, superseding
+``repro.kernels.perf.PerfCounters`` as the metrics surface while keeping
+``DiscoveryResult.extra["perf"]`` as the compatible per-run view.
+
+Histograms are summary-only (count / sum / min / max): enough for the
+runtime-breakdown reports without unbounded memory, and exactly
+reconstructible from a snapshot so JSONL round trips stay bit-identical.
+"""
+
+from __future__ import annotations
+
+
+class MetricsRegistry:
+    """Counters, gauges, and summary histograms keyed by name."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, dict[str, float]] = {}
+
+    def counter(self, name: str, n: float = 1) -> float:
+        """Add ``n`` to a monotonically increasing counter."""
+        value = self._counters.get(name, 0) + n
+        self._counters[name] = value
+        return value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time value (last write wins)."""
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into a summary histogram."""
+        value = float(value)
+        hist = self._histograms.get(name)
+        if hist is None:
+            self._histograms[name] = {
+                "count": 1,
+                "sum": value,
+                "min": value,
+                "max": value,
+            }
+            return
+        hist["count"] += 1
+        hist["sum"] += value
+        hist["min"] = min(hist["min"], value)
+        hist["max"] = max(hist["max"], value)
+
+    _PERF_KEYS = (
+        "kernel_calls",
+        "batch_calls",
+        "fft_count",
+        "cache_hits",
+        "cache_misses",
+    )
+
+    def absorb_perf(self, perf_snapshot: dict) -> None:
+        """Adopt a ``PerfCounters.snapshot()`` as this run's kernel view.
+
+        Kernel tallies become ``kernels.*`` counters, the hit rate a
+        gauge, and per-phase wall times ``phase_seconds.*`` gauges.
+        *Replace* semantics: the snapshot is cumulative within a run, so
+        absorbing a later snapshot of the same counters (e.g. after the
+        transform phase) updates the values instead of double-counting —
+        the call is idempotent and never disturbs other counters.
+        """
+        for key in self._PERF_KEYS:
+            self._counters[f"kernels.{key}"] = perf_snapshot.get(key, 0)
+        self.gauge(
+            "kernels.cache_hit_rate", perf_snapshot.get("cache_hit_rate", 0.0)
+        )
+        for phase, seconds in perf_snapshot.get("phase_seconds", {}).items():
+            self.gauge(f"phase_seconds.{phase}", seconds)
+
+    def accumulate_perf(self, perf_snapshot: dict) -> None:
+        """Additively fold a finished run's kernel tallies into this
+        registry (the cross-run flavour used by :func:`global_metrics`)."""
+        for key in self._PERF_KEYS:
+            self.counter(f"kernels.{key}", perf_snapshot.get(key, 0))
+        self.counter("runs", 1)
+        for phase, seconds in perf_snapshot.get("phase_seconds", {}).items():
+            self.observe(f"phase_seconds.{phase}", seconds)
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry into this one (returns self)."""
+        for name, value in other._counters.items():
+            self.counter(name, value)
+        self._gauges.update(other._gauges)
+        for name, hist in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                self._histograms[name] = dict(hist)
+            else:
+                mine["count"] += hist["count"]
+                mine["sum"] += hist["sum"]
+                mine["min"] = min(mine["min"], hist["min"])
+                mine["max"] = max(mine["max"], hist["max"])
+        return self
+
+    def snapshot(self) -> dict:
+        """JSON-friendly copy of the whole registry.
+
+        Histogram means are derived (``sum / count``) so a registry
+        restored via :meth:`from_snapshot` snapshots identically.
+        """
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "histograms": {
+                name: {**hist, "mean": hist["sum"] / hist["count"]}
+                for name, hist in self._histograms.items()
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: dict) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output."""
+        registry = cls()
+        registry._counters = dict(data.get("counters", {}))
+        registry._gauges = dict(data.get("gauges", {}))
+        registry._histograms = {
+            name: {key: hist[key] for key in ("count", "sum", "min", "max")}
+            for name, hist in data.get("histograms", {}).items()
+        }
+        return registry
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def global_metrics() -> MetricsRegistry:
+    """The process-wide registry (accumulates across runs)."""
+    return _GLOBAL
+
+
+def reset_global_metrics() -> None:
+    """Swap in a fresh global registry (test hook)."""
+    global _GLOBAL
+    _GLOBAL = MetricsRegistry()
