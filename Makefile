@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test verify-robustness verify-perf verify-obs bench examples smoke clean
+.PHONY: install test verify-robustness verify-perf verify-obs verify-serve bench examples smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -33,6 +33,14 @@ verify-perf:
 verify-obs:
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_obs.py
 	PYTHONPATH=src $(PYTHON) -m repro.benchlib.perfbench --obs-only
+
+# Serving gate: artifact/queue/breaker unit tests plus the chaos suite
+# (crash, hang, slow, corrupt payload, corrupt artifact, overload), then
+# the load generator — p50/p99 latency and series/sec written to
+# BENCH_serve.json with a 3x regression gate against the previous run.
+verify-serve:
+	PYTHONPATH=src $(PYTHON) -m pytest -q -m serve tests/
+	PYTHONPATH=src $(PYTHON) -m repro.benchlib.loadgen
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,331 @@
+"""Serving load generator behind ``make verify-serve``.
+
+Drives a live :class:`repro.serve.InferenceService` through two
+scenarios and gates the results into ``BENCH_serve.json`` (machine-keyed
+like ``BENCH_kernels.json``):
+
+``steady``
+    Concurrent clients push a fixed request count through an adequately
+    provisioned service. Reports p50/p99 latency and sustained
+    series/sec. Gated three ways: every response must be bit-identical
+    to offline ``IPSClassifier.predict`` (hard fail), the error/shed
+    rate must be zero, and — when a previous record exists for this
+    machine — p99 latency and throughput must not regress beyond
+    generous noise bounds (3x).
+``overload``
+    The same load against a deliberately tiny queue, so the shedding
+    policy must engage. Gated on *accounting*: every submitted request
+    terminates with either a prediction or a typed error (nothing is
+    lost or left hanging), all successes remain bit-identical, and at
+    least one request is shed (otherwise the scenario tested nothing).
+
+Run as::
+
+    PYTHONPATH=src python -m repro.benchlib.loadgen
+    PYTHONPATH=src python -m repro.benchlib.loadgen --requests 400 --clients 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.benchlib.perfbench import machine_key, persist
+
+#: Regression tolerance against the previous record (3x in either
+#: direction): wide enough for shared-CI noise, tight enough to catch a
+#: real serving-path regression.
+REGRESSION_FACTOR = 3.0
+
+
+def _fit_model(seed: int = 0):
+    """Small planted-dataset classifier shared by both scenarios."""
+    from repro.core.config import IPSConfig
+    from repro.core.pipeline import IPSClassifier
+    from repro.datasets.generators import make_planted_dataset
+
+    dataset = make_planted_dataset(
+        n_classes=2, n_instances=16, length=100, seed=seed, name="loadgen"
+    )
+    classifier = IPSClassifier(
+        IPSConfig(k=3, q_n=6, q_s=3, seed=seed)
+    ).fit_dataset(dataset)
+    return classifier, dataset
+
+
+def _make_requests(dataset, n_requests: int, seed: int) -> np.ndarray:
+    """Request matrix: perturbed copies of the training series."""
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, dataset.n_series, size=n_requests)
+    noise = 0.05 * rng.normal(size=(n_requests, dataset.series_length))
+    return dataset.X[rows] + noise
+
+
+def _drive(service, requests: np.ndarray, n_clients: int, deadline_s):
+    """Fire ``requests`` from ``n_clients`` threads; returns outcomes.
+
+    Each client owns a contiguous slice (deterministic assignment) and
+    submits back-to-back, holding futures so queue pressure builds.
+    Returns ``(outcomes, wall_seconds)`` where each outcome is
+    ``(index, label | None, error | None, latency | None)``.
+    """
+    slices = np.array_split(np.arange(len(requests)), n_clients)
+    outcomes: list = [None] * len(requests)
+
+    def client(indices) -> None:
+        pending = []
+        for i in indices:
+            try:
+                pending.append((i, service.submit(requests[i], deadline_s)))
+            except Exception as exc:  # noqa: BLE001 - admission refusal is data
+                outcomes[i] = (i, None, exc, None)
+        for i, future in pending:
+            try:
+                outcomes[i] = (i, future.result(timeout=30.0), None, future.latency)
+            except Exception as exc:  # noqa: BLE001
+                outcomes[i] = (i, None, exc, future.latency)
+
+    threads = [
+        threading.Thread(target=client, args=(chunk,))
+        for chunk in slices
+        if chunk.size
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return outcomes, time.perf_counter() - start
+
+
+def _summarize(outcomes, offline: np.ndarray, wall: float) -> dict:
+    latencies = sorted(
+        o[3] for o in outcomes if o[1] is not None and o[3] is not None
+    )
+    n_ok = sum(1 for o in outcomes if o[2] is None)
+    errors: dict[str, int] = {}
+    for o in outcomes:
+        if o[2] is not None:
+            name = type(o[2]).__name__
+            errors[name] = errors.get(name, 0) + 1
+    mismatches = sum(
+        1 for o in outcomes if o[2] is None and o[1] != offline[o[0]]
+    )
+    def pct(p: float) -> float:
+        if not latencies:
+            return float("nan")
+        return float(latencies[min(len(latencies) - 1, int(p * len(latencies)))])
+    return {
+        "n_requests": len(outcomes),
+        "n_ok": n_ok,
+        "n_errors": len(outcomes) - n_ok,
+        "errors_by_type": errors,
+        "mismatches": mismatches,
+        "p50_latency_s": pct(0.50),
+        "p99_latency_s": pct(0.99),
+        "wall_seconds": wall,
+        "series_per_second": len(outcomes) / wall if wall > 0 else float("inf"),
+    }
+
+
+def run_load_benchmark(
+    n_requests: int = 200,
+    n_clients: int = 4,
+    deadline_s: float | None = None,
+    queue_depth: int | None = None,
+    validation: str = "repair",
+    seed: int = 0,
+) -> dict:
+    """Run both scenarios; returns the full record (gates included)."""
+    from repro.serve import InferenceService, ServeConfig
+
+    classifier, dataset = _fit_model(seed)
+    requests = _make_requests(dataset, n_requests, seed + 1)
+    offline = classifier.predict(requests)
+
+    # -- steady: adequately provisioned, zero tolerated failures.
+    steady_config = ServeConfig(
+        queue_depth=queue_depth if queue_depth is not None else n_requests,
+        max_batch=16,
+        validation=validation,
+        default_deadline_s=deadline_s,
+    )
+    with InferenceService(classifier, steady_config) as service:
+        # One warmup pass so allocator/cache effects don't land on p99.
+        service.predict(requests[0])
+        outcomes, wall = _drive(service, requests, n_clients, deadline_s)
+        steady = _summarize(outcomes, offline, wall)
+        steady["service_stats"] = service.stats()
+
+    # -- overload: tiny queue, shed-oldest must engage; accounting holds.
+    overload_config = ServeConfig(
+        queue_depth=max(2, n_requests // 50),
+        shed_policy="shed-oldest",
+        max_batch=4,
+        validation=validation,
+    )
+    with InferenceService(classifier, overload_config) as service:
+        outcomes, wall = _drive(service, requests, n_clients, None)
+        overload = _summarize(outcomes, offline, wall)
+        overload["service_stats"] = service.stats()
+
+    shed_or_ok = (
+        overload["n_ok"]
+        + sum(
+            n
+            for name, n in overload["errors_by_type"].items()
+            if name in ("RequestSheddedError", "QueueFullError")
+        )
+    )
+    record = {
+        "workload": {
+            "n_requests": n_requests,
+            "n_clients": n_clients,
+            "deadline_s": deadline_s,
+            "validation": validation,
+            "seed": seed,
+            "series_length": dataset.series_length,
+        },
+        "steady": steady,
+        "overload": overload,
+        "gate": {
+            "bit_identical": steady["mismatches"] == 0
+            and overload["mismatches"] == 0,
+            "steady_error_free": steady["n_errors"] == 0,
+            "overload_accounted": shed_or_ok == overload["n_requests"],
+            "overload_shed_engaged": overload["service_stats"]["shed"] > 0,
+        },
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    return record
+
+
+def apply_regression_gate(record: dict, previous: dict | None) -> dict:
+    """Extend ``record['gate']`` with the vs-previous regression verdict.
+
+    Only a previous record of the *same workload* (request count,
+    client count, deadline, validation mode) is comparable — steady p99
+    includes queue wait, which scales with the backlog, so comparing a
+    200-request run against a 100-request record would flag workload
+    size as a regression.
+    """
+    gate = record["gate"]
+    gate["regression_factor"] = REGRESSION_FACTOR
+    comparable = ("n_requests", "n_clients", "deadline_s", "validation")
+    if not previous:
+        gate["vs_previous"] = "no previous record"
+        gate["no_regression"] = True
+    elif any(
+        previous.get("workload", {}).get(key) != record["workload"][key]
+        for key in comparable
+    ):
+        gate["vs_previous"] = "previous record not comparable (different workload)"
+        gate["no_regression"] = True
+    else:
+        prev_p99 = previous.get("steady", {}).get("p99_latency_s")
+        prev_rate = previous.get("steady", {}).get("series_per_second")
+        p99_ok = (
+            prev_p99 is None
+            or record["steady"]["p99_latency_s"]
+            <= prev_p99 * REGRESSION_FACTOR
+        )
+        rate_ok = (
+            prev_rate is None
+            or record["steady"]["series_per_second"]
+            >= prev_rate / REGRESSION_FACTOR
+        )
+        gate["vs_previous"] = {
+            "p99_latency_s": prev_p99,
+            "series_per_second": prev_rate,
+        }
+        gate["no_regression"] = bool(p99_ok and rate_ok)
+    gate["passed"] = bool(
+        gate["bit_identical"]
+        and gate["steady_error_free"]
+        and gate["overload_accounted"]
+        and gate["overload_shed_engaged"]
+        and gate["no_regression"]
+    )
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline for the steady scenario (default: none)",
+    )
+    parser.add_argument("--queue-depth", type=int, default=None)
+    parser.add_argument(
+        "--validation", default="repair", choices=["strict", "repair", "off"]
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parents[3] / "BENCH_serve.json",
+        help="machine-keyed results file (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    previous = None
+    if args.output.exists():
+        try:
+            previous = json.loads(args.output.read_text()).get(machine_key())
+        except (OSError, json.JSONDecodeError):
+            previous = None
+
+    record = run_load_benchmark(
+        n_requests=args.requests,
+        n_clients=args.clients,
+        deadline_s=None if args.deadline_ms is None else args.deadline_ms / 1e3,
+        queue_depth=args.queue_depth,
+        validation=args.validation,
+        seed=args.seed,
+    )
+    record = apply_regression_gate(record, previous)
+    persist(record, args.output)
+
+    steady, overload, gate = record["steady"], record["overload"], record["gate"]
+    print(f"machine            {machine_key()}")
+    print(
+        f"steady             p50 {steady['p50_latency_s'] * 1e3:.2f}ms   "
+        f"p99 {steady['p99_latency_s'] * 1e3:.2f}ms   "
+        f"{steady['series_per_second']:.0f} series/s   "
+        f"{steady['n_errors']} errors"
+    )
+    print(
+        f"overload           {overload['n_ok']} ok / "
+        f"{overload['service_stats']['shed']} shed / "
+        f"{overload['n_errors']} typed errors of {overload['n_requests']}"
+    )
+    print(f"results written to {args.output}")
+    if not gate["passed"]:
+        failed = [
+            name
+            for name in (
+                "bit_identical",
+                "steady_error_free",
+                "overload_accounted",
+                "overload_shed_engaged",
+                "no_regression",
+            )
+            if not gate[name]
+        ]
+        print(f"FAIL: serve gate violated: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,11 @@ Commands
 ``obs report``
     Render the per-phase time breakdown of a saved JSONL trace
     (written by ``--obs trace+jsonl`` or ``observability="trace+jsonl"``).
+``serve save`` / ``serve run`` / ``serve bench``
+    Export a fitted classifier as a checksummed model artifact, serve
+    predictions from one through the fault-hardened
+    :mod:`repro.serve` service, and drive the serving load-generator
+    gate (``BENCH_serve.json``).
 """
 
 from __future__ import annotations
@@ -167,6 +172,80 @@ def cmd_shapelets(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_save(args: argparse.Namespace) -> int:
+    """``repro serve save <dataset> --out DIR``"""
+    from repro.core.pipeline import IPSClassifier
+    from repro.serve import save_artifact
+
+    data = _load(args)
+    config = IPSConfig(
+        k=args.k, q_n=10, q_s=3, seed=args.seed, validation_mode=args.validation
+    )
+    classifier = IPSClassifier(config).fit_dataset(data.train)
+    accuracy = classifier.score(data.test.X, data.test.classes_[data.test.y])
+    path = save_artifact(classifier, args.out)
+    print(
+        f"saved {args.dataset} artifact to {path} "
+        f"({len(classifier.shapelets_)} shapelets, "
+        f"holdout accuracy {100 * accuracy:.2f}%)"
+    )
+    return 0
+
+
+def cmd_serve_run(args: argparse.Namespace) -> int:
+    """``repro serve run --artifact DIR``"""
+    from repro.exceptions import ServeError
+    from repro.serve import InferenceService, ServeConfig, load_artifact
+
+    try:
+        classifier = load_artifact(args.artifact)
+    except ServeError as err:
+        print(f"refusing artifact: {err}", file=sys.stderr)
+        return 1
+    config = ServeConfig(
+        queue_depth=args.queue_depth,
+        validation=args.validation,
+        default_deadline_s=(
+            None if args.deadline_ms is None else args.deadline_ms / 1e3
+        ),
+    )
+    # Self-test traffic: perturbed copies of the frozen training series.
+    import numpy as np
+
+    rng = np.random.default_rng(args.seed)
+    dataset = classifier._dataset
+    rows = rng.integers(0, dataset.n_series, size=args.requests)
+    X = dataset.X[rows] + 0.05 * rng.normal(
+        size=(args.requests, dataset.series_length)
+    )
+    with InferenceService(classifier, config) as service:
+        results = service.predict_many(X)
+    n_ok = sum(1 for _value, error in results if error is None)
+    stats = service.stats()
+    print(
+        f"served {n_ok}/{len(results)} requests ok "
+        f"(shed {stats['shed']}, expired {stats['expired']}, "
+        f"failed {stats['failed']}); breaker {stats['breaker']['state']}"
+    )
+    for _value, error in results:
+        if error is not None:
+            print(f"  first error: {type(error).__name__}: {error}")
+            break
+    return 0 if n_ok == len(results) else 1
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    """``repro serve bench``"""
+    from repro.benchlib.loadgen import main as loadgen_main
+
+    argv = ["--requests", str(args.requests), "--validation", args.validation]
+    if args.deadline_ms is not None:
+        argv += ["--deadline-ms", str(args.deadline_ms)]
+    if args.queue_depth is not None:
+        argv += ["--queue-depth", str(args.queue_depth)]
+    return loadgen_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -220,6 +299,72 @@ def build_parser() -> argparse.ArgumentParser:
     shapelets = sub.add_parser("shapelets", help="discover and print shapelets")
     _add_common_dataset_args(shapelets)
     shapelets.set_defaults(func=cmd_shapelets)
+
+    serve = sub.add_parser(
+        "serve", help="model artifacts and the online inference service"
+    )
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+
+    serve_save = serve_sub.add_parser(
+        "save", help="fit a classifier and export a checksummed artifact"
+    )
+    _add_common_dataset_args(serve_save)
+    serve_save.add_argument(
+        "--out", required=True, help="artifact directory to write"
+    )
+    serve_save.add_argument(
+        "--validation",
+        default="repair",
+        choices=["strict", "repair", "off"],
+        help="data-contract mode applied to the training split",
+    )
+    serve_save.set_defaults(func=cmd_serve_save)
+
+    serve_run = serve_sub.add_parser(
+        "run", help="start the service on a saved artifact (self-test load)"
+    )
+    serve_run.add_argument(
+        "--artifact", required=True, help="artifact directory to serve"
+    )
+    serve_run.add_argument("--requests", type=int, default=50)
+    serve_run.add_argument("--seed", type=int, default=0)
+    serve_run.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline (default: none)",
+    )
+    serve_run.add_argument(
+        "--queue-depth", type=int, default=64, help="admission-queue bound"
+    )
+    serve_run.add_argument(
+        "--validation",
+        default="repair",
+        choices=["strict", "repair", "off"],
+        help="per-request data-contract mode",
+    )
+    serve_run.set_defaults(func=cmd_serve_run)
+
+    serve_bench = serve_sub.add_parser(
+        "bench", help="serving load generator + BENCH_serve.json gate"
+    )
+    serve_bench.add_argument("--requests", type=int, default=200)
+    serve_bench.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline for the steady scenario",
+    )
+    serve_bench.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        help="steady-scenario queue bound (default: request count)",
+    )
+    serve_bench.add_argument(
+        "--validation", default="repair", choices=["strict", "repair", "off"]
+    )
+    serve_bench.set_defaults(func=cmd_serve_bench)
 
     obs = sub.add_parser("obs", help="observability tools")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)

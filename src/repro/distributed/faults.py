@@ -29,6 +29,12 @@ Injected failure modes (checked in this order, first hit wins):
 ``duplicate``
     The payload is delivered twice (at-least-once delivery): the
     candidate list is returned with every element repeated.
+``slow``
+    The worker answers correctly but late: it sleeps a deterministic
+    latency-jitter delay (``slow_seconds`` scaled by a draw keyed by the
+    same ``(plan seed, unit seed, attempt)`` triple) before computing.
+    Payloads are untouched — this fault exists to drive deadline and
+    tail-latency handling in the distributed and serving chaos tests.
 
 The wrapper (:class:`FaultInjector`) is picklable as long as the wrapped
 worker is, so it runs unchanged under the process-pool executor.
@@ -60,8 +66,13 @@ class DroppedResult:
         return "<result dropped in transit>"
 
 
-#: Fault kinds in decision order (first triggered wins).
-FAULT_KINDS: tuple[str, ...] = ("crash", "hang", "nan", "drop", "duplicate")
+#: Fault kinds in decision order (first triggered wins). ``slow`` is
+#: last so adding it left every pre-existing campaign's decisions intact
+#: (the extra uniform draw extends the vector without perturbing the
+#: prefix).
+FAULT_KINDS: tuple[str, ...] = (
+    "crash", "hang", "nan", "drop", "duplicate", "slow",
+)
 
 
 @dataclass(frozen=True)
@@ -70,13 +81,18 @@ class FaultPlan:
 
     Attributes
     ----------
-    crash_rate, hang_rate, nan_rate, drop_rate, duplicate_rate:
+    crash_rate, hang_rate, nan_rate, drop_rate, duplicate_rate, slow_rate:
         Per-attempt probability of each failure mode, each in [0, 1].
     hang_seconds:
         When > 0, an injected hang really sleeps this long (then answers
         normally) instead of raising the timeout sentinel — pair it with
         ``FaultToleranceConfig.unit_timeout`` to drive the live deadline
         check.
+    slow_seconds:
+        Base latency of an injected ``slow`` fault; the actual delay is
+        ``slow_seconds * (0.5 + u)`` with ``u`` a deterministic uniform
+        draw keyed by ``(plan seed, unit seed, attempt)``, so the jitter
+        replays exactly.
     seed:
         Campaign seed; combined with the unit seed and attempt index so
         the whole campaign is replayable.
@@ -87,17 +103,21 @@ class FaultPlan:
     nan_rate: float = 0.0
     drop_rate: float = 0.0
     duplicate_rate: float = 0.0
+    slow_rate: float = 0.0
     hang_seconds: float = 0.0
+    slow_seconds: float = 0.005
     seed: int = 0
 
     def __post_init__(self) -> None:
         for name in ("crash_rate", "hang_rate", "nan_rate", "drop_rate",
-                     "duplicate_rate"):
+                     "duplicate_rate", "slow_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValidationError(f"{name} must be in [0, 1], got {rate}")
         if self.hang_seconds < 0:
             raise ValidationError("hang_seconds must be >= 0")
+        if self.slow_seconds < 0:
+            raise ValidationError("slow_seconds must be >= 0")
 
     @property
     def total_rate(self) -> float:
@@ -105,7 +125,7 @@ class FaultPlan:
         return min(
             1.0,
             self.crash_rate + self.hang_rate + self.nan_rate
-            + self.drop_rate + self.duplicate_rate,
+            + self.drop_rate + self.duplicate_rate + self.slow_rate,
         )
 
     def decide(self, unit_seed: int, attempt: int) -> str | None:
@@ -120,11 +140,25 @@ class FaultPlan:
         )
         draws = rng.random(len(FAULT_KINDS))
         rates = (self.crash_rate, self.hang_rate, self.nan_rate,
-                 self.drop_rate, self.duplicate_rate)
+                 self.drop_rate, self.duplicate_rate, self.slow_rate)
         for kind, draw, rate in zip(FAULT_KINDS, draws, rates):
             if draw < rate:
                 return kind
         return None
+
+    def slow_delay(self, unit_seed: int, attempt: int) -> float:
+        """Seconds an injected ``slow`` fault delays this ``(unit, attempt)``.
+
+        Deterministic latency jitter in
+        ``[0.5 * slow_seconds, 1.5 * slow_seconds)``; the RNG key extends
+        the :meth:`decide` key with a constant discriminator so the delay
+        draw never aliases the fault-selection draws.
+        """
+        rng = np.random.default_rng(
+            [int(self.seed), int(unit_seed) & 0xFFFFFFFFFFFFFFFF,
+             int(attempt), 0x510]
+        )
+        return float(self.slow_seconds * (0.5 + rng.random()))
 
 
 def _poison_candidates(result: object) -> object:
@@ -167,6 +201,8 @@ class _BoundInjector:
     def __call__(self, unit):
         plan = self._plan
         fault = plan.decide(unit.seed, self._attempt)
+        if fault == "slow":
+            time.sleep(plan.slow_delay(unit.seed, self._attempt))
         if fault == "crash":
             raise WorkerCrashError(
                 f"injected crash (unit seed={unit.seed}, "

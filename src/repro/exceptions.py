@@ -68,3 +68,68 @@ class QuorumError(PartialResultError):
 
 class CheckpointError(ReproError):
     """A checkpoint directory is unusable or belongs to a different run."""
+
+
+class ServeError(ReproError):
+    """Base class for every failure raised by the online serving layer.
+
+    Every request-path failure in :mod:`repro.serve` is a subclass, so a
+    caller can distinguish "my request was bad" from "the service is
+    degraded" from "the artifact on disk is unusable" without string
+    matching.
+    """
+
+
+class ArtifactError(ServeError):
+    """A model artifact on disk could not be used."""
+
+
+class ArtifactIntegrityError(ArtifactError):
+    """An artifact file is corrupt: bad checksum, unreadable payload,
+    or a payload that is not a fitted classifier."""
+
+
+class ArtifactVersionError(ArtifactError):
+    """An artifact was written by an incompatible format or package
+    version and is refused rather than loaded on faith."""
+
+
+class RequestError(ServeError):
+    """A single serving request failed; other requests are unaffected."""
+
+
+class InvalidRequestError(RequestError, ValueError):
+    """A request payload failed the serving data contracts.
+
+    Inherits :class:`ValueError` for parity with
+    :class:`ValidationError` so generic callers keep working.
+    """
+
+
+class DeadlineExceededError(RequestError):
+    """A request's deadline expired before a result could be produced
+    (enforced at queue admission and at kernel-batch boundaries)."""
+
+
+class QueueFullError(RequestError):
+    """The admission queue is full and the reject-newest policy refused
+    the request (backpressure signal to the caller)."""
+
+
+class RequestSheddedError(RequestError):
+    """The request was admitted but later evicted by the shed-oldest
+    load-shedding policy to make room under overload."""
+
+
+class RequestFailedError(RequestError):
+    """The request permanently failed after the batched path and the
+    serial fallback (including retries) were exhausted."""
+
+
+class CircuitOpenError(ServeError):
+    """The circuit breaker around the worker pool is open and the
+    request was refused without attempting computation."""
+
+
+class ServiceClosedError(ServeError):
+    """The service is stopped (or stopping) and accepts no requests."""

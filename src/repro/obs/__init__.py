@@ -33,6 +33,7 @@ See ``docs/observability.md``.
 """
 
 from repro.obs.manifest import (
+    UNKNOWN_GIT_SHA,
     dataset_fingerprint,
     git_sha,
     package_versions,
@@ -63,6 +64,7 @@ __all__ = [
     "OBSERVABILITY_MODES",
     "Span",
     "Trace",
+    "UNKNOWN_GIT_SHA",
     "dataset_fingerprint",
     "git_sha",
     "global_metrics",

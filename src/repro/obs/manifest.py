@@ -20,36 +20,61 @@ from pathlib import Path
 from repro._version import __version__
 
 
-def git_sha(start: str | Path | None = None) -> str | None:
+#: Manifest value when no commit SHA can be determined. A constant (not
+#: ``None``) so downstream consumers comparing manifests never have to
+#: branch on missing keys vs null values.
+UNKNOWN_GIT_SHA = "unknown"
+
+
+def git_sha(start: str | Path | None = None) -> str:
     """Best-effort HEAD commit of the enclosing git checkout.
 
-    Reads ``.git`` files directly (no subprocess): resolves ``HEAD``
-    through one level of symbolic ref, falling back to
-    ``packed-refs``. Returns ``None`` outside a checkout or on any
-    parsing hiccup — a manifest must never fail a run.
+    Reads ``.git`` directly (no subprocess): resolves ``HEAD`` through
+    one level of symbolic ref, falling back to ``packed-refs``, and
+    follows a ``.git`` *file* (worktree/submodule ``gitdir:`` pointer)
+    one hop. Degrades to :data:`UNKNOWN_GIT_SHA` outside a checkout, on
+    a detached/malformed ``HEAD``, an unreadable or packed ref, or any
+    other parsing hiccup — a manifest must never fail a run, whatever
+    state the checkout is in.
     """
     try:
         here = Path(start) if start is not None else Path(__file__).resolve()
         for parent in [here, *here.parents]:
             git_dir = parent / ".git"
+            if git_dir.is_file():
+                # Worktree / submodule: ".git" is a one-line pointer file.
+                pointer = git_dir.read_text(errors="replace").strip()
+                if not pointer.startswith("gitdir:"):
+                    return UNKNOWN_GIT_SHA
+                target = Path(pointer.split(":", 1)[1].strip())
+                if not target.is_absolute():
+                    target = parent / target
+                git_dir = target
             if not git_dir.is_dir():
                 continue
-            head = (git_dir / "HEAD").read_text().strip()
+            head_file = git_dir / "HEAD"
+            if not head_file.exists():
+                return UNKNOWN_GIT_SHA
+            head = head_file.read_text(errors="replace").strip()
             if not head.startswith("ref:"):
-                return head or None
-            ref = head.split(None, 1)[1].strip()
+                # Detached HEAD: the file holds the commit SHA itself.
+                return head or UNKNOWN_GIT_SHA
+            parts = head.split(None, 1)
+            if len(parts) < 2 or not parts[1].strip():
+                return UNKNOWN_GIT_SHA
+            ref = parts[1].strip()
             ref_file = git_dir / ref
             if ref_file.exists():
-                return ref_file.read_text().strip() or None
+                return ref_file.read_text(errors="replace").strip() or UNKNOWN_GIT_SHA
             packed = git_dir / "packed-refs"
             if packed.exists():
-                for line in packed.read_text().splitlines():
+                for line in packed.read_text(errors="replace").splitlines():
                     if line.endswith(ref) and not line.startswith(("#", "^")):
                         return line.split(None, 1)[0]
-            return None
-    except OSError:
-        return None
-    return None
+            return UNKNOWN_GIT_SHA
+    except Exception:  # noqa: BLE001 - manifests degrade, never raise
+        return UNKNOWN_GIT_SHA
+    return UNKNOWN_GIT_SHA
 
 
 def dataset_fingerprint(dataset) -> dict:

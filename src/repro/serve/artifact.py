@@ -1,0 +1,258 @@
+"""Frozen-model artifacts: save/load a fitted classifier with integrity checks.
+
+An artifact is a directory::
+
+    <artifact_dir>/
+        manifest.json   # run-manifest fields + format version + checksums
+        model.bin       # the frozen classifier payload (stdlib pickle)
+
+The manifest reuses the :func:`repro.obs.run_manifest` format — full
+config, seed, dataset SHA-256 fingerprint, package versions, git SHA —
+extended with an artifact ``format_version`` and a per-file SHA-256
+checksum table. Loading refuses, with *typed* errors, anything it cannot
+vouch for:
+
+* missing directory / manifest / payload → :class:`ArtifactError`;
+* unparseable manifest, checksum mismatch, unpicklable payload, or a
+  payload that is not a fitted classifier →
+  :class:`ArtifactIntegrityError`;
+* unknown ``format_version`` (or, under ``strict_versions=True``, any
+  package-version drift) → :class:`ArtifactVersionError`.
+
+The checksum table guards against *corruption* (torn writes, bit rot,
+truncated copies), not against a malicious artifact author: the payload
+is a pickle, so only load artifacts you produced. Writes are atomic
+(temp file + ``os.replace``), matching the checkpoint store's crash
+discipline.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import time
+from pathlib import Path
+
+from repro.exceptions import (
+    ArtifactError,
+    ArtifactIntegrityError,
+    ArtifactVersionError,
+    NotFittedError,
+)
+from repro.obs.manifest import dataset_fingerprint, git_sha, package_versions
+
+#: Bumped whenever the payload layout changes incompatibly.
+ARTIFACT_FORMAT_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_MODEL = "model.bin"
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(payload)
+    os.replace(tmp, path)
+
+
+def _frozen_copy(classifier):
+    """A lean, inference-only copy of a fitted classifier.
+
+    Discovery-time state (candidate pools, traces, kernel caches) can be
+    orders of magnitude larger than the model and is useless at serving
+    time, so it is stripped. The copy still satisfies
+    ``predict``/``score`` bit-identically — only ``fit`` is off the
+    table, which is the definition of a frozen artifact.
+    """
+    frozen = copy.copy(classifier)
+    frozen.discoverer_ = None
+    frozen.discovery_result_ = None
+    frozen._tracer = None
+    if frozen._transform is not None:
+        transform = copy.copy(frozen._transform)
+        transform.cache = None
+        frozen._transform = transform
+    return frozen
+
+
+def save_artifact(classifier, artifact_dir: str | Path) -> Path:
+    """Persist a fitted :class:`~repro.core.pipeline.IPSClassifier`.
+
+    Returns the artifact directory. Raises
+    :class:`~repro.exceptions.NotFittedError` for an unfitted classifier
+    — an artifact that cannot predict is not worth writing.
+    """
+    if (
+        getattr(classifier, "_svm", None) is None
+        or getattr(classifier, "_transform", None) is None
+        or getattr(classifier, "_scaler", None) is None
+        or getattr(classifier, "_dataset", None) is None
+    ):
+        raise NotFittedError("cannot save an unfitted classifier as an artifact")
+    artifact_dir = Path(artifact_dir)
+    artifact_dir.mkdir(parents=True, exist_ok=True)
+
+    payload = pickle.dumps(_frozen_copy(classifier), protocol=4)
+    model_path = artifact_dir / _MODEL
+    _atomic_write_bytes(model_path, payload)
+
+    from repro.obs.trace import jsonify
+
+    dataset = classifier._dataset
+    manifest = {
+        "format_version": ARTIFACT_FORMAT_VERSION,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": jsonify(dataclasses.asdict(classifier.config)),
+        "seed": classifier.config.seed,
+        "dataset": dataset_fingerprint(dataset),
+        "versions": package_versions(),
+        "git_sha": git_sha(),
+        "model": {
+            "n_shapelets": len(classifier.shapelets_ or []),
+            "series_length": dataset.series_length,
+            "n_classes": dataset.n_classes,
+            "classes": [int(c) for c in dataset.classes_],
+            "final_classifier": classifier.config.final_classifier,
+        },
+        "files": {_MODEL: _sha256_file(model_path)},
+    }
+    _atomic_write_bytes(
+        artifact_dir / _MANIFEST,
+        (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode(),
+    )
+    return artifact_dir
+
+
+def read_manifest(artifact_dir: str | Path) -> dict:
+    """Parse and structurally check an artifact manifest (typed errors)."""
+    artifact_dir = Path(artifact_dir)
+    path = artifact_dir / _MANIFEST
+    if not artifact_dir.is_dir():
+        raise ArtifactError(f"artifact directory {artifact_dir} does not exist")
+    if not path.exists():
+        raise ArtifactError(f"artifact at {artifact_dir} has no {_MANIFEST}")
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ArtifactIntegrityError(
+            f"unreadable artifact manifest at {path}: {exc}"
+        ) from exc
+    if not isinstance(manifest, dict) or "files" not in manifest:
+        raise ArtifactIntegrityError(
+            f"artifact manifest at {path} is missing its checksum table"
+        )
+    version = manifest.get("format_version")
+    if version != ARTIFACT_FORMAT_VERSION:
+        raise ArtifactVersionError(
+            f"artifact format_version {version!r} is not the supported "
+            f"{ARTIFACT_FORMAT_VERSION}; re-export the artifact"
+        )
+    return manifest
+
+
+def verify_checksums(artifact_dir: str | Path, manifest: dict) -> None:
+    """Check every file in the manifest's checksum table (typed errors)."""
+    artifact_dir = Path(artifact_dir)
+    for name, expected in manifest["files"].items():
+        path = artifact_dir / name
+        if not path.exists():
+            raise ArtifactIntegrityError(
+                f"artifact file {name} listed in the manifest is missing"
+            )
+        actual = _sha256_file(path)
+        if actual != expected:
+            raise ArtifactIntegrityError(
+                f"artifact file {name} failed its checksum "
+                f"(expected {expected[:12]}..., got {actual[:12]}...): "
+                "the artifact is corrupt; re-export it"
+            )
+
+
+def load_artifact(
+    artifact_dir: str | Path, *, strict_versions: bool = False
+):
+    """Load a frozen classifier, refusing corrupt or mismatched artifacts.
+
+    Parameters
+    ----------
+    artifact_dir:
+        Directory written by :func:`save_artifact`.
+    strict_versions:
+        When True, any difference between the manifest's recorded
+        package versions (numpy/scipy/repro/python) and the running
+        environment raises :class:`ArtifactVersionError`. Default off:
+        numerical drift across patch versions is tolerated, format drift
+        never is.
+
+    Returns
+    -------
+    The fitted classifier, exactly as frozen (``predict`` bit-identical
+    to the classifier that was saved).
+    """
+    artifact_dir = Path(artifact_dir)
+    manifest = read_manifest(artifact_dir)
+    if strict_versions:
+        current = package_versions()
+        recorded = manifest.get("versions", {})
+        drift = {
+            name: (recorded.get(name), current[name])
+            for name in current
+            if recorded.get(name) != current[name]
+        }
+        if drift:
+            detail = ", ".join(
+                f"{name}: artifact {old!r} vs running {new!r}"
+                for name, (old, new) in sorted(drift.items())
+            )
+            raise ArtifactVersionError(
+                f"package versions drifted since the artifact was written "
+                f"({detail}); pass strict_versions=False to accept"
+            )
+    verify_checksums(artifact_dir, manifest)
+    model_path = artifact_dir / _MODEL
+    try:
+        with open(model_path, "rb") as fh:
+            classifier = pickle.load(fh)
+    except Exception as exc:  # noqa: BLE001 - any unpickle failure => corrupt
+        raise ArtifactIntegrityError(
+            f"artifact payload {model_path} failed to load: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+    from repro.core.pipeline import IPSClassifier
+
+    if not isinstance(classifier, IPSClassifier):
+        raise ArtifactIntegrityError(
+            f"artifact payload is a {type(classifier).__name__}, "
+            "not an IPSClassifier"
+        )
+    if (
+        getattr(classifier, "_svm", None) is None
+        or getattr(classifier, "_transform", None) is None
+        or getattr(classifier, "_scaler", None) is None
+        or getattr(classifier, "_dataset", None) is None
+    ):
+        raise ArtifactIntegrityError(
+            "artifact payload is an unfitted classifier"
+        )
+    return classifier
+
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "load_artifact",
+    "read_manifest",
+    "save_artifact",
+    "verify_checksums",
+]

@@ -1,0 +1,121 @@
+"""Circuit breaker around the batched worker path.
+
+Standard three-state breaker (Nygard's *Release It!* pattern),
+deterministic and clock-injectable so chaos tests can drive every
+transition without real sleeps:
+
+* **closed** — requests flow; ``failure_threshold`` *consecutive*
+  failures trip it open (a single success resets the streak);
+* **open** — the batched path is skipped entirely for
+  ``reset_after`` seconds (the service degrades to its serial
+  fallback), after which the next request becomes a half-open probe;
+* **half-open** — exactly one probe is allowed through; success closes
+  the breaker, failure re-opens it and restarts the cool-down.
+
+All methods are thread-safe; the breaker never raises — refusal is a
+``False`` from :meth:`allow`, and the service decides what refusal means
+(here: degrade, don't drop).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.exceptions import ValidationError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a timed half-open probe schedule."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_after: float = 0.1,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValidationError("failure_threshold must be >= 1")
+        if reset_after < 0:
+            raise ValidationError("reset_after must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self._times_opened = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing ``open -> half-open`` if due."""
+        with self._lock:
+            self._advance()
+            return self._state
+
+    def _advance(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.reset_after
+        ):
+            self._state = HALF_OPEN
+            self._probe_in_flight = False
+
+    def allow(self) -> bool:
+        """Whether the next batched attempt may proceed.
+
+        In half-open state, only one caller at a time gets a ``True``
+        (the probe); everyone else is refused until the probe reports.
+        """
+        with self._lock:
+            self._advance()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A batched attempt succeeded: close and reset the streak."""
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """A batched attempt failed: count it, trip if the streak is full.
+
+        A half-open probe failure re-opens immediately regardless of the
+        threshold — the probe existed to answer exactly this question.
+        """
+        with self._lock:
+            self._advance()
+            self._consecutive_failures += 1
+            if (
+                self._state == HALF_OPEN
+                or self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probe_in_flight = False
+                self._times_opened += 1
+
+    def stats(self) -> dict:
+        """Snapshot for the service's stats endpoint."""
+        with self._lock:
+            self._advance()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "times_opened": self._times_opened,
+            }
+
+
+__all__ = ["CLOSED", "HALF_OPEN", "OPEN", "CircuitBreaker"]

@@ -1,0 +1,97 @@
+"""Deterministic fault injection for the serving request path.
+
+Extends :mod:`repro.distributed.faults` into the service: the same
+:class:`~repro.distributed.faults.FaultPlan` drives per-*request* fault
+decisions, keyed by ``(plan seed, request seed, attempt)`` exactly like
+distributed work units — so a chaos campaign against the service replays
+bit-for-bit, and a request that fails on the batched attempt (attempt 0)
+draws fresh deterministic fate on the serial fallback (attempt 1+),
+which is what makes injected faults recoverable.
+
+Fault kinds map onto serving failure modes:
+
+``crash``
+    The worker handling the batch dies: the whole batched attempt raises
+    :class:`~repro.exceptions.WorkerCrashError` (one sick request takes
+    its batch down, like a real worker process).
+``hang``
+    The worker never answers: raises the
+    :class:`~repro.exceptions.UnitTimeoutError` sentinel (or really
+    sleeps ``hang_seconds`` when set) — surfacing as a deadline/batch
+    failure.
+``slow``
+    Deterministic latency jitter (see ``FaultPlan.slow_delay``): the
+    answer is correct but late, driving deadline enforcement and tail
+    latency.
+``nan``
+    A corrupt payload: the request's prediction is replaced by
+    :data:`CORRUPT_LABEL`, a label no trained classifier emits — payload
+    validation must catch it before it reaches the caller.
+
+``drop``/``duplicate`` have no serving analogue (the request path is
+call/response, not message passing) and are ignored.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.distributed.faults import FaultPlan
+from repro.exceptions import UnitTimeoutError, WorkerCrashError
+
+#: Sentinel prediction standing in for a corrupted payload. No classifier
+#: can produce it (labels come from ``Dataset.classes_``, which are real
+#: class values), so payload validation always detects it.
+CORRUPT_LABEL = np.int64(np.iinfo(np.int64).min)
+
+
+class RequestFaultInjector:
+    """Apply a :class:`FaultPlan` to serving requests.
+
+    ``pre_compute`` runs the faults that happen *before* an answer
+    exists (crash / hang / slow); ``corrupts`` reports whether the
+    answer must be poisoned afterwards. Both are pure functions of
+    ``(request seed, attempt)``.
+    """
+
+    def __init__(self, plan: FaultPlan, sleep=time.sleep) -> None:
+        self.plan = plan
+        self._sleep = sleep
+
+    def decide(self, request_seed: int, attempt: int) -> str | None:
+        """The fault (if any) hitting this ``(request, attempt)`` pair."""
+        return self.plan.decide(request_seed, attempt)
+
+    def pre_compute(self, request_seed: int, attempt: int) -> str | None:
+        """Run pre-answer faults; returns the decided fault kind.
+
+        Raises :class:`WorkerCrashError` / :class:`UnitTimeoutError` for
+        crash and hang; sleeps for slow (and for a live ``hang_seconds``
+        hang); is a no-op for payload corruption (handled post-answer).
+        """
+        fault = self.decide(request_seed, attempt)
+        if fault == "crash":
+            raise WorkerCrashError(
+                f"injected worker crash (request seed={request_seed}, "
+                f"attempt={attempt})"
+            )
+        if fault == "hang":
+            if self.plan.hang_seconds > 0:
+                self._sleep(self.plan.hang_seconds)
+            else:
+                raise UnitTimeoutError(
+                    f"injected worker hang (request seed={request_seed}, "
+                    f"attempt={attempt})"
+                )
+        if fault == "slow":
+            self._sleep(self.plan.slow_delay(request_seed, attempt))
+        return fault
+
+    def corrupts(self, request_seed: int, attempt: int) -> bool:
+        """Whether this ``(request, attempt)``'s payload gets poisoned."""
+        return self.decide(request_seed, attempt) == "nan"
+
+
+__all__ = ["CORRUPT_LABEL", "RequestFaultInjector"]

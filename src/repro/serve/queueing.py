@@ -1,0 +1,122 @@
+"""Bounded admission queue: backpressure and load-shedding for the service.
+
+The queue is the service's only buffer, so its bound *is* the
+backpressure mechanism: when ``depth`` requests are already waiting, the
+admission policy decides who pays —
+
+``reject-newest``
+    The arriving request is refused with
+    :class:`repro.exceptions.QueueFullError` (classic backpressure: the
+    caller learns immediately and can retry elsewhere).
+``shed-oldest``
+    The oldest waiting request is evicted and completed with
+    :class:`repro.exceptions.RequestSheddedError`, and the arriving one
+    is admitted (freshness-first: under overload, old requests are the
+    most likely to be past their deadline anyway).
+
+Eviction hands the shed entries back to the caller instead of completing
+them under the queue lock, so user-visible callbacks never run inside
+the queue's critical section (a classic deadlock source).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.exceptions import QueueFullError, ServiceClosedError, ValidationError
+
+SHED_POLICIES = ("reject-newest", "shed-oldest")
+
+
+class AdmissionQueue:
+    """Thread-safe bounded FIFO with an explicit overflow policy."""
+
+    def __init__(self, depth: int, policy: str = "reject-newest") -> None:
+        if depth < 1:
+            raise ValidationError(f"queue depth must be >= 1, got {depth}")
+        if policy not in SHED_POLICIES:
+            raise ValidationError(
+                f"unknown shed policy {policy!r}; expected one of {SHED_POLICIES}"
+            )
+        self.depth = depth
+        self.policy = policy
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        #: Admission statistics (read under the lock via :meth:`stats`).
+        self._admitted = 0
+        self._rejected = 0
+        self._shed = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def put(self, item) -> list:
+        """Admit ``item``; returns the entries shed to make room.
+
+        Raises :class:`QueueFullError` under the ``reject-newest``
+        policy when full, and :class:`ServiceClosedError` after
+        :meth:`close`. The returned (possibly empty) list of evicted
+        entries must be completed by the caller — outside the lock.
+        """
+        with self._not_empty:
+            if self._closed:
+                raise ServiceClosedError("service is stopped; request refused")
+            shed: list = []
+            if len(self._items) >= self.depth:
+                if self.policy == "reject-newest":
+                    self._rejected += 1
+                    raise QueueFullError(
+                        f"admission queue full ({self.depth} waiting); "
+                        "request rejected (backpressure)"
+                    )
+                while len(self._items) >= self.depth:
+                    shed.append(self._items.popleft())
+                    self._shed += 1
+            self._items.append(item)
+            self._admitted += 1
+            self._not_empty.notify()
+            return shed
+
+    def get_batch(self, max_batch: int, timeout: float) -> list:
+        """Pop up to ``max_batch`` entries, waiting up to ``timeout``.
+
+        Returns an empty list on timeout or once the queue is closed and
+        drained — the worker-loop exit signal.
+        """
+        with self._not_empty:
+            if not self._items and not self._closed:
+                self._not_empty.wait(timeout)
+            batch = []
+            while self._items and len(batch) < max_batch:
+                batch.append(self._items.popleft())
+            return batch
+
+    def drain(self) -> list:
+        """Remove and return every waiting entry (used at shutdown)."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            return items
+
+    def close(self) -> None:
+        """Refuse all future admissions and wake every waiting worker."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def stats(self) -> dict:
+        """Snapshot of admission counters."""
+        with self._lock:
+            return {
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+                "shed": self._shed,
+                "waiting": len(self._items),
+            }
+
+
+__all__ = ["AdmissionQueue", "SHED_POLICIES"]

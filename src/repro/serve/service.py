@@ -1,0 +1,596 @@
+"""The online inference service: admission, microbatching, degradation.
+
+Request lifecycle::
+
+    submit ── validate (strict/repair/off) ── deadline stamped
+        └─> AdmissionQueue (bounded; backpressure / load shedding)
+              └─> worker thread: collect microbatch
+                    ├─ drop requests already past deadline (typed error)
+                    ├─ circuit breaker closed? ── batched predict through
+                    │    the repro.kernels facade (warm shared SeriesCache)
+                    │    └─ payload validated; corrupt/failed requests
+                    │       fall through ↓, healthy ones complete
+                    └─ breaker open, batch crashed, or payload corrupt:
+                         serial fallback — per-request retries with
+                         attempt-indexed fault decisions (the
+                         RetryingExecutor recipe), deadline checked
+                         before every attempt
+
+The degradation ladder is therefore: *batched* → *serial with retries* →
+*typed failure*. Every terminal state is a typed :class:`ServeError`
+subclass; no request ever blocks forever (deadlines and shutdown both
+complete futures), and no accepted request is silently dropped.
+
+Determinism: predictions on the batched and serial paths go through the
+same kernels (`batch_min_distance`), so every *successful* response is
+bit-identical to offline ``IPSClassifier.predict`` — the chaos suite's
+core invariant.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.transform import ShapeletTransform
+from repro.exceptions import (
+    DeadlineExceededError,
+    InvalidRequestError,
+    NotFittedError,
+    RequestFailedError,
+    RequestSheddedError,
+    ServiceClosedError,
+    ValidationError,
+)
+from repro.kernels import SeriesCache
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.faults import CORRUPT_LABEL, RequestFaultInjector
+from repro.serve.queueing import SHED_POLICIES, AdmissionQueue
+from repro.validation import pad_or_truncate, validate_series
+from repro.validation.contracts import VALIDATION_MODES
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one :class:`InferenceService` instance.
+
+    Attributes
+    ----------
+    queue_depth:
+        Admission-queue bound — the backpressure knob.
+    shed_policy:
+        ``"reject-newest"`` or ``"shed-oldest"`` (see
+        :mod:`repro.serve.queueing`).
+    max_batch:
+        Microbatch width: how many waiting requests one kernel pass
+        serves.
+    batch_wait_s:
+        How long an idle worker blocks waiting for work before looping
+        (also bounds shutdown latency).
+    default_deadline_s:
+        Deadline applied when a request does not carry one; ``None``
+        means no deadline.
+    validation:
+        Per-request data-contract mode: ``"strict"``, ``"repair"``, or
+        ``"off"``.
+    n_workers:
+        Worker threads draining the queue.
+    breaker_threshold, breaker_reset_s:
+        Circuit-breaker trip streak and open-state cool-down.
+    serial_retries:
+        Extra attempts each request gets on the serial fallback path.
+    cache_max_entries:
+        The warm shared :class:`SeriesCache` is cleared once it holds
+        this many entries — request matrices are transient, and an
+        identity-keyed cache would otherwise grow without bound.
+    """
+
+    queue_depth: int = 64
+    shed_policy: str = "reject-newest"
+    max_batch: int = 16
+    batch_wait_s: float = 0.01
+    default_deadline_s: float | None = None
+    validation: str = "repair"
+    n_workers: int = 1
+    breaker_threshold: int = 3
+    breaker_reset_s: float = 0.05
+    serial_retries: int = 2
+    cache_max_entries: int = 512
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise ValidationError("queue_depth must be >= 1")
+        if self.shed_policy not in SHED_POLICIES:
+            raise ValidationError(
+                f"unknown shed_policy {self.shed_policy!r}"
+            )
+        if self.max_batch < 1:
+            raise ValidationError("max_batch must be >= 1")
+        if self.batch_wait_s <= 0:
+            raise ValidationError("batch_wait_s must be > 0")
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ValidationError("default_deadline_s must be > 0 when set")
+        if self.validation not in VALIDATION_MODES:
+            raise ValidationError(
+                f"unknown validation mode {self.validation!r}"
+            )
+        if self.n_workers < 1:
+            raise ValidationError("n_workers must be >= 1")
+        if self.serial_retries < 0:
+            raise ValidationError("serial_retries must be >= 0")
+        if self.cache_max_entries < 1:
+            raise ValidationError("cache_max_entries must be >= 1")
+
+
+class ServeFuture:
+    """Completion handle of one submitted request.
+
+    Completed exactly once (first writer wins); :meth:`result` either
+    returns the predicted label or raises the request's typed error.
+    """
+
+    __slots__ = ("_event", "_value", "_error", "request_id", "latency")
+
+    def __init__(self, request_id: int) -> None:
+        self._event = threading.Event()
+        self._value = None
+        self._error: BaseException | None = None
+        self.request_id = request_id
+        #: Seconds from submit to completion (set by the service).
+        self.latency: float | None = None
+
+    def done(self) -> bool:
+        """Whether the request has completed (either way)."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None):
+        """Block for the outcome: the predicted label, or a typed raise."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} still pending after {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def error(self) -> BaseException | None:
+        """The stored error after completion, if any (non-blocking)."""
+        return self._error
+
+
+@dataclass
+class _Request:
+    """Internal queue entry: one validated series plus its bookkeeping."""
+
+    request_id: int
+    seed: int
+    series: np.ndarray
+    deadline: float | None
+    future: ServeFuture
+    submitted_at: float = 0.0
+    attempts: int = 0
+
+
+class InferenceService:
+    """Low-latency serving wrapper around a frozen, fitted classifier.
+
+    Parameters
+    ----------
+    classifier:
+        A fitted :class:`~repro.core.pipeline.IPSClassifier` (typically
+        from :func:`repro.serve.load_artifact`).
+    config:
+        :class:`ServeConfig`; defaults are sized for tests/benchmarks.
+    fault_plan:
+        Optional :class:`~repro.distributed.faults.FaultPlan` — wraps
+        both execution paths with deterministic per-request fault
+        injection (the chaos-test substrate).
+    clock:
+        Monotonic clock, injectable for deterministic deadline tests.
+    """
+
+    def __init__(
+        self,
+        classifier,
+        config: ServeConfig | None = None,
+        fault_plan=None,
+        clock=time.monotonic,
+    ) -> None:
+        if (
+            getattr(classifier, "_svm", None) is None
+            or getattr(classifier, "_scaler", None) is None
+            or getattr(classifier, "_dataset", None) is None
+            or not getattr(classifier, "shapelets_", None)
+        ):
+            raise NotFittedError("InferenceService needs a fitted classifier")
+        self.classifier = classifier
+        self.config = config or ServeConfig()
+        self._clock = clock
+        self._injector = (
+            RequestFaultInjector(fault_plan) if fault_plan is not None else None
+        )
+        dataset = classifier._dataset
+        self.series_length: int = dataset.series_length
+        self._classes = np.asarray(dataset.classes_, dtype=np.int64)
+        # Warm shared cache + a service-owned transform bound to it: the
+        # same shapelet objects and classifier weights as offline predict,
+        # so responses stay bit-identical while window stats/FFTs of each
+        # microbatch are computed once per batch, not once per shapelet.
+        self._cache = SeriesCache()
+        base_transform = classifier._transform
+        self._transform = ShapeletTransform(
+            classifier.shapelets_,
+            metric=getattr(base_transform, "metric", "euclidean"),
+            dtw_band=getattr(base_transform, "dtw_band", 5),
+            cache=self._cache,
+        )
+        self.queue = AdmissionQueue(
+            self.config.queue_depth, self.config.shed_policy
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            reset_after=self.config.breaker_reset_s,
+            clock=clock,
+        )
+        self._lock = threading.Lock()
+        self._workers: list[threading.Thread] = []
+        self._running = False
+        self._next_id = 0
+        self._stats = {
+            "submitted": 0,
+            "completed": 0,
+            "invalid": 0,
+            "expired": 0,
+            "shed": 0,
+            "rejected": 0,
+            "failed": 0,
+            "serial_fallbacks": 0,
+            "batches": 0,
+        }
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> "InferenceService":
+        """Spawn the worker threads (idempotent)."""
+        with self._lock:
+            if self._running:
+                return self
+            self._running = True
+            self._workers = [
+                threading.Thread(
+                    target=self._worker_loop,
+                    name=f"repro-serve-{i}",
+                    daemon=True,
+                )
+                for i in range(self.config.n_workers)
+            ]
+            for worker in self._workers:
+                worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting work, fail pending requests, join the workers."""
+        with self._lock:
+            if not self._running:
+                return
+            self._running = False
+        self.queue.close()
+        for request in self.queue.drain():
+            self._complete(
+                request,
+                error=ServiceClosedError(
+                    "service stopped before the request was served"
+                ),
+            )
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        self._workers = []
+
+    def __enter__(self) -> "InferenceService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        """Whether the worker pool is live."""
+        return self._running
+
+    # -- request path -----------------------------------------------------
+
+    def _validate_request(self, series) -> np.ndarray:
+        """Apply the per-request data contracts; typed errors on refusal."""
+        mode = self.config.validation
+        try:
+            arr = np.asarray(series, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise InvalidRequestError(f"request is not numeric: {exc}") from exc
+        if arr.ndim != 1:
+            raise InvalidRequestError(
+                f"request series must be 1-D, got shape {arr.shape}"
+            )
+        if arr.size == 0:
+            raise InvalidRequestError("request series is empty")
+        if mode == "off":
+            if arr.size != self.series_length:
+                raise InvalidRequestError(
+                    f"request length {arr.size} != model series length "
+                    f"{self.series_length} (validation is off; no repair)"
+                )
+            if not np.isfinite(arr).all():
+                raise InvalidRequestError(
+                    "request contains non-finite values (validation is off)"
+                )
+            return arr.copy()
+        try:
+            arr, _report = validate_series(arr, mode=mode, name="request")
+        except ValidationError as exc:
+            raise InvalidRequestError(str(exc)) from exc
+        if arr.size != self.series_length:
+            if mode == "strict":
+                raise InvalidRequestError(
+                    f"request length {arr.size} != model series length "
+                    f"{self.series_length}"
+                )
+            arr = pad_or_truncate(arr, self.series_length)
+        return arr
+
+    def submit(
+        self,
+        series,
+        deadline_s: float | None = None,
+        *,
+        seed: int | None = None,
+    ) -> ServeFuture:
+        """Validate and enqueue one series; returns its future.
+
+        Admission-time refusals raise typed errors synchronously:
+        :class:`InvalidRequestError`, :class:`QueueFullError`,
+        :class:`DeadlineExceededError` (non-positive deadline), and
+        :class:`ServiceClosedError`. Requests evicted later by the
+        shed-oldest policy see :class:`RequestSheddedError` through
+        their future.
+        """
+        if not self._running:
+            raise ServiceClosedError("service is not running; call start()")
+        now = self._clock()
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        if deadline_s is not None and deadline_s <= 0:
+            self._count("expired")
+            raise DeadlineExceededError(
+                f"deadline {deadline_s}s already expired at admission"
+            )
+        try:
+            arr = self._validate_request(series)
+        except InvalidRequestError:
+            self._count("invalid")
+            raise
+        with self._lock:
+            request_id = self._next_id
+            self._next_id += 1
+        request = _Request(
+            request_id=request_id,
+            seed=request_id if seed is None else seed,
+            series=arr,
+            deadline=None if deadline_s is None else now + deadline_s,
+            future=ServeFuture(request_id),
+            submitted_at=now,
+        )
+        try:
+            shed = self.queue.put(request)
+        except Exception:
+            self._count("rejected")
+            raise
+        self._count("submitted")
+        for victim in shed:
+            self._count("shed")
+            self._complete(
+                victim,
+                error=RequestSheddedError(
+                    f"request {victim.request_id} shed under overload "
+                    "(shed-oldest policy)"
+                ),
+            )
+        return request.future
+
+    def predict(self, series, deadline_s: float | None = None):
+        """Blocking single-request convenience: submit and wait."""
+        return self.submit(series, deadline_s).result()
+
+    def predict_many(self, X, deadline_s: float | None = None) -> list:
+        """Submit every row of ``X``; returns ``(label | None, error | None)``
+        pairs in row order, never raising for per-request failures."""
+        futures = []
+        for row in np.asarray(X, dtype=np.float64):
+            try:
+                futures.append(self.submit(row, deadline_s))
+            except Exception as exc:  # noqa: BLE001 - admission refusals are data
+                futures.append(exc)
+        out = []
+        for item in futures:
+            if isinstance(item, BaseException):
+                out.append((None, item))
+                continue
+            try:
+                out.append((item.result(), None))
+            except Exception as exc:  # noqa: BLE001
+                out.append((None, exc))
+        return out
+
+    # -- worker side ------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while self._running:
+            batch = self.queue.get_batch(
+                self.config.max_batch, self.config.batch_wait_s
+            )
+            if not batch:
+                continue
+            try:
+                self._process_batch(batch)
+            except Exception as exc:  # noqa: BLE001 - the loop must survive
+                for request in batch:
+                    self._complete(
+                        request,
+                        error=RequestFailedError(
+                            f"internal serving failure: "
+                            f"{type(exc).__name__}: {exc}"
+                        ),
+                    )
+
+    def _expire_due(self, requests: list) -> list:
+        """Complete past-deadline requests; returns the still-live rest."""
+        now = self._clock()
+        live = []
+        for request in requests:
+            if request.deadline is not None and now >= request.deadline:
+                self._count("expired")
+                self._complete(
+                    request,
+                    error=DeadlineExceededError(
+                        f"request {request.request_id} missed its deadline "
+                        "before execution"
+                    ),
+                )
+            else:
+                live.append(request)
+        return live
+
+    def _process_batch(self, batch: list) -> None:
+        self._count("batches")
+        live = self._expire_due(batch)
+        if not live:
+            return
+        serial: list = []
+        if self.breaker.allow():
+            try:
+                predictions = self._run_batched(live)
+            except Exception:  # noqa: BLE001 - batch death = worker failure
+                self.breaker.record_failure()
+                serial = live
+            else:
+                corrupt = ~np.isin(predictions, self._classes)
+                if corrupt.any():
+                    self.breaker.record_failure()
+                else:
+                    self.breaker.record_success()
+                for request, label, bad in zip(live, predictions, corrupt):
+                    if bad:
+                        serial.append(request)
+                    else:
+                        self._count("completed")
+                        self._complete(request, value=label)
+        else:
+            serial = live
+        for request in serial:
+            self._count("serial_fallbacks")
+            self._serve_serial(request)
+
+    def _predict_matrix(self, X: np.ndarray) -> np.ndarray:
+        """The offline-identical kernel path for one microbatch."""
+        if len(self._cache) > self.config.cache_max_entries:
+            self._cache.clear()
+        classifier = self.classifier
+        features = classifier._scaler.transform(self._transform.transform(X))
+        internal = classifier._svm.predict(features)
+        return self._classes[internal]
+
+    def _run_batched(self, requests: list) -> np.ndarray:
+        """One kernel pass over the microbatch, with fault hooks applied."""
+        attempt = 0
+        if self._injector is not None:
+            # A crash/hang anywhere in the batch takes the whole batch
+            # down, exactly like a worker process dying mid-request.
+            for request in requests:
+                self._injector.pre_compute(request.seed, attempt)
+        for request in requests:
+            request.attempts += 1
+        X = np.vstack([request.series for request in requests])
+        predictions = self._predict_matrix(X)
+        if self._injector is not None:
+            for i, request in enumerate(requests):
+                if self._injector.corrupts(request.seed, attempt):
+                    predictions[i] = CORRUPT_LABEL
+        return predictions
+
+    def _serve_serial(self, request) -> None:
+        """Degraded path: one request at a time, bounded retries.
+
+        The RetryingExecutor recipe applied to serving: per-attempt
+        exception capture, attempt-indexed fault decisions (so injected
+        faults are transient), payload validation, and the deadline
+        checked before every attempt.
+        """
+        last_error = "batched path failed"
+        for attempt in range(1, self.config.serial_retries + 2):
+            now = self._clock()
+            if request.deadline is not None and now >= request.deadline:
+                self._count("expired")
+                self._complete(
+                    request,
+                    error=DeadlineExceededError(
+                        f"request {request.request_id} missed its deadline "
+                        f"after {request.attempts} attempt(s)"
+                    ),
+                )
+                return
+            request.attempts += 1
+            try:
+                if self._injector is not None:
+                    self._injector.pre_compute(request.seed, attempt)
+                prediction = self._predict_matrix(
+                    request.series.reshape(1, -1)
+                )[0]
+                if self._injector is not None and self._injector.corrupts(
+                    request.seed, attempt
+                ):
+                    prediction = CORRUPT_LABEL
+            except Exception as exc:  # noqa: BLE001 - retryable by design
+                last_error = f"{type(exc).__name__}: {exc}"
+                continue
+            if not np.isin(prediction, self._classes):
+                last_error = "corrupt payload (prediction outside the class set)"
+                continue
+            self._count("completed")
+            self._complete(request, value=prediction)
+            return
+        self._count("failed")
+        self._complete(
+            request,
+            error=RequestFailedError(
+                f"request {request.request_id} failed after "
+                f"{request.attempts} attempt(s); last error: {last_error}"
+            ),
+        )
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def _complete(self, request, value=None, error=None) -> None:
+        future = request.future
+        if future.done():
+            return
+        future.latency = self._clock() - request.submitted_at
+        future._value = value
+        future._error = error
+        future._event.set()
+
+    def _count(self, key: str, n: int = 1) -> None:
+        with self._lock:
+            self._stats[key] += n
+
+    def stats(self) -> dict:
+        """Aggregate service / queue / breaker counters."""
+        with self._lock:
+            stats = dict(self._stats)
+        stats["queue"] = self.queue.stats()
+        stats["breaker"] = self.breaker.stats()
+        stats["cache_entries"] = len(self._cache)
+        return stats
+
+
+__all__ = ["InferenceService", "ServeConfig", "ServeFuture"]

@@ -40,6 +40,15 @@ def pytest_runtest_call(item):
         signal.signal(signal.SIGALRM, previous)
 
 
+def pytest_collection_modifyitems(items):
+    """Every serving-layer test carries the ``serve`` marker automatically,
+    so ``pytest -m serve`` (and ``make verify-serve``) selects the whole
+    suite without per-file bookkeeping."""
+    for item in items:
+        if item.fspath.basename.startswith("test_serve"):
+            item.add_marker(pytest.mark.serve)
+
+
 @pytest.fixture()
 def rng() -> np.random.Generator:
     """Fresh deterministic generator per test."""
@@ -66,3 +75,14 @@ def tiny_three_class() -> Dataset:
 def random_series(rng: np.random.Generator) -> np.ndarray:
     """A 200-point Gaussian series."""
     return rng.normal(size=200)
+
+
+@pytest.fixture(scope="session")
+def frozen_classifier(tiny_two_class):
+    """A fitted classifier shared by the serving suites (read-only)."""
+    from repro.core.config import IPSConfig
+    from repro.core.pipeline import IPSClassifier
+
+    return IPSClassifier(
+        IPSConfig(k=3, q_n=6, q_s=3, seed=7)
+    ).fit_dataset(tiny_two_class)

@@ -21,6 +21,36 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "GunPoint", "--method", "COTE"])
 
+    def test_serve_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_save_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "save", "GunPoint", "--out", "artifacts/gp"]
+        )
+        assert args.out == "artifacts/gp"
+        assert args.validation == "repair"
+
+    def test_serve_run_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "run", "--artifact", "artifacts/gp",
+                "--deadline-ms", "100", "--queue-depth", "8",
+                "--validation", "strict",
+            ]
+        )
+        assert args.artifact == "artifacts/gp"
+        assert args.deadline_ms == 100.0
+        assert args.queue_depth == 8
+        assert args.validation == "strict"
+
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve", "bench"])
+        assert args.requests == 200
+        assert args.deadline_ms is None
+        assert args.queue_depth is None
+
 
 class TestCommands:
     def test_list(self, capsys):

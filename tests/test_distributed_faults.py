@@ -8,11 +8,14 @@ bit-identical to the zero-fault run with the same master seed.
 
 from __future__ import annotations
 
+import tempfile
 import time
 from dataclasses import dataclass
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.config import FaultToleranceConfig, IPSConfig
 from repro.datasets.generators import make_planted_dataset
@@ -135,6 +138,45 @@ class TestFaultPlan:
         plan = FaultPlan(crash_rate=1.0, seed=3)
         assert all(plan.decide(s, a) == "crash" for s in range(20) for a in range(3))
 
+    def test_slow_rate_validated(self):
+        with pytest.raises(ValidationError):
+            FaultPlan(slow_rate=-0.1)
+        with pytest.raises(ValidationError):
+            FaultPlan(slow_seconds=-1.0)
+
+    def test_slow_delay_deterministic_and_bounded(self):
+        """The jitter is a pure function of (plan seed, unit, attempt),
+        bounded to [0.5x, 1.5x] of ``slow_seconds``."""
+        plan = FaultPlan(slow_rate=1.0, slow_seconds=0.01, seed=3)
+        delays = [
+            plan.slow_delay(s, a) for s in range(20) for a in range(3)
+        ]
+        assert delays == [
+            plan.slow_delay(s, a) for s in range(20) for a in range(3)
+        ]
+        assert all(0.005 <= d <= 0.015 for d in delays)
+        assert len(set(delays)) > 1  # it really is jitter
+
+    def test_appending_slow_kind_preserved_existing_decisions(self):
+        """``slow`` was appended to FAULT_KINDS after campaigns already
+        existed: the first five uniform draws must be unchanged (numpy
+        Generator prefix property), and a plan without slow_rate must
+        never decide ``slow`` — so recorded campaigns replay as before."""
+        for unit_seed in (0, 7, 2**40):
+            for attempt in (0, 1):
+                key = [42, unit_seed & 0xFFFFFFFFFFFFFFFF, attempt]
+                with_slow = np.random.default_rng(key).random(6)
+                legacy = np.random.default_rng(key).random(5)
+                assert np.array_equal(with_slow[:5], legacy)
+        plan = FaultPlan(
+            crash_rate=0.2, nan_rate=0.2, drop_rate=0.2, seed=42
+        )
+        decisions = {
+            plan.decide(s, a) for s in range(200) for a in range(2)
+        }
+        assert "slow" not in decisions
+        assert {"crash", "nan", "drop"} <= decisions
+
 
 class TestFaultInjector:
     def test_crash_raises(self):
@@ -169,6 +211,18 @@ class TestFaultInjector:
     def test_clean_payload_passes_validation(self):
         injector = FaultInjector(echo_worker, FaultPlan())
         assert validate_unit_result(injector(FakeUnit(seed=1, payload=5))) is None
+
+    def test_slow_delays_but_never_corrupts(self):
+        """Satellite fault kind: ``slow`` adds deterministic latency and
+        then computes normally — the payload is untouched."""
+        plan = FaultPlan(slow_rate=1.0, slow_seconds=0.005, seed=4)
+        injector = FaultInjector(echo_worker, plan)
+        start = time.perf_counter()
+        result = injector(FakeUnit(seed=1, payload=9))
+        elapsed = time.perf_counter() - start
+        assert elapsed >= plan.slow_delay(1, 0) * 0.5
+        assert result == echo_worker(FakeUnit(seed=1, payload=9))
+        assert validate_unit_result(result) is None
 
 
 class _TransientWorker:
@@ -422,6 +476,19 @@ class TestFaultTolerantDiscovery:
         assert mixed.extra["recovered_units"] > 0
         assert shapelet_pools_identical(clean, mixed)
 
+    def test_slow_workers_bit_identical(self, planted, config):
+        """Satellite acceptance: slow faults stretch the schedule but the
+        discovered pool is bit-identical to the zero-fault run — latency
+        jitter must never leak into results."""
+        clean = DistributedIPS(config).discover(planted)
+        slowed = DistributedIPS(
+            config_with(config),
+            fault_plan=FaultPlan(slow_rate=0.4, slow_seconds=0.002, seed=23),
+        ).discover(planted)
+        assert shapelet_pools_identical(clean, slowed)
+        assert slowed.n_candidates_generated == clean.n_candidates_generated
+        assert slowed.extra["failed_units"] == []
+
     @pytest.mark.timeout_guard(60)
     def test_injected_hangs_recovered_via_sentinel(self, planted, config):
         clean = DistributedIPS(config).discover(planted)
@@ -462,3 +529,50 @@ class TestFaultTolerantDiscovery:
 
         with pytest.raises(RuntimeError, match="worker exploded"):
             DistributedIPS(config, executor=_Aborting()).discover(planted)
+
+@pytest.fixture(scope="module")
+def clean_result(planted, config):
+    """The uninterrupted reference run the property test compares against."""
+    return DistributedIPS(config).discover(planted)
+
+
+class TestCheckpointResumeProperty:
+    """PR 6 satellite: for *any* crash pattern, a run killed mid-way and
+    resumed from its checkpoint directory converges to a DiscoveryResult
+    bit-identical to the uninterrupted run."""
+
+    @settings(max_examples=5, deadline=None)
+    @given(crash_seed=st.integers(min_value=0, max_value=2**16))
+    def test_resume_after_injected_crash_bit_identical(
+        self, planted, config, clean_result, crash_seed
+    ):
+        plan = FaultPlan(crash_rate=0.45, seed=crash_seed)
+        with tempfile.TemporaryDirectory() as run_dir:
+            try:
+                # The "crash": retries disabled, so ~45% of units die and
+                # the run ends partial (or aborts on quorum) — exactly
+                # like a worker pool lost mid-campaign.
+                DistributedIPS(
+                    config_with(
+                        config,
+                        max_retries=0,
+                        quorum=0.2,
+                        checkpoint_dir=run_dir,
+                    ),
+                    fault_plan=plan,
+                ).discover(planted)
+            except QuorumError:
+                pass  # even an aborted run leaves its completed units
+            resumed = DistributedIPS(
+                config_with(config, checkpoint_dir=run_dir)
+            ).discover(planted)
+        assert resumed.extra["failed_units"] == []
+        assert shapelet_pools_identical(clean_result, resumed)
+        assert (
+            resumed.n_candidates_generated
+            == clean_result.n_candidates_generated
+        )
+        assert (
+            resumed.n_candidates_after_pruning
+            == clean_result.n_candidates_after_pruning
+        )

@@ -35,6 +35,7 @@ from repro.exceptions import ValidationError
 from repro.kernels import NULL_PERF_COUNTERS, NullPerfCounters, PerfCounters
 from repro.obs import (
     NULL_TRACER,
+    UNKNOWN_GIT_SHA,
     MetricsRegistry,
     Trace,
     dataset_fingerprint,
@@ -43,6 +44,7 @@ from repro.obs import (
     render_report,
     run_manifest,
 )
+from repro.obs.manifest import git_sha
 from repro.obs.trace import NULL_SPAN, Span, jsonify
 
 
@@ -407,3 +409,66 @@ class TestReportAndCli:
     def test_config_rejects_unknown_observability(self):
         with pytest.raises(ValidationError):
             IPSConfig(observability="loud")
+
+
+class TestGitSha:
+    """The manifest's git SHA is best-effort: every odd checkout state
+    degrades to ``"unknown"``, never to an exception (PR 6 satellite)."""
+
+    SHA = "a" * 40
+
+    def test_outside_any_checkout_degrades(self, tmp_path):
+        assert git_sha(tmp_path / "plain") == UNKNOWN_GIT_SHA
+
+    def test_loose_ref_resolved(self, tmp_path):
+        refs = tmp_path / ".git" / "refs" / "heads"
+        refs.mkdir(parents=True)
+        (refs / "main").write_text(self.SHA + "\n")
+        (tmp_path / ".git" / "HEAD").write_text("ref: refs/heads/main\n")
+        assert git_sha(tmp_path) == self.SHA
+
+    def test_packed_ref_resolved(self, tmp_path):
+        git = tmp_path / ".git"
+        git.mkdir()
+        (git / "HEAD").write_text("ref: refs/heads/main\n")
+        (git / "packed-refs").write_text(
+            "# pack-refs with: peeled fully-peeled sorted\n"
+            f"{self.SHA} refs/heads/main\n"
+        )
+        assert git_sha(tmp_path) == self.SHA
+
+    def test_detached_head_is_the_sha_itself(self, tmp_path):
+        git = tmp_path / ".git"
+        git.mkdir()
+        (git / "HEAD").write_text(self.SHA + "\n")
+        assert git_sha(tmp_path) == self.SHA
+
+    def test_worktree_pointer_file_followed(self, tmp_path):
+        # In a linked worktree ".git" is a file: "gitdir: <real dir>".
+        real = tmp_path / "real_git"
+        real.mkdir()
+        (real / "HEAD").write_text(self.SHA + "\n")
+        worktree = tmp_path / "worktree"
+        worktree.mkdir()
+        (worktree / ".git").write_text("gitdir: ../real_git\n")
+        assert git_sha(worktree) == self.SHA
+
+    def test_bogus_pointer_file_degrades(self, tmp_path):
+        (tmp_path / ".git").write_text("this is not a gitdir pointer\n")
+        assert git_sha(tmp_path) == UNKNOWN_GIT_SHA
+
+    def test_missing_head_degrades(self, tmp_path):
+        (tmp_path / ".git").mkdir()
+        assert git_sha(tmp_path) == UNKNOWN_GIT_SHA
+
+    @pytest.mark.parametrize(
+        "head", ["ref:\n", "ref: \n", "ref: refs/heads/ghost\n", ""]
+    )
+    def test_malformed_or_dangling_head_degrades(self, tmp_path, head):
+        (tmp_path / ".git").mkdir()
+        (tmp_path / ".git" / "HEAD").write_text(head)
+        assert git_sha(tmp_path) == UNKNOWN_GIT_SHA
+
+    def test_real_checkout_never_raises(self):
+        sha = git_sha()
+        assert isinstance(sha, str) and sha
