@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test verify-robustness verify-perf verify-obs verify-serve bench examples smoke clean
+.PHONY: install test verify-robustness verify-perf verify-obs verify-serve verify-campaign bench examples smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -41,6 +41,22 @@ verify-obs:
 verify-serve:
 	PYTHONPATH=src $(PYTHON) -m pytest -q -m serve tests/
 	PYTHONPATH=src $(PYTHON) -m repro.benchlib.loadgen
+
+# Campaign gate: the kill/resume chaos suite (campaign SIGKILL'd at
+# random cell boundaries and mid-cell, resumed under crash/hang/slow
+# faults, results frame bit-identical to an uninterrupted run), then a
+# live CLI smoke: run a 2x2x2 matrix in two halves and report it.
+verify-campaign:
+	PYTHONPATH=src $(PYTHON) -m pytest -q -m campaign tests/
+	rm -rf .campaign-smoke
+	PYTHONPATH=src $(PYTHON) -m repro campaign run --out .campaign-smoke \
+		--datasets CBF,ItalyPowerDemand --methods 1NN-ED,BOP \
+		--scenarios clean,noise --max-train 12 --max-test 20 \
+		--max-length 80 --max-cells 3
+	PYTHONPATH=src $(PYTHON) -m repro campaign resume --dir .campaign-smoke
+	PYTHONPATH=src $(PYTHON) -m repro campaign status --dir .campaign-smoke
+	PYTHONPATH=src $(PYTHON) -m repro campaign report --dir .campaign-smoke
+	rm -rf .campaign-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,19 +1,34 @@
-"""Aligned-table formatting for benchmark output.
+"""Aligned-table formatting and run-folder result collection.
 
 The benchmark harnesses print the same rows the paper's tables report;
 these helpers keep the output readable in a terminal and in the captured
-``bench_output.txt``.
+``bench_output.txt``. :func:`collect_cell_rows` turns a campaign run
+folder into result rows the way the extractors of a benchmark toolkit
+turn run directories into frames — tolerantly: a missing, failed, or
+corrupt cell becomes a NaN-accuracy row with a status column instead of
+aborting the collection.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import json
+import math
+from pathlib import Path
+from typing import Iterable, Sequence
 
 from repro.exceptions import ValidationError
+
+#: Row keys produced by :func:`collect_cell_rows`, in column order.
+CELL_ROW_KEYS: tuple[str, ...] = (
+    "dataset", "method", "scenario", "status", "error_type",
+    "accuracy", "completed",
+)
 
 
 def _cell(value: object, precision: int) -> str:
     if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
         return f"{value:.{precision}f}"
     return str(value)
 
@@ -58,6 +73,93 @@ def format_table(
             )
         )
     return "\n".join(lines)
+
+
+def _placeholder_row(dataset: str, method: str, scenario: str, status: str) -> dict:
+    """A NaN-accuracy row standing in for a cell with no usable result."""
+    return {
+        "dataset": dataset,
+        "method": method,
+        "scenario": scenario,
+        "status": status,
+        "error_type": None,
+        "accuracy": float("nan"),
+        "completed": None,
+    }
+
+
+def _row_from_record(stem: str, record: object) -> dict:
+    """One result row from a parsed cell record, however partial.
+
+    Any structural damage (non-dict record, missing sections or fields)
+    degrades to a placeholder/NaN value rather than raising — incomplete
+    run folders are the expected input during and after a crash.
+    """
+    parts = stem.split("__")
+    dataset, method, scenario = (parts + ["?", "?", "?"])[:3]
+    if not isinstance(record, dict):
+        return _placeholder_row(dataset, method, scenario, "unreadable")
+    cell = record.get("cell") if isinstance(record.get("cell"), dict) else {}
+    payload = (
+        record.get("payload") if isinstance(record.get("payload"), dict) else {}
+    )
+    accuracy = payload.get("accuracy")
+    if not isinstance(accuracy, (int, float)):
+        accuracy = float("nan")
+    return {
+        "dataset": cell.get("dataset", dataset),
+        "method": cell.get("method", method),
+        "scenario": cell.get("scenario", scenario),
+        "status": payload.get("status", "unreadable"),
+        "error_type": payload.get("error_type"),
+        "accuracy": float(accuracy),
+        "completed": payload.get("completed"),
+    }
+
+
+def collect_cell_rows(
+    campaign_dir: str | Path,
+    expected: Iterable[tuple[str, str, str]] | None = None,
+) -> list[dict]:
+    """Collect per-cell result rows from a (possibly incomplete) run folder.
+
+    Reads every ``cells/*.json`` under ``campaign_dir`` (or ``*.json``
+    when pointed directly at a cells directory). Tolerant by design:
+
+    * an unparseable or truncated file → a row with ``status
+      "unreadable"`` and NaN accuracy;
+    * a ``failed`` cell → its typed error provenance with NaN accuracy;
+    * with ``expected`` (``(dataset, method, scenario)`` triples), cells
+      that have no file at all → ``status "missing"`` NaN rows, and the
+      output follows the expected order (extra files are appended).
+
+    Never raises on incomplete folders; only a nonexistent directory is
+    an error.
+    """
+    root = Path(campaign_dir)
+    cells_dir = root / "cells" if (root / "cells").is_dir() else root
+    if not cells_dir.is_dir():
+        raise ValidationError(f"no such run folder: {campaign_dir}")
+    by_key: dict[tuple[str, str, str], dict] = {}
+    for path in sorted(cells_dir.glob("*.json")):
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            record = None
+        row = _row_from_record(path.stem, record)
+        by_key[(row["dataset"], row["method"], row["scenario"])] = row
+    if expected is None:
+        return [by_key[key] for key in sorted(by_key)]
+    rows = []
+    seen = set()
+    for dataset, method, scenario in expected:
+        key = (dataset, method, scenario)
+        seen.add(key)
+        rows.append(
+            by_key.get(key, _placeholder_row(dataset, method, scenario, "missing"))
+        )
+    rows.extend(by_key[key] for key in sorted(by_key) if key not in seen)
+    return rows
 
 
 def print_table(

@@ -1,0 +1,428 @@
+"""Crash-safe campaign orchestrator.
+
+``CampaignRunner.run`` walks the spec's cell list in deterministic
+order, skipping every cell the journal already records as finished (and
+whose checksummed result file verifies), and executes the rest through
+the fault-tolerance stack the distributed layer already proved out:
+
+* each cell runs under :class:`repro.distributed.executor.RetryingExecutor`
+  — bounded retries with seeded backoff, a per-cell wall-clock budget,
+  and payload validation (a dropped or non-finite result is a failure,
+  not a silent row);
+* a cell that exhausts its retries is marked ``failed`` with typed error
+  provenance (exception class + message) and the campaign *continues* —
+  the skip-and-report rung of the degradation ladder;
+* a :class:`~repro.distributed.faults.FaultPlan` can wrap the worker
+  with the deterministic chaos engine (crash / hang / slow / drop keyed
+  by the cell seed and attempt), which is how the chaos suite proves a
+  SIGKILL'd-and-resumed campaign is bit-identical to an uninterrupted
+  one;
+* the first SIGINT/SIGTERM finishes the in-flight cell, flushes the
+  journal, and stops; the second force-exits
+  (:class:`~repro.distributed.interrupt.GracefulInterrupt`).
+
+Because every cell's payload depends only on the cell's own fields (the
+derived seed included), re-running a campaign — whole or resumed, any
+executor — reproduces the same deterministic results frame.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.campaign.journal import Journal
+from repro.campaign.spec import CampaignCell, CampaignSpec
+from repro.campaign.store import CAMPAIGN_FORMAT_VERSION, CellStore
+from repro.distributed.executor import (
+    Executor,
+    RetryingExecutor,
+    SerialExecutor,
+    UnitOutcome,
+)
+from repro.distributed.faults import DroppedResult, FaultInjector, FaultPlan
+from repro.distributed.interrupt import GracefulInterrupt
+from repro.exceptions import CampaignError
+
+
+def run_cell(cell: CampaignCell) -> dict:
+    """Worker function: evaluate one (dataset, method, scenario) cell.
+
+    Module-level (picklable) so cells run unchanged under thread and
+    process executors. Everything is seeded from the cell, so the same
+    cell always returns the same accuracy.
+    """
+    from repro.benchlib.runners import evaluate_method
+    from repro.campaign.scenarios import apply_scenario
+    from repro.datasets.loader import load_dataset
+
+    data = load_dataset(
+        cell.dataset,
+        seed=cell.eval_seed,
+        max_train=cell.max_train,
+        max_test=cell.max_test,
+        max_length=cell.max_length,
+        validation=cell.validation,
+    )
+    data = apply_scenario(data, cell.scenario, cell.seed)
+    result = evaluate_method(
+        cell.method, data, k=cell.k, seed=cell.eval_seed,
+        validation=cell.validation,
+    )
+    return {
+        "accuracy": float(result.accuracy),
+        "completed": bool(result.completed),
+        "discovery_seconds": float(result.discovery_seconds),
+        "fit_seconds": float(result.total_seconds),
+    }
+
+
+def validate_cell_result(value: object) -> str | None:
+    """Payload check for the retry ladder (mirrors the distributed one).
+
+    Returns a typed failure description — making the attempt retryable —
+    for dropped results, wrong payload shapes, and non-finite or
+    out-of-range accuracies; ``None`` for a healthy payload.
+    """
+    if isinstance(value, DroppedResult):
+        return "CellResultError: result dropped in transit"
+    if not isinstance(value, dict):
+        return (
+            f"CellResultError: worker returned {type(value).__name__}, "
+            "expected a result dict"
+        )
+    accuracy = value.get("accuracy")
+    if not isinstance(accuracy, (int, float)) or not np.isfinite(accuracy):
+        return "CellResultError: non-finite accuracy"
+    if not 0.0 <= float(accuracy) <= 1.0:
+        return f"CellResultError: accuracy {accuracy!r} outside [0, 1]"
+    return None
+
+
+def _error_provenance(error: str | None) -> tuple[str, str]:
+    """Split a captured ``"TypeName: message"`` failure into its parts."""
+    if not error:
+        return "UnknownError", ""
+    head, sep, rest = error.partition(": ")
+    if sep and head.replace(".", "").isidentifier():
+        return head, rest
+    return "UnknownError", error
+
+
+def _finite_or_none(value: float | None) -> float | None:
+    """NaN/inf timing fields become ``None`` so cell files stay strict JSON."""
+    if value is None or not np.isfinite(value):
+        return None
+    return float(value)
+
+
+class CampaignRunner:
+    """Run, resume, and inspect one evaluation campaign.
+
+    Parameters
+    ----------
+    spec:
+        The dataset x method x scenario matrix and its settings.
+    campaign_dir:
+        Directory owning the manifest, journal, and cell files. Reusing
+        a directory resumes the campaign (fingerprint permitting).
+    executor:
+        Fan-out backend for cell execution (default: serial in-process).
+    fault_plan:
+        Optional deterministic chaos plan applied to every cell attempt.
+    retries:
+        Extra attempts per cell after the first (the retry rung of the
+        degradation ladder).
+    base_delay, max_delay:
+        Seeded exponential backoff between retry rounds (0 = no sleep,
+        the default: campaigns measure work, not waiting).
+    max_cell_seconds:
+        Per-cell wall-clock budget; an overrun marks the attempt as a
+        retryable timeout failure.
+    worker_fn:
+        Override of :func:`run_cell` (tests substitute fast fakes).
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        campaign_dir: str | Path,
+        executor: Executor | None = None,
+        fault_plan: FaultPlan | None = None,
+        retries: int = 2,
+        base_delay: float = 0.0,
+        max_delay: float = 2.0,
+        max_cell_seconds: float | None = None,
+        worker_fn=None,
+    ) -> None:
+        if retries < 0:
+            raise CampaignError("retries must be >= 0")
+        if max_cell_seconds is not None and max_cell_seconds <= 0:
+            raise CampaignError("max_cell_seconds must be > 0 when set")
+        self.spec = spec
+        self.campaign_dir = Path(campaign_dir)
+        self.executor: Executor = (
+            executor if executor is not None else SerialExecutor()
+        )
+        self.fault_plan = fault_plan
+        self.retries = retries
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.max_cell_seconds = max_cell_seconds
+        self._worker = worker_fn if worker_fn is not None else run_cell
+        self.store = CellStore(self.campaign_dir)
+        self.journal = Journal(self.campaign_dir / "journal.jsonl")
+
+    # -- identity ---------------------------------------------------------
+
+    def fingerprint(self) -> dict:
+        """What must match for a directory to be resumable by this runner."""
+        return {
+            "format_version": CAMPAIGN_FORMAT_VERSION,
+            "spec": self.spec.fingerprint_fields(),
+            "policy": {
+                "retries": self.retries,
+                "max_cell_seconds": self.max_cell_seconds,
+            },
+            "fault": (
+                dataclasses.asdict(self.fault_plan)
+                if self.fault_plan is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_dir(
+        cls,
+        campaign_dir: str | Path,
+        executor: Executor | None = None,
+        worker_fn=None,
+    ) -> "CampaignRunner":
+        """Reconstruct a runner from a campaign directory's manifest.
+
+        This is what ``repro campaign resume|status|report`` use: the
+        manifest pins the spec, retry policy, and fault plan, so resuming
+        needs nothing but the directory.
+        """
+        manifest = CellStore(campaign_dir).read_manifest()
+        try:
+            spec = CampaignSpec.from_dict(
+                {**manifest["spec"], "name": Path(campaign_dir).name}
+            )
+            policy = manifest.get("policy", {})
+            fault = manifest.get("fault")
+            plan = FaultPlan(**fault) if fault else None
+        except (KeyError, TypeError) as exc:
+            raise CampaignError(
+                f"malformed campaign manifest in {campaign_dir}: {exc}"
+            ) from exc
+        return cls(
+            spec,
+            campaign_dir,
+            executor=executor,
+            fault_plan=plan,
+            retries=int(policy.get("retries", 2)),
+            max_cell_seconds=policy.get("max_cell_seconds"),
+            worker_fn=worker_fn,
+        )
+
+    # -- resume bookkeeping ----------------------------------------------
+
+    def _completed_records(self, records: list[dict]) -> dict[str, dict]:
+        """Cell records that are finished *and* verify on disk.
+
+        A ``cell_finished`` journal event names the cell file's SHA-256;
+        a file that is missing, corrupt, or mismatched is quarantined by
+        the store and the cell is treated as pending again.
+        """
+        finished: dict[str, dict] = {}
+        for record in records:
+            if record.get("type") == "cell_finished" and "cell_id" in record:
+                finished[record["cell_id"]] = record
+        done: dict[str, dict] = {}
+        for cell_id, event in finished.items():
+            cell_record = self.store.load_cell(
+                cell_id, expected_sha=event.get("sha256")
+            )
+            if cell_record is not None:
+                done[cell_id] = cell_record
+        return done
+
+    def _record(self, cell: CampaignCell, outcome: UnitOutcome) -> dict:
+        """Build the persistent cell record from a retry-ladder outcome."""
+        if outcome.ok:
+            value = outcome.value
+            payload = {
+                "status": "ok",
+                "accuracy": float(value["accuracy"]),
+                "completed": bool(value.get("completed", True)),
+                "error_type": None,
+                "error": None,
+                "attempts": outcome.attempts,
+            }
+            timing = {
+                "elapsed": _finite_or_none(outcome.elapsed),
+                "fit_seconds": _finite_or_none(value.get("fit_seconds")),
+                "discovery_seconds": _finite_or_none(
+                    value.get("discovery_seconds")
+                ),
+            }
+        else:
+            error_type, message = _error_provenance(outcome.error)
+            payload = {
+                "status": "failed",
+                "accuracy": None,
+                "completed": None,
+                "error_type": error_type,
+                "error": message,
+                "attempts": outcome.attempts,
+            }
+            timing = {
+                "elapsed": None,
+                "fit_seconds": None,
+                "discovery_seconds": None,
+            }
+        return {
+            "format_version": CAMPAIGN_FORMAT_VERSION,
+            "cell": {
+                "cell_id": cell.cell_id,
+                "dataset": cell.dataset,
+                "method": cell.method,
+                "scenario": cell.scenario,
+                "seed": cell.seed,
+            },
+            "payload": payload,
+            "timing": timing,
+        }
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, max_cells: int | None = None) -> dict:
+        """Execute (or resume) the campaign; returns :meth:`status`.
+
+        ``max_cells`` bounds how many *new* cells this invocation runs —
+        useful for incremental campaigns, and exactly what the chaos
+        suite uses to stop at a cell boundary the way a SIGKILL would.
+        """
+        self.spec.validate_names()
+        self.store.check_manifest(self.fingerprint())
+        records = self.journal.replay()
+        done = self._completed_records(records)
+        cells = self.spec.cells()
+        pending = [cell for cell in cells if cell.cell_id not in done]
+        self.journal.append(
+            {
+                "type": "campaign_started",
+                "n_cells": len(cells),
+                "n_done": len(done),
+                "resumed": bool(records),
+                "ts": time.time(),
+            }
+        )
+        worker = self._worker
+        if self.fault_plan is not None:
+            worker = FaultInjector(worker, self.fault_plan)
+        retrying = RetryingExecutor(
+            inner=self.executor,
+            max_retries=self.retries,
+            base_delay=self.base_delay,
+            max_delay=max(self.base_delay, self.max_delay),
+            unit_timeout=self.max_cell_seconds,
+            validate=validate_cell_result,
+            seed=self.spec.seed,
+        )
+        n_run = 0
+        interrupted = False
+        with GracefulInterrupt() as interrupt:
+            for cell in pending:
+                if max_cells is not None and n_run >= max_cells:
+                    break
+                if interrupt.triggered:
+                    break
+                self.journal.append(
+                    {
+                        "type": "cell_started",
+                        "cell_id": cell.cell_id,
+                        "ts": time.time(),
+                    }
+                )
+                outcome = retrying.map_with_outcomes(worker, [cell])[0]
+                record = self._record(cell, outcome)
+                sha = self.store.save_cell(cell.cell_id, record)
+                self.journal.append(
+                    {
+                        "type": "cell_finished",
+                        "cell_id": cell.cell_id,
+                        "status": record["payload"]["status"],
+                        "error_type": record["payload"]["error_type"],
+                        "attempts": record["payload"]["attempts"],
+                        "sha256": sha,
+                        "ts": time.time(),
+                    }
+                )
+                done[cell.cell_id] = record
+                n_run += 1
+            interrupted = interrupt.triggered
+        if interrupted:
+            self.journal.append(
+                {
+                    "type": "campaign_interrupted",
+                    "signal": interrupt.signal_name,
+                    "n_done": len(done),
+                    "ts": time.time(),
+                }
+            )
+        elif len(done) == len(cells):
+            n_ok = sum(
+                1 for rec in done.values() if rec["payload"]["status"] == "ok"
+            )
+            self.journal.append(
+                {
+                    "type": "campaign_finished",
+                    "n_ok": n_ok,
+                    "n_failed": len(done) - n_ok,
+                    "ts": time.time(),
+                }
+            )
+        return self.status()
+
+    # -- inspection -------------------------------------------------------
+
+    def status(self) -> dict:
+        """Progress snapshot derived from the journal and cell files."""
+        records = self.journal.replay()
+        done = self._completed_records(records)
+        cells = self.spec.cells()
+        starts: dict[str, int] = {}
+        for record in records:
+            if record.get("type") == "cell_started":
+                cell_id = record.get("cell_id", "?")
+                starts[cell_id] = starts.get(cell_id, 0) + 1
+        n_ok = sum(1 for rec in done.values() if rec["payload"]["status"] == "ok")
+        n_failed = len(done) - n_ok
+        last_event = records[-1]["type"] if records else None
+        return {
+            "campaign": self.spec.name,
+            "dir": str(self.campaign_dir),
+            "n_cells": len(cells),
+            "n_ok": n_ok,
+            "n_failed": n_failed,
+            "n_pending": len(cells) - len(done),
+            "complete": len(done) == len(cells),
+            "interrupted": last_event == "campaign_interrupted",
+            "cell_starts": starts,
+            "failed_cells": sorted(
+                (
+                    cell_id,
+                    rec["payload"]["error_type"],
+                )
+                for cell_id, rec in done.items()
+                if rec["payload"]["status"] == "failed"
+            ),
+        }
+
+
+__all__ = ["CampaignRunner", "run_cell", "validate_cell_result"]

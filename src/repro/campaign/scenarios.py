@@ -1,0 +1,170 @@
+"""Evaluation scenarios: named, seeded transforms of a loaded dataset.
+
+The UCR Archive paper argues benchmark results should survive perturbed
+and degraded data, not just the pristine splits; a *scenario* packages
+one such condition as a pure function ``(TrainTestData, seed) ->
+TrainTestData`` so the campaign can cross every dataset x method pair
+with every condition.
+
+Built-in scenarios follow the trained-clean / eval-perturbed protocol of
+``docs/robustness.md`` — the model fits the unmodified training split
+and is scored on perturbed test series — except ``label_noise``, which
+corrupts the *training labels* (the archive's label-noise guidance) and
+scores on clean test data.
+
+Every transform is deterministic in the seed it is given (the runner
+passes the derived cell seed), pure (inputs are never mutated), and
+registered by name so specs stay JSON-serializable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.loader import TrainTestData
+from repro.datasets.perturb import (
+    add_baseline_drift,
+    add_dropout,
+    add_gaussian_noise,
+    add_label_noise,
+    add_spikes,
+    mask_missing,
+    time_warp,
+)
+from repro.exceptions import CampaignError
+from repro.ts.series import Dataset
+
+Transform = Callable[[TrainTestData, int], TrainTestData]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named evaluation condition."""
+
+    name: str
+    transform: Transform
+    description: str
+
+
+def _with_test_X(data: TrainTestData, X: np.ndarray) -> TrainTestData:
+    """The same split with a perturbed test value matrix."""
+    test = Dataset(
+        X=X, y=data.test.classes_[data.test.y], name=data.test.name
+    )
+    return TrainTestData(
+        train=data.train,
+        test=test,
+        profile=data.profile,
+        validation=data.validation,
+    )
+
+
+def _perturb_test(fn: Callable[[np.ndarray, int], np.ndarray]) -> Transform:
+    def transform(data: TrainTestData, seed: int) -> TrainTestData:
+        return _with_test_X(data, fn(data.test.X, seed))
+
+    return transform
+
+
+def _label_noise(data: TrainTestData, seed: int) -> TrainTestData:
+    noisy = add_label_noise(
+        data.train.classes_[data.train.y], rate=0.1, seed=seed
+    )
+    train = Dataset(X=data.train.X, y=noisy, name=data.train.name)
+    return TrainTestData(
+        train=train,
+        test=data.test,
+        profile=data.profile,
+        validation=data.validation,
+    )
+
+
+_SCENARIOS: dict[str, Scenario] = {}
+
+
+def register_scenario(
+    name: str, transform: Transform, description: str = "", overwrite: bool = False
+) -> Scenario:
+    """Add a scenario to the registry (campaign specs refer to it by name)."""
+    if name in _SCENARIOS and not overwrite:
+        raise CampaignError(f"scenario {name!r} is already registered")
+    scenario = Scenario(name=name, transform=transform, description=description)
+    _SCENARIOS[name] = scenario
+    return scenario
+
+
+def scenario_names() -> list[str]:
+    """Registered scenario names, sorted."""
+    return sorted(_SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name (typed error on unknown names)."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise CampaignError(
+            f"unknown scenario {name!r}; choose from {scenario_names()}"
+        ) from None
+
+
+def apply_scenario(data: TrainTestData, name: str, seed: int) -> TrainTestData:
+    """Apply the named scenario's transform with the given seed."""
+    return get_scenario(name).transform(data, seed)
+
+
+register_scenario(
+    "clean", lambda data, seed: data, "unmodified train/test splits"
+)
+register_scenario(
+    "noise",
+    _perturb_test(lambda X, seed: add_gaussian_noise(X, 0.2, seed=seed)),
+    "additive Gaussian sensor noise on the test series (sigma=0.2)",
+)
+register_scenario(
+    "spikes",
+    _perturb_test(lambda X, seed: add_spikes(X, rate=0.02, seed=seed)),
+    "impulse artefacts on the test series (2% of samples)",
+)
+register_scenario(
+    "dropout",
+    _perturb_test(lambda X, seed: add_dropout(X, rate=0.05, seed=seed)),
+    "isolated missing samples on the test series, interpolated (5%)",
+)
+register_scenario(
+    "drift",
+    _perturb_test(lambda X, seed: add_baseline_drift(X, magnitude=0.5, seed=seed)),
+    "low-frequency baseline wander on the test series",
+)
+register_scenario(
+    "warp",
+    _perturb_test(lambda X, seed: time_warp(X, max_warp=0.05, seed=seed)),
+    "global clock-drift resampling of the test series (up to 5%)",
+)
+register_scenario(
+    "missing",
+    _perturb_test(
+        lambda X, seed: mask_missing(X, rate=0.1, block=5, seed=seed)
+    ),
+    "contiguous sensor-outage gaps on the test series (10%, block=5), "
+    "linearly reconstructed — the UCR Archive's missing-data scenario",
+)
+register_scenario(
+    "label_noise",
+    _label_noise,
+    "10% symmetric label noise on the training split (clean test) — "
+    "the UCR Archive's label-noise scenario",
+)
+
+
+__all__ = [
+    "Scenario",
+    "Transform",
+    "apply_scenario",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,181 @@
+"""Campaign specification: the dataset x method x scenario matrix.
+
+A :class:`CampaignSpec` names everything that determines a campaign's
+*results*: which datasets, methods, and scenarios to cross, the master
+seed, the per-method ``k``, the dataset size caps, and the validation
+mode. From it the runner derives the flat list of
+:class:`CampaignCell` work items in a deterministic order, each carrying
+its own derived seed — the same construction the distributed layer uses
+for work units, and for the same reason: a cell's result depends only on
+its own fields, so a resumed campaign recomputes exactly the missing
+cells and nothing else.
+
+The spec round-trips through :meth:`CampaignSpec.to_dict` /
+:meth:`CampaignSpec.from_dict` (the campaign manifest persists it, which
+is how ``repro campaign resume`` needs only the directory), and
+:meth:`CampaignSpec.fingerprint_fields` feeds the manifest fingerprint
+that refuses to resume a directory belonging to a different campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass, field, fields
+
+from repro.exceptions import CampaignError
+
+
+def derive_cell_seed(master_seed: int, dataset: str, method: str, scenario: str) -> int:
+    """Stable per-cell seed from the campaign seed and cell coordinates.
+
+    Hash-derived (not positional), so adding a dataset or method to the
+    spec never changes the seed — and therefore the result — of any
+    pre-existing cell.
+    """
+    key = f"{master_seed}|{dataset}|{method}|{scenario}".encode()
+    digest = hashlib.sha256(key).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFFFFFFFFFFFFFF
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One (dataset, method, scenario) evaluation task.
+
+    Self-contained and picklable — the worker needs nothing but the cell
+    (plus the module-level registries it names), so cells run unchanged
+    under the thread and process executors. ``seed`` is the derived cell
+    seed (fault injection and scenario perturbations key off it);
+    ``eval_seed`` is the campaign master seed handed to the method, so a
+    cell's accuracy matches a standalone ``repro run`` with that seed.
+    """
+
+    dataset: str
+    method: str
+    scenario: str
+    seed: int
+    eval_seed: int
+    k: int = 5
+    max_train: int | None = 24
+    max_test: int | None = 60
+    max_length: int | None = 150
+    validation: str = "repair"
+
+    @property
+    def cell_id(self) -> str:
+        """Filesystem- and journal-safe identifier of the cell."""
+        return f"{self.dataset}__{self.method}__{self.scenario}"
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything that determines a campaign's deterministic results."""
+
+    datasets: tuple[str, ...]
+    methods: tuple[str, ...]
+    scenarios: tuple[str, ...] = ("clean",)
+    seed: int = 0
+    k: int = 5
+    max_train: int | None = 24
+    max_test: int | None = 60
+    max_length: int | None = 150
+    validation: str = "repair"
+    name: str = field(default="campaign", compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "datasets", tuple(self.datasets))
+        object.__setattr__(self, "methods", tuple(self.methods))
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        for label, values in (
+            ("datasets", self.datasets),
+            ("methods", self.methods),
+            ("scenarios", self.scenarios),
+        ):
+            if not values:
+                raise CampaignError(f"spec needs at least one entry in {label}")
+            if len(set(values)) != len(values):
+                raise CampaignError(f"spec {label} contain duplicates: {values}")
+        if self.validation not in ("strict", "repair", "off"):
+            raise CampaignError(
+                f"validation must be strict/repair/off, got {self.validation!r}"
+            )
+
+    def validate_names(self) -> None:
+        """Check methods/scenarios/datasets against their registries.
+
+        Separate from construction so a spec can be built (and a
+        manifest parsed) without importing the full method zoo; the
+        runner calls this before executing anything.
+        """
+        from repro.benchlib.runners import method_names
+        from repro.campaign.scenarios import scenario_names
+        from repro.datasets.registry import get_profile
+
+        known_methods = set(method_names())
+        for method in self.methods:
+            if method not in known_methods:
+                raise CampaignError(
+                    f"unknown method {method!r}; choose from {sorted(known_methods)}"
+                )
+        known_scenarios = set(scenario_names())
+        for scenario in self.scenarios:
+            if scenario not in known_scenarios:
+                raise CampaignError(
+                    f"unknown scenario {scenario!r}; "
+                    f"choose from {sorted(known_scenarios)}"
+                )
+        for dataset in self.datasets:
+            get_profile(dataset)  # raises DatasetError on unknown names
+
+    def cells(self) -> list[CampaignCell]:
+        """The flat cell list, dataset-major then method then scenario."""
+        return [
+            CampaignCell(
+                dataset=dataset,
+                method=method,
+                scenario=scenario,
+                seed=derive_cell_seed(self.seed, dataset, method, scenario),
+                eval_seed=self.seed,
+                k=self.k,
+                max_train=self.max_train,
+                max_test=self.max_test,
+                max_length=self.max_length,
+                validation=self.validation,
+            )
+            for dataset in self.datasets
+            for method in self.methods
+            for scenario in self.scenarios
+        ]
+
+    def to_dict(self) -> dict:
+        """JSON-native representation (manifest persistence)."""
+        out = asdict(self)
+        for key in ("datasets", "methods", "scenarios"):
+            out[key] = list(out[key])
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {f.name for f in fields(cls)}
+        extra = set(data) - known
+        if extra:
+            raise CampaignError(
+                f"campaign spec has unknown fields {sorted(extra)}"
+            )
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise CampaignError(f"malformed campaign spec: {exc}") from exc
+
+    def fingerprint_fields(self) -> dict:
+        """The spec as it enters the campaign-manifest fingerprint.
+
+        ``name`` is excluded — renaming a campaign must not orphan its
+        completed cells.
+        """
+        out = self.to_dict()
+        out.pop("name")
+        return out
+
+
+__all__ = ["CampaignCell", "CampaignSpec", "derive_cell_seed"]

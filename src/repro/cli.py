@@ -18,6 +18,12 @@ Commands
     predictions from one through the fault-hardened
     :mod:`repro.serve` service, and drive the serving load-generator
     gate (``BENCH_serve.json``).
+``campaign run`` / ``campaign resume`` / ``campaign status`` /
+``campaign report``
+    Run the dataset x method x scenario matrix as a crash-safe,
+    resumable campaign (:mod:`repro.campaign`): journal + checksummed
+    cell files, per-cell retries/timeouts, graceful SIGINT/SIGTERM,
+    and a deterministic results frame + critical-difference report.
 """
 
 from __future__ import annotations
@@ -246,6 +252,117 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     return loadgen_main(argv)
 
 
+def _print_campaign_status(status: dict) -> None:
+    print(
+        f"campaign {status['campaign']} in {status['dir']}: "
+        f"{status['n_ok']} ok, {status['n_failed']} failed, "
+        f"{status['n_pending']} pending of {status['n_cells']} cells"
+        + (" [interrupted]" if status["interrupted"] else "")
+    )
+    for cell_id, error_type in status["failed_cells"]:
+        print(f"  failed: {cell_id} ({error_type})")
+
+
+def _campaign_fault_plan(args: argparse.Namespace):
+    """Optional chaos plan from --fault-rate (crash/hang/slow split)."""
+    if not args.fault_rate:
+        return None
+    from repro.distributed.faults import FaultPlan
+
+    rate = args.fault_rate
+    return FaultPlan(
+        crash_rate=0.5 * rate,
+        hang_rate=0.25 * rate,
+        slow_rate=0.25 * rate,
+        slow_seconds=0.05,
+        seed=args.fault_seed,
+    )
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    """``repro campaign run --out DIR --datasets A,B --methods X,Y``"""
+    from repro.campaign import CampaignRunner, CampaignSpec
+    from repro.exceptions import CampaignError
+
+    spec = CampaignSpec(
+        datasets=tuple(d.strip() for d in args.datasets.split(",") if d.strip()),
+        methods=tuple(m.strip() for m in args.methods.split(",") if m.strip()),
+        scenarios=tuple(
+            s.strip() for s in args.scenarios.split(",") if s.strip()
+        ),
+        seed=args.seed,
+        k=args.k,
+        max_train=args.max_train,
+        max_test=args.max_test,
+        max_length=args.max_length,
+        validation=args.validation,
+        name=args.name,
+    )
+    try:
+        runner = CampaignRunner(
+            spec,
+            args.out,
+            fault_plan=_campaign_fault_plan(args),
+            retries=args.retries,
+            max_cell_seconds=args.max_cell_seconds,
+        )
+        status = runner.run(max_cells=args.max_cells)
+    except CampaignError as err:
+        print(str(err), file=sys.stderr)
+        return 1
+    _print_campaign_status(status)
+    return 0
+
+
+def cmd_campaign_resume(args: argparse.Namespace) -> int:
+    """``repro campaign resume --dir DIR``"""
+    from repro.campaign import CampaignRunner
+    from repro.exceptions import CampaignError
+
+    try:
+        runner = CampaignRunner.from_dir(args.dir)
+        status = runner.run(max_cells=args.max_cells)
+    except CampaignError as err:
+        print(str(err), file=sys.stderr)
+        return 1
+    _print_campaign_status(status)
+    return 0
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    """``repro campaign status --dir DIR``"""
+    from repro.campaign import CampaignRunner
+    from repro.exceptions import CampaignError
+
+    try:
+        status = CampaignRunner.from_dir(args.dir).status()
+    except CampaignError as err:
+        print(str(err), file=sys.stderr)
+        return 1
+    _print_campaign_status(status)
+    retried = {
+        cell_id: n for cell_id, n in status["cell_starts"].items() if n > 1
+    }
+    if retried:
+        print(f"  cells started more than once (interrupted runs): {len(retried)}")
+    return 0
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    """``repro campaign report --dir DIR``"""
+    from repro.campaign import write_report
+    from repro.exceptions import CampaignError
+
+    try:
+        report_dir = write_report(args.dir, cd_method=args.cd_method)
+    except CampaignError as err:
+        print(str(err), file=sys.stderr)
+        return 1
+    print((report_dir / "report.txt").read_text())
+    print(f"report bundle written to {report_dir}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -365,6 +482,94 @@ def build_parser() -> argparse.ArgumentParser:
         "--validation", default="repair", choices=["strict", "repair", "off"]
     )
     serve_bench.set_defaults(func=cmd_serve_bench)
+
+    campaign = sub.add_parser(
+        "campaign", help="crash-safe, resumable evaluation campaigns"
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def _add_campaign_resume_args(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--max-cells",
+            type=int,
+            default=None,
+            help="run at most this many new cells, then stop at the boundary",
+        )
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="start (or continue) a campaign in --out"
+    )
+    campaign_run.add_argument(
+        "--out", required=True, help="campaign directory (journal + cells)"
+    )
+    campaign_run.add_argument(
+        "--datasets", required=True, help="comma-separated registry names"
+    )
+    campaign_run.add_argument(
+        "--methods", required=True, help="comma-separated method names"
+    )
+    campaign_run.add_argument(
+        "--scenarios",
+        default="clean",
+        help="comma-separated scenario names (default: clean)",
+    )
+    campaign_run.add_argument("--name", default="campaign")
+    campaign_run.add_argument("--seed", type=int, default=0)
+    campaign_run.add_argument("--k", type=int, default=5)
+    campaign_run.add_argument("--max-train", type=int, default=24)
+    campaign_run.add_argument("--max-test", type=int, default=60)
+    campaign_run.add_argument("--max-length", type=int, default=150)
+    campaign_run.add_argument(
+        "--validation", default="repair", choices=["strict", "repair", "off"]
+    )
+    campaign_run.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="extra attempts per cell before it is marked failed",
+    )
+    campaign_run.add_argument(
+        "--max-cell-seconds",
+        type=float,
+        default=None,
+        help="per-cell wall-clock budget (overrun = retryable timeout)",
+    )
+    campaign_run.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="chaos-engine fault rate per attempt (split crash/hang/slow)",
+    )
+    campaign_run.add_argument(
+        "--fault-seed", type=int, default=0, help="chaos-engine seed"
+    )
+    _add_campaign_resume_args(campaign_run)
+    campaign_run.set_defaults(func=cmd_campaign_run)
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume", help="resume a campaign from its directory alone"
+    )
+    campaign_resume.add_argument("--dir", required=True)
+    _add_campaign_resume_args(campaign_resume)
+    campaign_resume.set_defaults(func=cmd_campaign_resume)
+
+    campaign_status = campaign_sub.add_parser(
+        "status", help="journal-derived progress snapshot"
+    )
+    campaign_status.add_argument("--dir", required=True)
+    campaign_status.set_defaults(func=cmd_campaign_status)
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="results frame + critical-difference report bundle"
+    )
+    campaign_report.add_argument("--dir", required=True)
+    campaign_report.add_argument(
+        "--cd-method",
+        default="wilcoxon-holm",
+        choices=["nemenyi", "wilcoxon-holm"],
+        help="pairwise test behind the critical-difference groups",
+    )
+    campaign_report.set_defaults(func=cmd_campaign_report)
 
     obs = sub.add_parser("obs", help="observability tools")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)

@@ -112,6 +112,97 @@ def add_baseline_drift(
     return out
 
 
+def mask_missing(
+    X: np.ndarray,
+    rate: float = 0.1,
+    block: int = 1,
+    fill: str = "interpolate",
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Missing-value masking per the UCR Archive's perturbed scenarios.
+
+    Unlike :func:`add_dropout` (isolated samples, always interpolated),
+    this masks *contiguous blocks* — the sensor-outage / transmission-gap
+    pattern the archive paper recommends testing against — and lets the
+    caller choose what the gaps become:
+
+    ``"interpolate"``
+        Linear reconstruction from surviving neighbours (finite output,
+        safe for every pipeline entry point).
+    ``"nan"``
+        Honest NaN gaps, for exercising the ``repro.validation`` repair
+        path (strict mode will refuse, repair mode will patch).
+    ``"zero"``
+        Gaps zeroed in place (the naive imputation many deployments use).
+
+    ``rate`` is the expected fraction of masked samples; each series
+    draws ``round(rate * N / block)`` block start positions. The first
+    and last samples are kept as interpolation anchors.
+    """
+    arr = _check(X)
+    if not 0.0 <= rate < 1.0:
+        raise ValidationError("rate must be in [0, 1)")
+    if block < 1:
+        raise ValidationError("block must be >= 1")
+    if fill not in ("interpolate", "nan", "zero"):
+        raise ValidationError("fill must be 'interpolate', 'nan', or 'zero'")
+    rng = _rng_of(seed)
+    out = arr.copy()
+    n = arr.shape[1]
+    positions = np.arange(n)
+    n_blocks = int(round(rate * n / block))
+    for i in range(arr.shape[0]):
+        mask = np.zeros(n, dtype=bool)
+        if n_blocks > 0:
+            starts = rng.integers(0, n, size=n_blocks)
+            for start in starts:
+                mask[start : start + block] = True
+        mask[0] = mask[-1] = False  # keep anchors
+        if not np.any(mask):
+            continue
+        if fill == "interpolate":
+            keep = ~mask
+            out[i] = np.interp(positions, positions[keep], arr[i, keep])
+        elif fill == "nan":
+            out[i, mask] = np.nan
+        else:
+            out[i, mask] = 0.0
+    return out
+
+
+def add_label_noise(
+    y: np.ndarray,
+    rate: float = 0.1,
+    n_classes: int | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Symmetric label noise: each label flips with probability ``rate``.
+
+    A flipped label is redrawn uniformly from the *other* observed
+    classes (or ``0..n_classes-1`` when given), so a flip always changes
+    the label. Pure and seeded like every other perturbation; operates
+    on the label vector rather than the value matrix, which is why the
+    campaign registers it as a train-side scenario.
+    """
+    labels = np.asarray(y)
+    if labels.ndim != 1 or labels.size == 0:
+        raise ValidationError("label noise expects a non-empty 1-D label vector")
+    if not 0.0 <= rate <= 1.0:
+        raise ValidationError("rate must be in [0, 1]")
+    classes = (
+        np.arange(n_classes) if n_classes is not None else np.unique(labels)
+    )
+    if classes.size < 2:
+        raise ValidationError("label noise needs at least 2 classes")
+    rng = _rng_of(seed)
+    out = labels.copy()
+    flip = rng.random(labels.size) < rate
+    for i in np.flatnonzero(flip):
+        others = classes[classes != labels[i]]
+        out[i] = rng.choice(others)
+    return out
+
+
 def time_warp(
     X: np.ndarray,
     max_warp: float = 0.1,

@@ -35,6 +35,7 @@ from repro.distributed.executor import (
     WorkUnit,
 )
 from repro.distributed.faults import DroppedResult, FaultInjector, FaultPlan
+from repro.distributed.interrupt import GracefulInterrupt
 
 __all__ = [
     "CheckpointStore",
@@ -42,6 +43,7 @@ __all__ = [
     "DroppedResult",
     "FaultInjector",
     "FaultPlan",
+    "GracefulInterrupt",
     "ProcessExecutor",
     "RetryingExecutor",
     "SerialExecutor",

@@ -41,6 +41,7 @@ from repro.distributed.executor import (
     WorkUnit,
 )
 from repro.distributed.faults import DroppedResult, FaultInjector, FaultPlan
+from repro.distributed.interrupt import GracefulInterrupt
 from repro.exceptions import EmptyPoolError, QuorumError, ValidationError
 from repro.filters.dabf import DABF, PruneReport
 from repro.instanceprofile.candidates import CandidatePool
@@ -248,33 +249,42 @@ class DistributedIPS:
             validate=validate_unit_result,
             seed=jitter_seed,
         )
-        if tracker is None:
-            batches = [remaining]
-        else:
-            by_round: dict[int, list[int]] = {}
-            for index in remaining:
-                by_round.setdefault(units[index].sample_id, []).append(index)
-            batches = [by_round[s] for s in sorted(by_round)]
+        # One batch per bagging round (same sample_id across classes):
+        # the budget truncates at round boundaries, and a first
+        # SIGINT/SIGTERM stops cleanly *after* the in-flight round — by
+        # then every completed unit is already checkpointed, so nothing
+        # is lost. A second signal force-exits via KeyboardInterrupt.
+        by_round: dict[int, list[int]] = {}
+        for index in remaining:
+            by_round.setdefault(units[index].sample_id, []).append(index)
+        batches = [by_round[s] for s in sorted(by_round)]
         n_computed = 0
         rounds_run = 0
-        for batch_no, batch in enumerate(batches):
-            if tracker is not None and batch_no > 0 and tracker.exhausted:
-                break
-            computed = retrying.map_with_outcomes(
-                worker, [units[i] for i in batch]
-            )
-            rounds_run += 1
-            for index, outcome in zip(batch, computed):
-                outcome.index = index
-                outcomes[index] = outcome
-                n_computed += 1
-                if store is not None and outcome.ok:
-                    store.save(unit_key(units[index]), outcome.value)
-                if tracker is not None and outcome.ok:
-                    tracker.charge(
-                        len(outcome.value),
-                        sum(c.length for c in outcome.value),
-                    )
+        interrupted = False
+        with GracefulInterrupt() as interrupt:
+            for batch_no, batch in enumerate(batches):
+                if batch_no > 0 and (
+                    interrupt.triggered
+                    or (tracker is not None and tracker.exhausted)
+                ):
+                    interrupted = interrupt.triggered
+                    break
+                computed = retrying.map_with_outcomes(
+                    worker, [units[i] for i in batch]
+                )
+                rounds_run += 1
+                for index, outcome in zip(batch, computed):
+                    outcome.index = index
+                    outcomes[index] = outcome
+                    n_computed += 1
+                    if store is not None and outcome.ok:
+                        store.save(unit_key(units[index]), outcome.value)
+                    if tracker is not None and outcome.ok:
+                        tracker.charge(
+                            len(outcome.value),
+                            sum(c.length for c in outcome.value),
+                        )
+            interrupted = interrupted or interrupt.triggered
         if tracker is not None:
             tracker.record_phase(
                 "generation",
@@ -286,6 +296,7 @@ class DistributedIPS:
             "checkpoint_hits": checkpoint_hits,
             "n_units_computed": n_computed,
             "executor_degraded": retrying.degraded_,
+            "interrupted": interrupted,
         }
         attempted = [
             (units[i], outcomes[i])
@@ -558,14 +569,14 @@ class DistributedIPS:
             **merge_stats,
             **run_stats,
         }
-        completed = True
+        completed = not run_stats.get("interrupted", False)
         if tracker is not None:
             tracker.record_phase(
                 "selection",
                 classes_scored=len(scores_by_class),
                 dt_used=dabf is not None,
             )
-            completed = not (
+            completed = completed and not (
                 tracker.progress.get("generation", {}).get("truncated", False)
                 or out_of_budget
             )

@@ -1,0 +1,88 @@
+"""Graceful SIGINT/SIGTERM handling for long-running coordinators.
+
+A campaign (or a distributed discovery run) killed with Ctrl-C should
+not lose its in-flight round: completed work is already persisted, so
+the right response to a *first* signal is "finish the current unit of
+work, flush state, and stop cleanly". Only a *second* signal means
+"really stop now".
+
+:class:`GracefulInterrupt` is a context manager implementing exactly
+that ladder:
+
+* on entry it installs handlers for SIGINT and SIGTERM (when possible —
+  handlers can only be installed from the main thread; elsewhere it
+  degrades to a no-op and ``triggered`` simply never latches);
+* the first signal latches :attr:`triggered`; the enclosing loop is
+  expected to poll it at its next safe boundary and wind down;
+* a second signal raises :class:`KeyboardInterrupt` immediately
+  (force exit — the operator insisted);
+* on exit the previous handlers are restored, whatever happened.
+
+The latch is deliberately *sticky*: code that checks ``triggered`` at a
+round boundary sees the same answer no matter how the scheduler
+interleaved the signal with the round.
+"""
+
+from __future__ import annotations
+
+import signal
+
+
+class GracefulInterrupt:
+    """Latch the first SIGINT/SIGTERM; force-exit on the second.
+
+    Example
+    -------
+    ::
+
+        with GracefulInterrupt() as interrupt:
+            for cell in cells:
+                if interrupt.triggered:
+                    break           # flush + checkpoint happen below
+                run(cell)
+    """
+
+    #: Signals covered by the ladder. SIGTERM is what process managers
+    #: and ``kill`` send by default; SIGINT is Ctrl-C.
+    SIGNALS = ("SIGINT", "SIGTERM")
+
+    def __init__(self) -> None:
+        self.triggered = False
+        #: Name of the first signal received (``None`` until triggered).
+        self.signal_name: str | None = None
+        self._previous: dict[int, object] = {}
+        self._installed = False
+
+    def _handle(self, signum: int, frame) -> None:
+        if self.triggered:
+            raise KeyboardInterrupt(
+                f"second {signal.Signals(signum).name} received; force exit"
+            )
+        self.triggered = True
+        self.signal_name = signal.Signals(signum).name
+
+    def __enter__(self) -> "GracefulInterrupt":
+        for name in self.SIGNALS:
+            signum = getattr(signal, name, None)
+            if signum is None:  # pragma: no cover - platform without signal
+                continue
+            try:
+                self._previous[signum] = signal.signal(signum, self._handle)
+                self._installed = True
+            except ValueError:
+                # Not the main thread: handlers cannot be installed.
+                # Degrade to a no-op latch rather than breaking the run.
+                break
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except ValueError:  # pragma: no cover - torn-down interpreter
+                pass
+        self._previous.clear()
+        self._installed = False
+
+
+__all__ = ["GracefulInterrupt"]

@@ -70,6 +70,25 @@ class CheckpointError(ReproError):
     """A checkpoint directory is unusable or belongs to a different run."""
 
 
+class CampaignError(ReproError):
+    """Base class for failures of the evaluation-campaign orchestrator.
+
+    Raised for unusable campaign directories, fingerprint mismatches on
+    resume, and malformed specs — never for a *cell* failure, which is
+    recorded in the journal with typed provenance and does not abort the
+    campaign.
+    """
+
+
+class JournalError(CampaignError):
+    """A campaign journal is unusable beyond tail-recovery.
+
+    Torn trailing lines from a killed process are *not* this error —
+    replay quarantines and recovers them. This is reserved for journals
+    that cannot be read or rewritten at all.
+    """
+
+
 class ServeError(ReproError):
     """Base class for every failure raised by the online serving layer.
 

@@ -41,12 +41,14 @@ def pytest_runtest_call(item):
 
 
 def pytest_collection_modifyitems(items):
-    """Every serving-layer test carries the ``serve`` marker automatically,
-    so ``pytest -m serve`` (and ``make verify-serve``) selects the whole
-    suite without per-file bookkeeping."""
+    """File-prefix markers applied automatically, so ``pytest -m serve``
+    / ``pytest -m campaign`` (and their ``make verify-*`` targets) select
+    whole suites without per-file bookkeeping."""
     for item in items:
         if item.fspath.basename.startswith("test_serve"):
             item.add_marker(pytest.mark.serve)
+        if item.fspath.basename.startswith("test_campaign"):
+            item.add_marker(pytest.mark.campaign)
 
 
 @pytest.fixture()

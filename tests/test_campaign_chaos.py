@@ -1,0 +1,239 @@
+"""Chaos suite for ``repro.campaign``: campaigns killed at cell
+boundaries and mid-cell, resumed repeatedly — with and without injected
+crash/hang/slow faults — must converge to results bit-identical to an
+uninterrupted run, with zero re-execution of finished cells.
+
+These are the acceptance gates of the campaign subsystem; they carry the
+``campaign`` marker (via conftest) and run under ``make verify-campaign``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignCell,
+    CampaignRunner,
+    CampaignSpec,
+    build_frame,
+    run_cell,
+    write_report,
+)
+from repro.distributed.faults import FaultPlan
+
+SPEC = CampaignSpec(
+    datasets=("CBF", "GunPoint", "ItalyPowerDemand"),
+    methods=("1NN-ED", "BOP", "TSF"),
+    scenarios=("clean", "noise"),
+    seed=3,
+    name="chaos",
+)
+N_CELLS = len(SPEC.cells())
+
+
+def fake_worker(cell: CampaignCell) -> dict:
+    return {
+        "accuracy": (cell.seed % 1000) / 1000.0,
+        "completed": True,
+        "discovery_seconds": 0.0,
+        "fit_seconds": 0.0,
+    }
+
+
+def unstable_worker(cell: CampaignCell) -> dict:
+    """Fake worker with one permanently-crashing baseline cell."""
+    if cell.dataset == "CBF" and cell.method == "TSF":
+        raise MemoryError("baseline blew the heap")
+    return fake_worker(cell)
+
+
+def reference_digest(worker, tmp_path, fault_plan=None, retries=3) -> str:
+    """Frame digest of an uninterrupted run (the chaos oracle)."""
+    d = tmp_path / "reference"
+    CampaignRunner(
+        SPEC, d, worker_fn=worker, fault_plan=fault_plan, retries=retries
+    ).run()
+    return build_frame(d, SPEC).digest()
+
+
+class TestKillAtCellBoundary:
+    def test_random_boundary_kills_then_resume_bitidentical(self, tmp_path):
+        """SIGKILL at a cell boundary == stopping after N cells: resume
+        repeatedly from random kill points; the final frame is
+        bit-identical and no finished cell ever re-runs."""
+        oracle = reference_digest(fake_worker, tmp_path)
+        rng = np.random.default_rng(42)
+        d = tmp_path / "killed"
+        for _round in range(30):  # bounded; breaks when complete
+            runner = CampaignRunner(SPEC, d, worker_fn=fake_worker)
+            status = runner.run(max_cells=int(rng.integers(1, 4)))
+            if status["complete"]:
+                break
+        assert status["complete"]
+        assert all(n == 1 for n in status["cell_starts"].values())
+        assert len(status["cell_starts"]) == N_CELLS
+        assert build_frame(d, SPEC).digest() == oracle
+
+    def test_failed_cells_survive_kill_resume_identically(self, tmp_path):
+        """A permanently-crashing baseline yields the same typed ``failed``
+        row whether or not the campaign was killed and resumed around it."""
+        oracle = reference_digest(unstable_worker, tmp_path, retries=1)
+        d = tmp_path / "killed"
+        for _ in range(N_CELLS):
+            status = CampaignRunner(
+                SPEC, d, worker_fn=unstable_worker, retries=1
+            ).run(max_cells=2)
+            if status["complete"]:
+                break
+        assert status["complete"]
+        assert status["n_failed"] == 2  # CBF x TSF x {clean, noise}
+        assert status["failed_cells"] == [
+            ("CBF__TSF__clean", "MemoryError"),
+            ("CBF__TSF__noise", "MemoryError"),
+        ]
+        assert build_frame(d, SPEC).digest() == oracle
+
+
+class TestKillMidCell:
+    def test_sigkill_mid_cell_leaves_cell_pending(self, tmp_path):
+        """A process death *inside* a cell (journaled ``cell_started``,
+        no ``cell_finished``) re-runs exactly that cell on resume."""
+        d = tmp_path / "killed"
+        calls = {"n": 0}
+
+        def dying_worker(cell: CampaignCell) -> dict:
+            calls["n"] += 1
+            if calls["n"] == 4:
+                raise SystemExit("simulated SIGKILL mid-cell")
+            return fake_worker(cell)
+
+        with pytest.raises(SystemExit):
+            CampaignRunner(SPEC, d, worker_fn=dying_worker).run()
+        runner = CampaignRunner(SPEC, d, worker_fn=fake_worker)
+        events = runner.journal.replay()
+        started = [r["cell_id"] for r in events if r["type"] == "cell_started"]
+        finished = [r["cell_id"] for r in events if r["type"] == "cell_finished"]
+        assert len(started) == 4 and len(finished) == 3
+        victim = started[-1]
+        status = runner.run()
+        assert status["complete"]
+        assert status["cell_starts"][victim] == 2  # the one re-run
+        others = [
+            n for cell_id, n in status["cell_starts"].items() if cell_id != victim
+        ]
+        assert all(n == 1 for n in others)
+        assert build_frame(d, SPEC).digest() == reference_digest(
+            fake_worker, tmp_path
+        )
+
+
+@pytest.mark.timeout_guard(120)
+class TestFaultInjection:
+    PLAN = FaultPlan(crash_rate=0.25, hang_rate=0.15, slow_rate=0.2,
+                     slow_seconds=0.002, seed=99)
+
+    def test_faults_are_transient_under_retries(self, tmp_path):
+        """crash/hang/slow faults at these rates are absorbed by the retry
+        ladder: same frame as a fault-free campaign."""
+        clean = reference_digest(fake_worker, tmp_path)
+        d = tmp_path / "faulty"
+        status = CampaignRunner(
+            SPEC, d, worker_fn=fake_worker, fault_plan=self.PLAN, retries=7
+        ).run()
+        assert status["complete"] and status["n_failed"] == 0
+        assert build_frame(d, SPEC).digest() == clean
+
+    def test_kill_resume_under_faults_bitidentical(self, tmp_path):
+        """The full gauntlet: campaign killed at random boundaries while
+        the chaos engine injects crash/hang/slow faults; resumed runs
+        converge to the uninterrupted-run frame, bit for bit."""
+        oracle = reference_digest(fake_worker, tmp_path, fault_plan=self.PLAN,
+                                  retries=7)
+        rng = np.random.default_rng(7)
+        d = tmp_path / "gauntlet"
+        for _round in range(30):
+            status = CampaignRunner(
+                SPEC, d, worker_fn=fake_worker, fault_plan=self.PLAN, retries=7
+            ).run(max_cells=int(rng.integers(1, 5)))
+            if status["complete"]:
+                break
+        assert status["complete"]
+        assert all(n == 1 for n in status["cell_starts"].values())
+        assert build_frame(d, SPEC).digest() == oracle
+        # Determinism is attempt-keyed: the faulty run's payloads equal
+        # the fault-free run's payloads, not merely its own replay.
+        assert oracle == reference_digest(fake_worker, tmp_path / "again")
+
+
+@pytest.mark.slow
+@pytest.mark.timeout_guard(600)
+class TestRealMatrixGate:
+    """The acceptance gate on real evaluations: >=3 datasets x >=3 methods
+    through the genuine ``run_cell`` worker, killed and resumed under
+    faults, must reproduce the uninterrupted frame bit-identically with a
+    typed failure row for a crashing baseline."""
+
+    GATE_SPEC = CampaignSpec(
+        datasets=("CBF", "GunPoint", "ItalyPowerDemand"),
+        methods=("1NN-ED", "BOP", "TSF"),
+        scenarios=("clean",),
+        seed=0,
+        max_train=8,
+        max_test=12,
+        max_length=60,
+        name="gate",
+    )
+    PLAN = FaultPlan(crash_rate=0.2, hang_rate=0.1, slow_rate=0.1,
+                     slow_seconds=0.002, seed=5)
+
+    @staticmethod
+    def gate_worker(cell: CampaignCell) -> dict:
+        # One genuinely crashing baseline inside the real matrix.
+        if cell.dataset == "GunPoint" and cell.method == "TSF":
+            raise RuntimeError("baseline segfault stand-in")
+        return run_cell(cell)
+
+    def test_kill_resume_real_methods_bitidentical(self, tmp_path):
+        reference = tmp_path / "reference"
+        CampaignRunner(
+            self.GATE_SPEC, reference, worker_fn=self.gate_worker,
+            fault_plan=self.PLAN, retries=4,
+        ).run()
+        oracle = build_frame(reference, self.GATE_SPEC)
+        assert oracle.n_rows == 9
+
+        d = tmp_path / "killed"
+        rng = np.random.default_rng(11)
+        for _round in range(20):
+            status = CampaignRunner(
+                self.GATE_SPEC, d, worker_fn=self.gate_worker,
+                fault_plan=self.PLAN, retries=4,
+            ).run(max_cells=int(rng.integers(1, 3)))
+            if status["complete"]:
+                break
+        assert status["complete"]
+        # Zero re-runs of finished cells across every kill/resume cycle.
+        assert all(n == 1 for n in status["cell_starts"].values())
+        # The crashing baseline is a typed row, not an aborted campaign.
+        assert status["failed_cells"] == [("GunPoint__TSF__clean", "RuntimeError")]
+        frame = build_frame(d, self.GATE_SPEC)
+        assert frame.digest() == oracle.digest()
+        # Real accuracies made it through (not just placeholders).
+        ok_acc = [
+            row["accuracy"] for row in frame.rows() if row["status"] == "ok"
+        ]
+        assert len(ok_acc) == 8 and all(0.0 <= a <= 1.0 for a in ok_acc)
+
+        # Report bundle renders from the partial-failure frame.
+        report_dir = write_report(d)
+        report = (report_dir / "report.txt").read_text()
+        assert "RuntimeError" in report
+        assert "Critical-difference" in report
+        manifest = json.loads((report_dir / "manifest.json").read_text())
+        assert manifest["frame_sha256"] == oracle.digest()
+        assert set(manifest["files"]) == {
+            "frame.json", "results.csv", "report.txt"
+        }

@@ -9,7 +9,9 @@ from repro.datasets.perturb import (
     add_baseline_drift,
     add_dropout,
     add_gaussian_noise,
+    add_label_noise,
     add_spikes,
+    mask_missing,
     time_warp,
 )
 from repro.exceptions import ValidationError
@@ -26,6 +28,8 @@ ALL_PERTURBATIONS = [
     lambda X: add_dropout(X, rate=0.1, seed=1),
     lambda X: add_baseline_drift(X, magnitude=0.5, seed=1),
     lambda X: time_warp(X, max_warp=0.1, seed=1),
+    lambda X: mask_missing(X, rate=0.15, block=4, seed=1),
+    lambda X: mask_missing(X, rate=0.15, block=4, fill="zero", seed=1),
 ]
 
 
@@ -86,6 +90,85 @@ class TestDropout:
     def test_bad_rate_rejected(self, X):
         with pytest.raises(ValidationError):
             add_dropout(X, rate=1.0)
+
+
+class TestMaskMissing:
+    def test_endpoints_anchored(self, X):
+        out = mask_missing(X, rate=0.4, block=6, seed=3)
+        assert np.array_equal(out[:, 0], X[:, 0])
+        assert np.array_equal(out[:, -1], X[:, -1])
+
+    def test_gaps_are_contiguous_blocks(self):
+        # With nan fill the mask is directly visible: every masked run
+        # away from the (kept) endpoints spans at least the block length.
+        X = np.arange(200, dtype=float).reshape(1, 200)
+        out = mask_missing(X, rate=0.2, block=8, fill="nan", seed=4)
+        mask = np.isnan(out[0])
+        assert mask.any()
+        runs = np.flatnonzero(np.diff(np.concatenate(([0], mask.view(np.int8), [0]))))
+        lengths = runs[1::2] - runs[0::2]
+        starts = runs[0::2]
+        interior = (starts > 0) & (starts + lengths < 200)
+        assert np.all(lengths[interior] >= 8)
+
+    def test_fill_modes(self):
+        X = np.arange(1.0, 101.0).reshape(1, 100)  # no genuine zeros
+        interpolated = mask_missing(X, rate=0.3, block=5, seed=5)
+        # A linear ramp interpolates back to itself exactly.
+        assert np.allclose(interpolated, X)
+        zeroed = mask_missing(X, rate=0.3, block=5, fill="zero", seed=5)
+        nan = mask_missing(X, rate=0.3, block=5, fill="nan", seed=5)
+        assert (zeroed[0] == 0.0).sum() >= 1
+        assert np.array_equal(zeroed[0] == 0.0, np.isnan(nan[0]))
+
+    def test_zero_rate_identity(self, X):
+        assert np.array_equal(mask_missing(X, rate=0.0), X)
+
+    def test_bad_args_rejected(self, X):
+        with pytest.raises(ValidationError):
+            mask_missing(X, rate=1.0)
+        with pytest.raises(ValidationError):
+            mask_missing(X, block=0)
+        with pytest.raises(ValidationError):
+            mask_missing(X, fill="mean")
+
+
+class TestLabelNoise:
+    @pytest.fixture()
+    def y(self, rng):
+        return rng.integers(0, 3, size=200)
+
+    def test_pure_seeded_deterministic(self, y):
+        before = y.copy()
+        first = add_label_noise(y, rate=0.2, seed=9)
+        second = add_label_noise(y, rate=0.2, seed=9)
+        assert np.array_equal(y, before)
+        assert np.array_equal(first, second)
+        assert not np.array_equal(add_label_noise(y, rate=0.2, seed=10), first)
+
+    def test_flip_rate_approximate_and_always_changes(self, y):
+        out = add_label_noise(y, rate=0.3, seed=11)
+        changed = out != y
+        assert 0.15 < changed.mean() < 0.45
+        # Symmetric noise redraws from the *other* classes only.
+        assert np.all(out[changed] != y[changed])
+        assert set(np.unique(out)) <= set(np.unique(y))
+
+    def test_string_labels_supported(self):
+        y = np.array(["a", "b", "a", "b", "c", "c"] * 20)
+        out = add_label_noise(y, rate=0.5, seed=12)
+        assert set(np.unique(out)) <= {"a", "b", "c"}
+
+    def test_zero_rate_identity(self, y):
+        assert np.array_equal(add_label_noise(y, rate=0.0), y)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            add_label_noise(np.ones(10, dtype=int))  # single class
+        with pytest.raises(ValidationError):
+            add_label_noise(np.array([[0, 1]]))  # not 1-D
+        with pytest.raises(ValidationError):
+            add_label_noise(np.array([0, 1]), rate=1.5)
 
 
 class TestComposition:
