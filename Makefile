@@ -18,12 +18,15 @@ verify-robustness:
 	PYTHONPATH=src $(PYTHON) -m repro run ItalyPowerDemand --method IPS \
 		--max-train 16 --max-test 20 --k 3 --budget-seconds 0.0
 
-# Kernel-engine gate: batched-vs-scalar equivalence tests, then the
-# micro-benchmark smoke (100 queries x 50 series). Writes machine-keyed
-# results to BENCH_kernels.json and fails if the batched path is slower
-# than the scalar loops it replaced.
+# Kernel-engine gate: batched-vs-scalar equivalence and multi-backend
+# tests, then the micro-benchmark smoke (100 queries x 50 series) and
+# the per-backend sweep. Writes machine-keyed results (including the
+# "backends" section) to BENCH_kernels.json; fails if the batched path
+# is slower than the scalar loops, if a float64 backend is not
+# bit-identical to the reference, if float32 exceeds its error bound,
+# or if the persistent spectra store records no cross-run disk hits.
 verify-perf:
-	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_kernels.py
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_kernels.py tests/test_kernel_backends.py
 	PYTHONPATH=src $(PYTHON) -m repro.benchlib.perfbench
 
 # Observability gate: span-tree/metrics/manifest/JSONL tests, then the

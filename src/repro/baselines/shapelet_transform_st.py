@@ -16,7 +16,7 @@ from repro.baselines.base import ShapeletTransformClassifier
 from repro.baselines.quality import best_information_gain
 from repro.exceptions import ValidationError
 from repro.instanceprofile.sampling import resolve_lengths
-from repro.kernels import distance_profile, subsequence_distance
+from repro.kernels import SeriesCache, batch_min_distance, subsequence_distance
 from repro.ts.series import Dataset
 from repro.types import Shapelet
 
@@ -78,15 +78,22 @@ class ShapeletTransformST(ShapeletTransformClassifier):
             )
         self.n_candidates_searched_ = len(candidates)
 
+        # One batched kernel pass scores every candidate against every
+        # series (grouped by candidate length internally); the per-fit
+        # cache computes the dataset matrix's spectra once per length
+        # instead of once per (candidate, series) pair. The historical
+        # ``distance_profile(values, X[t]).min() / len`` loop iterated
+        # fresh ``X[t]`` views, which an identity-keyed cache can never
+        # hit. Bit-identical to that loop by the engine's contract.
+        fit_cache = SeriesCache()
+        min_dists = batch_min_distance(
+            [values for values, _label, _row, _start in candidates],
+            dataset.X,
+            cache=fit_cache,
+        )
         scored: list[tuple[float, int]] = []
-        for idx, (values, _label, _row, _start) in enumerate(candidates):
-            distances = np.array(
-                [
-                    distance_profile(values, dataset.X[t]).min() / values.size
-                    for t in range(dataset.n_series)
-                ]
-            )
-            gain, _threshold = best_information_gain(distances, dataset.y)
+        for idx in range(len(candidates)):
+            gain, _threshold = best_information_gain(min_dists[:, idx], dataset.y)
             scored.append((gain, idx))
         scored.sort(key=lambda item: -item[0])
 
@@ -98,7 +105,8 @@ class ShapeletTransformST(ShapeletTransformClassifier):
                 continue
             duplicate = any(
                 s.length == values.size
-                and subsequence_distance(values, s.values) < self.similarity_reject
+                and subsequence_distance(values, s.values, cache=fit_cache)
+                < self.similarity_reject
                 for s in shapelets
             )
             if duplicate:

@@ -80,10 +80,18 @@ class UtilityScores:
 
 
 class _PairDistanceCache:
-    """Cross-call cache of Def.-4 distances between candidates (the CR idea)."""
+    """Cross-call cache of Def.-4 distances between candidates (the CR idea).
 
-    def __init__(self) -> None:
+    ``series_cache`` additionally routes each *miss* through the kernel
+    engine's :class:`~repro.kernels.SeriesCache`: candidate ``values``
+    arrays are stable objects for the pool's lifetime, so the id-keyed
+    spectrum/statistics entries hit — the longer array of each pair gets
+    one FFT total instead of one per partner it is compared against.
+    """
+
+    def __init__(self, series_cache: SeriesCache | None = None) -> None:
         self._store: dict[tuple[int, int], float] = {}
+        self.series_cache = series_cache
         self.hits = 0
         self.misses = 0
 
@@ -95,7 +103,7 @@ class _PairDistanceCache:
             self.hits += 1
             return cached
         self.misses += 1
-        value = subsequence_distance(a.values, b.values)
+        value = subsequence_distance(a.values, b.values, cache=self.series_cache)
         self._store[key] = value
         return value
 
@@ -137,7 +145,11 @@ def score_candidates_brute(
 
     intra_sums = np.zeros(n)
     if use_cr:
-        shared = cache if cache is not None else _PairDistanceCache()
+        shared = (
+            cache
+            if cache is not None
+            else _PairDistanceCache(series_cache=series_cache)
+        )
         for i in range(n):
             for j in range(i + 1, n):
                 d = shared.distance(motifs[i], motifs[j])
@@ -148,17 +160,21 @@ def score_candidates_brute(
             for other in others:
                 inter_sums[i] += shared.distance(motifs[i], other)
     else:
-        # Deliberately wasteful: both (i, j) and (j, i) are computed.
+        # Deliberately wasteful: both (i, j) and (j, i) are computed —
+        # but the series cache still applies (candidate arrays are stable
+        # objects, so each one is FFT'd once, not once per pairing).
         for i in range(n):
             for j in range(n):
                 if i != j:
                     intra_sums[i] += subsequence_distance(
-                        motifs[i].values, motifs[j].values
+                        motifs[i].values, motifs[j].values, cache=series_cache
                     )
         inter_sums = np.zeros(n)
         for i in range(n):
             for other in others:
-                inter_sums[i] += subsequence_distance(motifs[i].values, other.values)
+                inter_sums[i] += subsequence_distance(
+                    motifs[i].values, other.values, cache=series_cache
+                )
 
     # One batched kernel pass replaces the per-(candidate, instance)
     # Python loop; row-major accumulation keeps the historical summation

@@ -70,6 +70,22 @@ class CheckpointError(ReproError):
     """A checkpoint directory is unusable or belongs to a different run."""
 
 
+class CacheIntegrityError(ReproError):
+    """A cached array's content changed while it was cached.
+
+    Raised only in :class:`repro.kernels.SeriesCache`'s optional
+    content-fingerprint debug mode — cached arrays are contractually
+    immutable, and a mutation would otherwise silently serve stale
+    derived quantities (spectra, rolling statistics).
+    """
+
+
+class SpectraStoreError(ReproError):
+    """A persistent spectra-cache directory is unusable (not corrupt
+    entries — those are quarantined and recomputed — but an unwritable or
+    non-directory path)."""
+
+
 class CampaignError(ReproError):
     """Base class for failures of the evaluation-campaign orchestrator.
 

@@ -300,6 +300,12 @@ class NaivePruner:
     max_reference_pairs:
         Cap on sampled pairs when estimating each class's internal distance
         distribution (construction cost control only).
+    series_cache:
+        Optional :class:`~repro.kernels.SeriesCache`. Candidate ``values``
+        arrays are stable objects for the pool's lifetime, so routing the
+        quadratic distance loops through the cache gives each candidate
+        one FFT/statistics pass total instead of one per comparison —
+        results are bit-identical either way.
     """
 
     def __init__(
@@ -308,9 +314,11 @@ class NaivePruner:
         theta: float = DEFAULT_THETA,
         max_reference_pairs: int = 256,
         seed: int | np.random.Generator | None = None,
+        series_cache=None,
     ) -> None:
         self.theta = theta
         self.pool = pool
+        self.series_cache = series_cache
         rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
         self._stats: dict[int, tuple[float, float]] = {}
         for label in pool.classes:
@@ -322,7 +330,11 @@ class NaivePruner:
             dists = np.empty(n_pairs)
             for p in range(n_pairs):
                 i, j = rng.choice(len(elements), size=2, replace=False)
-                dists[p] = subsequence_distance(elements[i].values, elements[j].values)
+                dists[p] = subsequence_distance(
+                    elements[i].values,
+                    elements[j].values,
+                    cache=series_cache,
+                )
             self._stats[label] = (float(dists.mean()), float(dists.std()))
 
     def is_close_to_most(self, values: np.ndarray, label: int) -> bool:
@@ -336,7 +348,9 @@ class NaivePruner:
         mean_query = float(
             np.mean(
                 [
-                    subsequence_distance(values, element.values)
+                    subsequence_distance(
+                        values, element.values, cache=self.series_cache
+                    )
                     for element in elements
                 ]
             )

@@ -29,7 +29,15 @@ from __future__ import annotations
 
 import warnings
 
+from repro.kernels.backends import (
+    BackendSpec,
+    backend_names,
+    choose_backend,
+    get_backend,
+    register_backend,
+)
 from repro.kernels.cache import SeriesCache
+from repro.kernels.store import SpectraStore
 from repro.kernels.engine import (
     batch_distance_profile,
     batch_mass,
@@ -52,16 +60,22 @@ from repro.kernels.perf import (
 
 __all__ = [
     "NULL_PERF_COUNTERS",
+    "BackendSpec",
     "NullPerfCounters",
     "PerfCounters",
     "SeriesCache",
+    "SpectraStore",
+    "backend_names",
     "batch_distance_profile",
     "batch_mass",
     "batch_min_distance",
     "batch_sliding_dot",
+    "choose_backend",
     "distance_profile",
     "euclidean_distance",
+    "get_backend",
     "mass",
+    "register_backend",
     "raw_distance_profile",
     "reset_deprecation_warnings",
     "sliding_dot_product",

@@ -1,0 +1,301 @@
+"""Kernel-engine backends: precision, memory layout, and sharding.
+
+The batched FFT kernels in :mod:`repro.kernels.engine` admit several
+execution strategies with different speed/memory/precision trade-offs.
+Each strategy is described by a :class:`BackendSpec` and registered under
+a name:
+
+``reference``
+    The float64 whole-batch FFT path — the default, and the correctness
+    anchor: bit-identical to the scalar kernels (and therefore to the
+    historical implementations), enforced by the equivalence suite.
+``float32``
+    Same algorithm in single precision: spectra, pointwise products and
+    inverse transforms run as ``complex64``/``float32``, halving memory
+    traffic. Results carry a *tested* error bound against the reference
+    (``atol``/``rtol`` on the spec); opt-in only — the auto-tuner never
+    trades precision away silently.
+``tiled``
+    Float64 with a blocked/tiled loop over (series rows x query chunks),
+    each tile sized so the working set fits ``budget_bytes`` (think L2/L3
+    budget). Bit-identical to ``reference`` — row FFTs are independent,
+    so tiling changes traversal order, never arithmetic.
+``sharded``
+    Float64 with series rows sharded across a process pool via
+    :class:`repro.distributed.RetryingExecutor` (retry/backoff and
+    graceful degradation to serial when the pool breaks, the PR-1
+    semantics). Bit-identical to ``reference``; worthwhile only when the
+    FFT work dwarfs the fork/IPC overhead, which is what the auto-tuner
+    checks.
+
+:func:`choose_backend` is the auto-tuner: given a workload shape it picks
+``reference`` / ``tiled`` / ``sharded`` (never ``float32``).
+``IPSConfig(kernel_backend="auto")`` invokes it at ``SeriesCache`` build
+time; the chosen name is recorded in run manifests and
+``BENCH_kernels.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+#: Default tile working-set budget for the ``tiled`` backend (bytes).
+DEFAULT_TILE_BUDGET = 32 << 20
+
+#: Default worker count for the ``sharded`` backend.
+DEFAULT_SHARD_WORKERS = 2
+
+#: Auto-tuner: below this many (series x query x fft-point) multiply-adds
+#: the process-pool overhead of ``sharded`` cannot pay for itself.
+SHARD_MIN_WORK = 5e8
+
+#: Error bound of the float32 backend on unit-scale data, asserted by
+#: ``tests/test_kernel_backends.py`` and the perfbench gate:
+#: ``|x32 - x64| <= atol + rtol * |x64|`` elementwise on distance outputs.
+FLOAT32_ATOL = 5e-4
+FLOAT32_RTOL = 5e-4
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One execution strategy of the batched kernels.
+
+    Attributes
+    ----------
+    name:
+        Registry name (``reference``/``float32``/``tiled``/``sharded``).
+    precision:
+        Compute dtype of the FFT path: ``"float64"`` or ``"float32"``.
+    layout:
+        ``"batched"`` (whole series batch per FFT pass) or ``"tiled"``
+        (series-row x query-chunk tiles sized to ``budget_bytes``).
+    sharded:
+        Whether series rows are fanned out across a process pool.
+    budget_bytes:
+        Working-set ceiling per tile/chunk of the pointwise-product loop.
+        Sized against the *worst* intermediate: the complex product
+        (16 B/element over the half spectrum) plus the float64 inverse
+        transform buffer (8 B/element over the full FFT length).
+    max_workers:
+        Process count for the sharded path.
+    atol, rtol:
+        Guaranteed (tested) error bound against the ``reference`` backend
+        on unit-scale data; both 0.0 for bit-identical backends.
+    description:
+        One-line human summary (shown in docs and BENCH records).
+    """
+
+    name: str
+    precision: str = "float64"
+    layout: str = "batched"
+    sharded: bool = False
+    budget_bytes: int = DEFAULT_TILE_BUDGET
+    max_workers: int = DEFAULT_SHARD_WORKERS
+    atol: float = 0.0
+    rtol: float = 0.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.precision not in ("float64", "float32"):
+            raise ValidationError(
+                f"unknown backend precision {self.precision!r}"
+            )
+        if self.layout not in ("batched", "tiled"):
+            raise ValidationError(f"unknown backend layout {self.layout!r}")
+        if self.budget_bytes < 1 << 16:
+            raise ValidationError("budget_bytes must be >= 64 KiB")
+        if self.max_workers < 1:
+            raise ValidationError("max_workers must be >= 1")
+
+    @property
+    def bit_identical(self) -> bool:
+        """Whether outputs must equal the reference backend bit-for-bit."""
+        return self.precision == "float64"
+
+    @property
+    def compute_dtype(self) -> np.dtype:
+        """The dtype the FFT path runs in."""
+        return np.dtype(np.float32 if self.precision == "float32" else np.float64)
+
+
+_REGISTRY: dict[str, BackendSpec] = {}
+
+
+def register_backend(spec: BackendSpec) -> BackendSpec:
+    """Add (or replace) a backend in the registry; returns the spec."""
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def backend_names() -> tuple[str, ...]:
+    """Registered backend names, registration order preserved."""
+    return tuple(_REGISTRY)
+
+
+def get_backend(name: str, **overrides) -> BackendSpec:
+    """Look up a backend by name, optionally overriding spec fields.
+
+    ``get_backend("tiled", budget_bytes=8 << 20)`` returns a copy of the
+    registered spec with the budget replaced; unknown names raise
+    :class:`~repro.exceptions.ValidationError` listing the choices.
+    """
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ValidationError(
+            f"unknown kernel backend {name!r}; choose from "
+            f"{backend_names()} (or 'auto')"
+        )
+    return dataclasses.replace(spec, **overrides) if overrides else spec
+
+
+REFERENCE = register_backend(
+    BackendSpec(
+        name="reference",
+        description="float64 whole-batch FFT; the bit-exact anchor",
+    )
+)
+FLOAT32 = register_backend(
+    BackendSpec(
+        name="float32",
+        precision="float32",
+        atol=FLOAT32_ATOL,
+        rtol=FLOAT32_RTOL,
+        description="single-precision FFT path with a tested error bound",
+    )
+)
+TILED = register_backend(
+    BackendSpec(
+        name="tiled",
+        layout="tiled",
+        description="float64 tiles sized to a cache budget; bit-exact",
+    )
+)
+SHARDED = register_backend(
+    BackendSpec(
+        name="sharded",
+        sharded=True,
+        description="series rows sharded over a retrying process pool",
+    )
+)
+
+
+def _estimate_n_fft(n_points: int, length: int | None) -> int:
+    from scipy import fft as sp_fft
+
+    window = length if length is not None else max(2, n_points // 4)
+    return sp_fft.next_fast_len(n_points + window - 1, True)
+
+
+def choose_backend(
+    n_series: int,
+    n_points: int,
+    *,
+    n_queries: int | None = None,
+    length: int | None = None,
+    budget_bytes: int = DEFAULT_TILE_BUDGET,
+    max_workers: int = DEFAULT_SHARD_WORKERS,
+    cpu_count: int | None = None,
+) -> BackendSpec:
+    """Pick a backend for a workload shape (the ``"auto"`` policy).
+
+    Precision is never traded automatically, so the choice is between the
+    bit-identical strategies:
+
+    * the whole working set fits the budget → ``reference`` (no tiling
+      overhead to pay);
+    * enough FFT work to amortize process fan-out on this machine →
+      ``sharded`` (capped at the available cores);
+    * otherwise → ``tiled`` (bounded memory, single process).
+
+    ``n_queries`` defaults to a nominal batch of 64 when unknown (the
+    pipeline tunes at ``SeriesCache`` build time, before candidates
+    exist).
+    """
+    queries = n_queries if n_queries is not None else 64
+    n_fft = _estimate_n_fft(n_points, length)
+    # Worst-case simultaneous intermediates per query row: the complex
+    # product over the half spectrum plus the float64 irfft output.
+    bytes_per_query = n_series * (16 * (n_fft // 2 + 1) + 8 * n_fft)
+    workset = queries * bytes_per_query
+    cores = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    work = float(n_series) * queries * n_fft
+    if workset <= budget_bytes:
+        return REFERENCE
+    if cores >= 2 and work >= SHARD_MIN_WORK:
+        return get_backend(
+            "sharded", max_workers=min(max_workers, cores)
+        )
+    return get_backend("tiled", budget_bytes=budget_bytes)
+
+
+# ---------------------------------------------------------------------------
+# Sharded execution (process-pool fan-out over series rows)
+# ---------------------------------------------------------------------------
+
+
+def _shard_worker(unit) -> np.ndarray:
+    """Compute one shard's sliding dots (runs in a worker process).
+
+    ``unit`` is a ``(queries, X_shard)`` tuple. The worker runs the
+    reference path — row FFTs are independent, so a shard's rows come out
+    bit-identical to the same rows of a whole-batch computation.
+    """
+    from repro.kernels import engine
+
+    queries, x_shard = unit
+    return engine._batch_dots_2d(queries, x_shard, None, spec=REFERENCE)
+
+
+def sharded_batch_dots_2d(
+    queries: np.ndarray, X: np.ndarray, spec: BackendSpec
+) -> np.ndarray:
+    """Shard ``X``'s rows across a retrying process pool; concatenate.
+
+    Uses :class:`repro.distributed.RetryingExecutor` around a
+    :class:`repro.distributed.ProcessExecutor`: per-shard retries, and
+    graceful degradation to in-process serial execution if the pool
+    itself breaks (``BrokenProcessPool`` and friends) — the run survives
+    either way, matching the fault-tolerance semantics of distributed
+    discovery.
+    """
+    from repro.distributed.executor import ProcessExecutor, RetryingExecutor
+
+    n_workers = max(1, min(spec.max_workers, X.shape[0]))
+    bounds = np.linspace(0, X.shape[0], n_workers + 1).astype(int)
+    shards = [
+        (queries, X[start:stop])
+        for start, stop in zip(bounds[:-1], bounds[1:])
+        if stop > start
+    ]
+    executor = RetryingExecutor(
+        inner=ProcessExecutor(max_workers=n_workers),
+        max_retries=1,
+        base_delay=0.0,
+    )
+    results = executor.map(_shard_worker, shards)
+    return np.concatenate(results, axis=0)
+
+
+__all__ = [
+    "DEFAULT_SHARD_WORKERS",
+    "DEFAULT_TILE_BUDGET",
+    "FLOAT32",
+    "FLOAT32_ATOL",
+    "FLOAT32_RTOL",
+    "REFERENCE",
+    "SHARDED",
+    "SHARD_MIN_WORK",
+    "TILED",
+    "BackendSpec",
+    "backend_names",
+    "choose_backend",
+    "get_backend",
+    "register_backend",
+    "sharded_batch_dots_2d",
+]

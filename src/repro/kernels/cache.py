@@ -21,12 +21,20 @@ lifetime and ``id`` reuse cannot alias entries. Consequences for callers:
 * pass the *same array object* to benefit from reuse (``X[i]`` creates a
   fresh view per access — hoist rows, or pass the whole 2-D matrix);
 * arrays must be treated as immutable while cached (mutating one silently
-  invalidates its derived quantities);
-* scope a cache to one discovery run; it is not a process-global store.
+  invalidates its derived quantities; ``debug_fingerprint=True`` turns
+  that silent staleness into a loud
+  :class:`~repro.exceptions.CacheIntegrityError`);
+* scope a cache to one discovery run; it is not a process-global store —
+  for *cross-run* reuse, attach a persistent
+  :class:`~repro.kernels.SpectraStore` via ``store=``.
 
 1-D and 2-D arrays are both accepted; all quantities are computed along
 the last axis, so a 2-D ``(M, N)`` dataset matrix gets batched rolling
 stats and spectra in one shot.
+
+A cache may also carry the run's kernel :class:`~repro.kernels.BackendSpec`
+(``backend=``): the batched kernels consult it when no explicit backend is
+passed, which is how ``IPSConfig.kernel_backend`` reaches the hot path.
 """
 
 from __future__ import annotations
@@ -34,13 +42,24 @@ from __future__ import annotations
 import numpy as np
 from scipy import fft as sp_fft
 
+from repro.exceptions import CacheIntegrityError
+from repro.kernels.backends import BackendSpec, get_backend
 from repro.kernels.perf import PerfCounters
+from repro.kernels.store import SpectraStore, content_digest, spectrum_key
 
 
 class _Entry:
     """Cached derived quantities of one array."""
 
-    __slots__ = ("original", "array", "cumsums", "mean_std", "ssq", "spectra")
+    __slots__ = (
+        "original",
+        "array",
+        "cumsums",
+        "mean_std",
+        "ssq",
+        "spectra",
+        "digest",
+    )
 
     def __init__(self, original, array: np.ndarray) -> None:
         self.original = original  # strong ref: pins id(), prevents aliasing
@@ -48,7 +67,11 @@ class _Entry:
         self.cumsums: tuple[np.ndarray, np.ndarray] | None = None
         self.mean_std: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self.ssq: dict[int, np.ndarray] = {}
-        self.spectra: dict[int, np.ndarray] = {}
+        #: Keyed by ``(n_fft, dtype char)`` — float32 and float64 spectra
+        #: of the same series coexist without aliasing.
+        self.spectra: dict[tuple[int, str], np.ndarray] = {}
+        #: Content SHA-256; set lazily (persistent-store keys, debug mode).
+        self.digest: str | None = None
 
 
 class SeriesCache:
@@ -60,10 +83,40 @@ class SeriesCache:
         Optional :class:`~repro.kernels.PerfCounters`; hit/miss/FFT tallies
         are recorded there. A fresh instance is created when omitted so the
         cache can always report its own statistics.
+    backend:
+        Optional kernel :class:`~repro.kernels.BackendSpec` (or registry
+        name) the batched kernels should run under when no explicit
+        backend is given. ``None`` means the reference backend.
+    store:
+        Optional persistent :class:`~repro.kernels.SpectraStore` (or a
+        directory path for one). Spectrum misses consult the store before
+        computing, and computed spectra are persisted — repeated runs over
+        the same data skip the forward FFTs (``spectra_disk_hits`` in the
+        counters).
+    debug_fingerprint:
+        When True, every entry access re-hashes the array's content and
+        raises :class:`~repro.exceptions.CacheIntegrityError` if it
+        changed since caching — the "arrays are immutable while cached"
+        contract, enforced instead of assumed. O(N) per access; meant for
+        tests and debugging, not production runs.
     """
 
-    def __init__(self, counters: PerfCounters | None = None) -> None:
+    def __init__(
+        self,
+        counters: PerfCounters | None = None,
+        *,
+        backend: BackendSpec | str | None = None,
+        store: SpectraStore | str | None = None,
+        debug_fingerprint: bool = False,
+    ) -> None:
         self.counters = counters if counters is not None else PerfCounters()
+        if isinstance(backend, str):
+            backend = get_backend(backend)
+        self.backend: BackendSpec | None = backend
+        if store is not None and not isinstance(store, SpectraStore):
+            store = SpectraStore(store)
+        self.store: SpectraStore | None = store
+        self.debug_fingerprint = debug_fingerprint
         self._entries: dict[int, _Entry] = {}
 
     def __len__(self) -> int:
@@ -78,7 +131,25 @@ class SeriesCache:
         if entry is None or entry.original is not arr:
             entry = _Entry(arr, np.asarray(arr, dtype=np.float64))
             self._entries[id(arr)] = entry
+            if self.debug_fingerprint:
+                entry.digest = content_digest(entry.array)
+        elif self.debug_fingerprint:
+            digest = content_digest(entry.array)
+            if entry.digest is None:
+                entry.digest = digest
+            elif digest != entry.digest:
+                raise CacheIntegrityError(
+                    "cached array content changed while cached (id "
+                    f"{id(arr)}): arrays are contractually immutable for "
+                    "the cache's lifetime — derived spectra and rolling "
+                    "statistics would be stale"
+                )
         return entry
+
+    def _digest(self, entry: _Entry) -> str:
+        if entry.digest is None:
+            entry.digest = content_digest(entry.array)
+        return entry.digest
 
     def as_float64(self, arr) -> np.ndarray:
         """The cached float64 view/copy of ``arr``."""
@@ -141,22 +212,39 @@ class SeriesCache:
         entry.ssq[window] = csum2[..., window:] - csum2[..., :-window]
         return entry.ssq[window]
 
-    def spectrum(self, arr, n_fft: int) -> np.ndarray:
+    def spectrum(self, arr, n_fft: int, dtype=np.float64) -> np.ndarray:
         """Real FFT of ``arr`` zero-padded to ``n_fft`` (last axis).
 
         This is the expensive half of every sliding dot product; caching
-        it means each series is transformed once per FFT size instead of
-        once per query.
+        it means each series is transformed once per (FFT size, compute
+        dtype) instead of once per query. With a persistent ``store``,
+        misses consult the on-disk cache first, so the transform happens
+        once per dataset *across* runs, not per run.
         """
         entry = self._entry(arr)
-        cached = entry.spectra.get(n_fft)
+        dtype = np.dtype(dtype)
+        key = (n_fft, dtype.char)
+        cached = entry.spectra.get(key)
         if cached is not None:
             self.counters.cache_hits += 1
             return cached
         self.counters.cache_misses += 1
         a = entry.array
+        if dtype != np.float64:
+            a = a.astype(dtype)
+        if self.store is not None:
+            store_key = spectrum_key(self._digest(entry), n_fft, dtype)
+            loaded = self.store.load(store_key)
+            if loaded is not None:
+                self.counters.spectra_disk_hits += 1
+                entry.spectra[key] = loaded
+                return loaded
+            self.counters.spectra_disk_misses += 1
         self.counters.fft_count += 1 if a.ndim == 1 else int(
             np.prod(a.shape[:-1])
         )
-        entry.spectra[n_fft] = sp_fft.rfft(a, n_fft, axis=-1)
-        return entry.spectra[n_fft]
+        spectrum = sp_fft.rfft(a, n_fft, axis=-1)
+        entry.spectra[key] = spectrum
+        if self.store is not None:
+            self.store.save(store_key, spectrum)
+        return spectrum

@@ -28,7 +28,11 @@ class PerfCounters:
     Attributes
     ----------
     kernel_calls:
-        Scalar (single-query) kernel invocations.
+        Scalar-equivalent query sweeps: a scalar kernel invocation counts
+        one, a batched call over ``Q`` queries counts ``Q`` (``M * Q``
+        against an ``(M, N)`` series matrix). Totals are therefore
+        comparable between a batched run and the scalar loop it replaced,
+        on the direct (short-series) branches as well as the FFT ones.
     batch_calls:
         Batched (multi-query / multi-series) kernel invocations.
     fft_count:
@@ -38,6 +42,9 @@ class PerfCounters:
         Derived-quantity lookups (cumulative sums, rolling stats, window
         sums of squares, spectra) served from / inserted into a
         :class:`~repro.kernels.SeriesCache`.
+    spectra_disk_hits, spectra_disk_misses:
+        Lookups against a persistent :class:`~repro.kernels.SpectraStore`
+        (cross-run reuse); a disk hit skips the forward FFT entirely.
     phase_seconds:
         Wall-clock seconds per named phase, accumulated by :meth:`phase`.
     """
@@ -51,6 +58,8 @@ class PerfCounters:
     fft_count: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    spectra_disk_hits: int = 0
+    spectra_disk_misses: int = 0
     phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @contextmanager
@@ -74,6 +83,17 @@ class PerfCounters:
         total = self.cache_lookups
         return self.cache_hits / total if total else 0.0
 
+    @property
+    def spectra_disk_lookups(self) -> int:
+        """Total persistent-store lookups (hits + misses)."""
+        return self.spectra_disk_hits + self.spectra_disk_misses
+
+    @property
+    def spectra_disk_hit_rate(self) -> float:
+        """Fraction of persistent-store lookups served from disk."""
+        total = self.spectra_disk_lookups
+        return self.spectra_disk_hits / total if total else 0.0
+
     def snapshot(self) -> dict:
         """A plain-dict copy, safe to stash in ``DiscoveryResult.extra``."""
         return {
@@ -83,6 +103,9 @@ class PerfCounters:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.hit_rate,
+            "spectra_disk_hits": self.spectra_disk_hits,
+            "spectra_disk_misses": self.spectra_disk_misses,
+            "spectra_disk_hit_rate": self.spectra_disk_hit_rate,
             "phase_seconds": dict(self.phase_seconds),
         }
 
@@ -93,6 +116,8 @@ class PerfCounters:
         self.fft_count += other.fft_count
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.spectra_disk_hits += other.spectra_disk_hits
+        self.spectra_disk_misses += other.spectra_disk_misses
         for name, seconds in other.phase_seconds.items():
             self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
         return self
@@ -117,6 +142,10 @@ class NullPerfCounters:
     cache_misses = 0
     cache_lookups = 0
     hit_rate = 0.0
+    spectra_disk_hits = 0
+    spectra_disk_misses = 0
+    spectra_disk_lookups = 0
+    spectra_disk_hit_rate = 0.0
 
     def __setattr__(self, name: str, value: object) -> None:
         pass
@@ -139,6 +168,9 @@ class NullPerfCounters:
             "cache_hits": 0,
             "cache_misses": 0,
             "cache_hit_rate": 0.0,
+            "spectra_disk_hits": 0,
+            "spectra_disk_misses": 0,
+            "spectra_disk_hit_rate": 0.0,
             "phase_seconds": {},
         }
 

@@ -58,6 +58,8 @@ class MetricsRegistry:
         "fft_count",
         "cache_hits",
         "cache_misses",
+        "spectra_disk_hits",
+        "spectra_disk_misses",
     )
 
     def absorb_perf(self, perf_snapshot: dict) -> None:

@@ -1,0 +1,414 @@
+"""Multi-backend kernel engine: registry, auto-tuner, store, counters.
+
+The backend contracts:
+
+* every float64 backend (``reference``, ``tiled``, ``sharded``) produces
+  bit-identical output — tiling and sharding change traversal order,
+  never arithmetic;
+* the ``float32`` backend stays within its advertised ``atol``/``rtol``
+  bound against the reference on unit-scale data;
+* the auto-tuner never trades precision (never picks ``float32``);
+* the persistent :class:`SpectraStore` gives a fresh cache disk hits on
+  a second run, verifies checksums, and quarantines corruption;
+* the chunked 2-D kernel's peak memory is bounded by the documented byte
+  budget (the ``_CHUNK_ELEMENTS`` regression);
+* the direct and FFT branches account ``kernel_calls`` identically.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core.config import IPSConfig
+from repro.core.pipeline import IPS, resolve_kernel_backend
+from repro.datasets.generators import make_planted_dataset
+from repro.exceptions import CacheIntegrityError, ValidationError
+from repro.kernels import (
+    BackendSpec,
+    PerfCounters,
+    SeriesCache,
+    SpectraStore,
+    backend_names,
+    batch_min_distance,
+    batch_sliding_dot,
+    choose_backend,
+    distance_profile,
+    get_backend,
+    sliding_dot_product,
+)
+from repro.kernels import engine
+from repro.kernels.backends import SHARD_MIN_WORK
+from repro.kernels.store import content_digest, spectrum_key
+
+
+@pytest.fixture()
+def workload():
+    rng = np.random.default_rng(42)
+    X = rng.normal(size=(12, 200))
+    queries = [rng.normal(size=n) for n in (9, 17, 9, 30)]
+    return X, queries
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert set(backend_names()) >= {
+            "reference",
+            "float32",
+            "tiled",
+            "sharded",
+        }
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValidationError, match="reference"):
+            get_backend("nope")
+
+    def test_overrides_return_a_copy(self):
+        tiled = get_backend("tiled")
+        small = get_backend("tiled", budget_bytes=1 << 17)
+        assert small.budget_bytes == 1 << 17
+        assert tiled.budget_bytes != small.budget_bytes  # original intact
+
+    def test_spec_validation(self):
+        with pytest.raises(ValidationError, match="precision"):
+            BackendSpec(name="x", precision="float16")
+        with pytest.raises(ValidationError, match="layout"):
+            BackendSpec(name="x", layout="diagonal")
+        with pytest.raises(ValidationError, match="64 KiB"):
+            BackendSpec(name="x", budget_bytes=10)
+        with pytest.raises(ValidationError, match="max_workers"):
+            BackendSpec(name="x", max_workers=0)
+
+    def test_bit_identical_property(self):
+        assert get_backend("reference").bit_identical
+        assert get_backend("tiled").bit_identical
+        assert get_backend("sharded").bit_identical
+        assert not get_backend("float32").bit_identical
+
+
+class TestBitIdentity:
+    """Float64 backends agree bit-for-bit, whatever the tile/shard shape."""
+
+    def test_tiled_matches_reference(self, workload):
+        X, queries = workload
+        reference = batch_min_distance(queries, X)
+        # A tiny budget forces many tiles, covering ragged edge tiles.
+        tiny = get_backend("tiled", budget_bytes=1 << 16)
+        tiled = batch_min_distance(
+            queries, X, cache=SeriesCache(backend=tiny)
+        )
+        np.testing.assert_array_equal(reference, tiled)
+
+    def test_sharded_matches_reference(self, workload):
+        X, queries = workload
+        reference = batch_min_distance(queries, X)
+        sharded = batch_min_distance(
+            queries, X, cache=SeriesCache(backend="sharded")
+        )
+        np.testing.assert_array_equal(reference, sharded)
+
+    def test_backend_argument_overrides_cache(self, workload):
+        X, queries = workload
+        cache = SeriesCache(backend="tiled")
+        explicit = batch_min_distance(queries, X, backend="reference")
+        via_cache = batch_min_distance(queries, X, cache=cache)
+        np.testing.assert_array_equal(explicit, via_cache)
+
+
+class TestFloat32Bound:
+    def test_error_within_advertised_bound(self, workload):
+        X, queries = workload
+        spec = get_backend("float32")
+        reference = batch_min_distance(queries, X)
+        low = batch_min_distance(
+            queries, X, cache=SeriesCache(backend=spec)
+        )
+        assert low.dtype == np.float64  # outputs upcast
+        error = np.abs(low - reference)
+        bound = spec.atol + spec.rtol * np.abs(reference)
+        assert np.all(error <= bound)
+
+    def test_sliding_dots_also_bounded(self, workload):
+        X, _queries = workload
+        rng = np.random.default_rng(7)
+        queries = rng.normal(size=(5, 20))
+        spec = get_backend("float32")
+        reference = batch_sliding_dot(queries, X)
+        low = batch_sliding_dot(queries, X, backend="float32")
+        scale = np.maximum(np.abs(reference), 1.0)
+        # Dot products are sums of ~20 unit-scale terms; the relative
+        # bound applies against the output magnitude.
+        assert np.all(np.abs(low - reference) <= spec.atol + spec.rtol * scale)
+
+
+class TestAutoTuner:
+    def test_small_workload_stays_reference(self):
+        assert choose_backend(4, 128).name == "reference"
+
+    def test_large_workset_low_work_tiles(self):
+        spec = choose_backend(
+            64, 4096, budget_bytes=1 << 20, cpu_count=1
+        )
+        assert spec.name == "tiled"
+        assert spec.budget_bytes == 1 << 20
+
+    def test_heavy_work_shards_capped_at_cores(self):
+        spec = choose_backend(
+            4000, 8000, budget_bytes=1 << 20, max_workers=16, cpu_count=3
+        )
+        assert spec.name == "sharded"
+        assert spec.max_workers == 3
+
+    def test_never_picks_float32(self):
+        for n_series, n_points in ((1, 32), (64, 512), (4000, 8000)):
+            assert choose_backend(n_series, n_points).name != "float32"
+
+    def test_threshold_is_documented_constant(self):
+        assert SHARD_MIN_WORK == 5e8
+
+
+class TestSpectraStore:
+    def test_roundtrip(self, tmp_path):
+        store = SpectraStore(tmp_path)
+        spectrum = np.fft.rfft(np.arange(32.0))
+        key = spectrum_key(content_digest(np.arange(32.0)), 32, np.float64)
+        store.save(key, spectrum)
+        np.testing.assert_array_equal(store.load(key), spectrum)
+        assert len(store) == 1
+
+    def test_missing_key_is_none(self, tmp_path):
+        assert SpectraStore(tmp_path).load("0" * 64) is None
+
+    def test_corrupt_payload_quarantined(self, tmp_path):
+        store = SpectraStore(tmp_path)
+        key = "a" * 64
+        store.save(key, np.fft.rfft(np.arange(16.0)))
+        payload_path, sidecar_path = store._paths(key)
+        payload_path.write_bytes(b"garbage")
+        assert store.load(key) is None  # checksum mismatch -> miss
+        assert not payload_path.exists() and not sidecar_path.exists()
+
+    def test_torn_sidecar_is_a_miss(self, tmp_path):
+        store = SpectraStore(tmp_path)
+        key = "b" * 64
+        store.save(key, np.fft.rfft(np.arange(16.0)))
+        _payload_path, sidecar_path = store._paths(key)
+        sidecar_path.write_text("{not json")
+        assert store.load(key) is None
+
+    def test_unusable_directory_raises(self, tmp_path):
+        target = tmp_path / "plainfile"
+        target.write_text("occupied")
+        from repro.exceptions import SpectraStoreError
+
+        with pytest.raises(SpectraStoreError):
+            SpectraStore(target)
+
+    def test_cross_run_hit_rate(self, tmp_path, workload):
+        """The acceptance criterion: a second run hits on disk."""
+        X, queries = workload
+        first = PerfCounters()
+        cold = batch_min_distance(
+            queries, X, cache=SeriesCache(first, store=tmp_path)
+        )
+        assert first.spectra_disk_hits == 0
+        assert first.spectra_disk_misses > 0
+        second = PerfCounters()
+        warm = batch_min_distance(
+            queries, X, cache=SeriesCache(second, store=tmp_path)
+        )
+        np.testing.assert_array_equal(cold, warm)
+        assert second.spectra_disk_hits > 0
+        assert second.spectra_disk_misses == 0
+        assert second.spectra_disk_hit_rate == 1.0
+        # Fewer forward FFTs: only the query transforms remain.
+        assert second.fft_count < first.fft_count
+        snapshot = second.snapshot()
+        assert snapshot["spectra_disk_hits"] == second.spectra_disk_hits
+        assert snapshot["spectra_disk_hit_rate"] == 1.0
+
+    def test_scipy_version_partitions_keys(self):
+        digest = content_digest(np.arange(8.0))
+        assert spectrum_key(digest, 16, np.float64) != spectrum_key(
+            digest, 16, np.float32
+        )
+        assert spectrum_key(digest, 16, np.float64) != spectrum_key(
+            digest, 32, np.float64
+        )
+
+
+class TestCacheIntegrity:
+    def test_debug_fingerprint_detects_mutation(self):
+        cache = SeriesCache(debug_fingerprint=True)
+        series = np.sin(np.arange(64.0))
+        distance_profile(np.ones(8), series, cache=cache)
+        series[3] = 99.0
+        with pytest.raises(CacheIntegrityError, match="immutable"):
+            distance_profile(np.ones(8), series, cache=cache)
+
+    def test_unmutated_arrays_pass(self):
+        cache = SeriesCache(debug_fingerprint=True)
+        series = np.sin(np.arange(64.0))
+        first = distance_profile(np.ones(8), series, cache=cache)
+        second = distance_profile(np.ones(8), series, cache=cache)
+        np.testing.assert_array_equal(first, second)
+
+    def test_default_mode_does_not_hash(self):
+        cache = SeriesCache()
+        series = np.sin(np.arange(64.0))
+        distance_profile(np.ones(8), series, cache=cache)
+        entry = cache._entries[id(series)]
+        assert entry.digest is None  # hashing is opt-in
+
+
+class TestCounterParity:
+    """Direct and FFT branches account kernel_calls identically."""
+
+    @pytest.mark.parametrize("series_length", [10, 64])
+    def test_1d_branches_match_scalar(self, series_length):
+        # length 10 -> n_out = 3 (direct branch); 64 -> n_out = 57 (FFT).
+        rng = np.random.default_rng(0)
+        series = rng.normal(size=series_length)
+        queries = rng.normal(size=(3, 8))
+        scalar = PerfCounters()
+        scalar_cache = SeriesCache(scalar)
+        for q in queries:
+            sliding_dot_product(q, series, cache=scalar_cache)
+        batched = PerfCounters()
+        batch_sliding_dot(queries, series, cache=SeriesCache(batched))
+        assert batched.kernel_calls == scalar.kernel_calls == 3
+
+    @pytest.mark.parametrize("series_length", [10, 64])
+    def test_2d_counts_series_times_queries(self, series_length):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(4, series_length))
+        queries = rng.normal(size=(3, 8))
+        counters = PerfCounters()
+        batch_sliding_dot(queries, X, cache=SeriesCache(counters))
+        assert counters.kernel_calls == 4 * 3
+
+
+class TestPeakMemory:
+    """The chunked 2-D loop's working set obeys the byte budget.
+
+    The predecessor sized chunks by *element count*, so the complex128
+    product intermediate alone ran ~3x past the documented ceiling.
+    Chunks are now sized by the bytes of the worst simultaneous
+    intermediates; this pins that with a tracemalloc measurement (numpy
+    array allocations are traced; psutil is unavailable here).
+    """
+
+    def test_chunked_peak_stays_bounded(self, monkeypatch):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(24, 512))
+        queries = rng.normal(size=(16, 32))
+        expected = batch_sliding_dot(queries, X)
+
+        def measure(budget_bytes):
+            monkeypatch.setattr(engine, "_CHUNK_BYTES", budget_bytes)
+            cache = SeriesCache()
+            batch_sliding_dot(queries, X, cache=cache)  # warm the spectra
+            tracemalloc.start()
+            out = batch_sliding_dot(queries, X, cache=cache)
+            _current, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            return out, peak
+
+        budget = 256 * 1024
+        chunked_out, chunked_peak = measure(budget)
+        unchunked_out, unchunked_peak = measure(1 << 30)
+        np.testing.assert_array_equal(chunked_out, expected)
+        np.testing.assert_array_equal(unchunked_out, expected)
+        # Chunking must actually bound the intermediates: everything
+        # beyond the float64 output buffer fits a few chunk budgets.
+        assert chunked_peak < expected.nbytes + 8 * budget
+        assert chunked_peak < unchunked_peak
+
+    def test_intermediate_sizing_is_bytes_not_elements(self):
+        n_fft = 1024
+        per_row = engine._intermediate_bytes_per_row(n_fft, np.dtype(np.float64))
+        # complex product over the half spectrum + real inverse buffer.
+        assert per_row == 16 * (n_fft // 2 + 1) + 8 * n_fft
+        half = engine._intermediate_bytes_per_row(n_fft, np.dtype(np.float32))
+        assert half == 8 * (n_fft // 2 + 1) + 4 * n_fft
+
+
+class TestConfigWiring:
+    def test_unknown_backend_rejected_at_construction(self):
+        with pytest.raises(ValidationError, match="kernel backend"):
+            IPSConfig(kernel_backend="warp-drive")
+
+    def test_tiny_tile_budget_rejected(self):
+        with pytest.raises(ValidationError, match="kernel_tile_budget"):
+            IPSConfig(kernel_tile_budget=1024)
+
+    def test_resolve_auto_and_named(self):
+        dataset = make_planted_dataset(
+            n_classes=2, n_instances=6, length=48, seed=3, name="wiring"
+        )
+        auto = resolve_kernel_backend(IPSConfig(), dataset)
+        assert auto.name in backend_names()
+        assert auto.precision == "float64"  # auto never trades precision
+        named = resolve_kernel_backend(
+            IPSConfig(kernel_backend="tiled", kernel_tile_budget=1 << 20),
+            dataset,
+        )
+        assert named.name == "tiled"
+        assert named.budget_bytes == 1 << 20
+
+    def test_discovery_identical_across_f64_backends(self):
+        dataset = make_planted_dataset(
+            n_classes=2, n_instances=8, length=60, seed=9, name="backends"
+        )
+        base = dict(k=2, q_n=4, q_s=3, seed=0)
+        results = {
+            name: IPS(IPSConfig(kernel_backend=name, **base)).discover(dataset)
+            for name in ("reference", "tiled")
+        }
+        ref = results["reference"]
+        assert ref.extra["kernel_backend"] == "reference"
+        assert results["tiled"].extra["kernel_backend"] == "tiled"
+        for a, b in zip(ref.shapelets, results["tiled"].shapelets):
+            assert a.score == b.score  # bitwise
+            np.testing.assert_array_equal(a.values, b.values)
+
+    def test_spectra_cache_dir_hits_across_runs(self, tmp_path):
+        dataset = make_planted_dataset(
+            n_classes=2, n_instances=6, length=48, seed=4, name="store"
+        )
+        # use_dt_cr=False routes utility scoring through the distance
+        # kernels (the DT path replaces distances with hash-rank gaps and
+        # would never consult the spectra store from discover alone).
+        config = dict(
+            k=2,
+            q_n=3,
+            q_s=2,
+            seed=0,
+            use_dt_cr=False,
+            spectra_cache_dir=str(tmp_path),
+        )
+        first = IPS(IPSConfig(**config)).discover(dataset)
+        second = IPS(IPSConfig(**config)).discover(dataset)
+        assert first.extra["perf"]["spectra_disk_misses"] > 0
+        assert second.extra["perf"]["spectra_disk_hits"] > 0
+        for a, b in zip(first.shapelets, second.shapelets):
+            assert a.score == b.score
+            np.testing.assert_array_equal(a.values, b.values)
+
+    def test_manifest_records_resolved_backend(self):
+        dataset = make_planted_dataset(
+            n_classes=2, n_instances=6, length=48, seed=5, name="manifest"
+        )
+        config = IPSConfig(
+            k=2, q_n=3, q_s=2, seed=0, observability="trace",
+            kernel_backend="tiled",
+        )
+        ips = IPS(config)
+        ips.discover(dataset)
+        recorded = ips.trace_.manifest["kernel_backend"]
+        assert recorded["name"] == "tiled"
+        assert recorded["precision"] == "float64"
+        assert recorded["bit_identical"] is True
+        assert ips.kernel_backend_.name == "tiled"

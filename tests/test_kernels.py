@@ -257,5 +257,11 @@ def test_facade_exports():
         "sliding_mean_std",
         "SeriesCache",
         "PerfCounters",
+        "BackendSpec",
+        "SpectraStore",
+        "backend_names",
+        "choose_backend",
+        "get_backend",
+        "register_backend",
     ):
         assert callable(getattr(kernels, name))
