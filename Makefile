@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test verify-robustness verify-perf verify-obs verify-serve verify-campaign bench examples smoke clean
+.PHONY: install test verify-robustness verify-perf verify-obs verify-serve verify-streaming verify-campaign bench examples smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -44,6 +44,16 @@ verify-obs:
 verify-serve:
 	PYTHONPATH=src $(PYTHON) -m pytest -q -m serve tests/
 	PYTHONPATH=src $(PYTHON) -m repro.benchlib.loadgen
+
+# Streaming gate: matcher/transform/early-classifier unit + property
+# tests and the streaming-session suite, then the chunked-replay
+# benchmark — per-append p50/p99 latency, early-emission fraction
+# (must be > 0 at the calibrated threshold), final-label agreement
+# with the batch path (must be 100%), and the stream/batch throughput
+# ratio written to BENCH_streaming.json with a 3x regression gate.
+verify-streaming:
+	PYTHONPATH=src $(PYTHON) -m pytest -q -m streaming tests/
+	PYTHONPATH=src $(PYTHON) -m repro.benchlib.streambench
 
 # Campaign gate: the kill/resume chaos suite (campaign SIGKILL'd at
 # random cell boundaries and mid-cell, resumed under crash/hang/slow

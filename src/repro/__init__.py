@@ -21,7 +21,17 @@ Package map
   Table VI constants;
 * :mod:`repro.classify` — 1NN-ED/DTW, linear SVM, CART, rotation forest;
 * :mod:`repro.datasets` — synthetic UCR-archive substitute (46 datasets);
-* :mod:`repro.stats` — Friedman / Wilcoxon-Holm / critical-difference.
+* :mod:`repro.stats` — Friedman / Wilcoxon-Holm / critical-difference;
+* :mod:`repro.streaming` — chunked early classification (streaming
+  matcher / transform, margin-gated :class:`~repro.streaming.EarlyClassifier`);
+* :mod:`repro.serve` — fault-hardened online inference, batch and
+  streaming sessions;
+* :mod:`repro.campaign` — crash-safe resumable evaluation campaigns.
+
+Every estimator exported here conforms to the
+:class:`~repro.types.Predictor` protocol: ``classes_`` plus
+``predict`` / ``predict_proba`` / ``decision_function`` with fixed
+shapes and dtypes (see ``docs/api.md``).
 """
 
 from repro._version import __version__
@@ -29,8 +39,23 @@ from repro.core.budget import Budget
 from repro.core.config import IPSConfig
 from repro.core.pipeline import IPS, IPSClassifier
 from repro.datasets.loader import load_dataset
+from repro.datasets.replay import iter_chunks, replay_dataset
+from repro.exceptions import ConfigError, ReproError
+from repro.streaming import (
+    EarlyClassifier,
+    StreamingDecision,
+    StreamingMatcher,
+    StreamingTransform,
+)
 from repro.ts.series import Dataset
-from repro.types import Candidate, CandidateKind, DiscoveryResult, Shapelet
+from repro.types import (
+    Candidate,
+    CandidateKind,
+    DiscoveryResult,
+    Predictor,
+    Shapelet,
+    decision_margin,
+)
 from repro.validation import ValidationReport, validate_dataset, validate_series
 
 __all__ = [
@@ -38,14 +63,24 @@ __all__ = [
     "Budget",
     "Candidate",
     "CandidateKind",
+    "ConfigError",
     "Dataset",
     "DiscoveryResult",
+    "EarlyClassifier",
     "IPSClassifier",
     "IPSConfig",
+    "Predictor",
+    "ReproError",
     "Shapelet",
+    "StreamingDecision",
+    "StreamingMatcher",
+    "StreamingTransform",
     "ValidationReport",
     "__version__",
+    "decision_margin",
+    "iter_chunks",
     "load_dataset",
+    "replay_dataset",
     "validate_dataset",
     "validate_series",
 ]

@@ -90,6 +90,29 @@ class ShapeletTransformClassifier(ParamsMixin, ABC):
         internal = self._svm.predict(features)
         return self._dataset.classes_[internal]
 
+    @property
+    def classes_(self) -> np.ndarray:
+        """Original-valued class labels, sorted (Predictor contract)."""
+        if self._dataset is None:
+            raise NotFittedError("call fit before inspecting classes")
+        return self._dataset.classes_
+
+    def _inner_scores(self, X: np.ndarray, method: str) -> np.ndarray:
+        if self._svm is None or self._transform is None or self._dataset is None:
+            raise NotFittedError(f"call fit before {method}")
+        features = self._scaler.transform(self._transform.transform(X))
+        # The SVM is trained on internal labels 0..C-1 (positions of
+        # classes_), so its columns already follow the original order.
+        return np.asarray(getattr(self._svm, method)(features), dtype=np.float64)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Per-class probabilities, ``(M, C)`` in :attr:`classes_` order."""
+        return self._inner_scores(X, "predict_proba")
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Per-class decision values, ``(M, C)`` in :attr:`classes_` order."""
+        return self._inner_scores(X, "decision_function")
+
     def score(self, X: np.ndarray, y: np.ndarray) -> float:
         """Accuracy against original-valued labels."""
         from repro.classify.metrics import accuracy_score

@@ -1,0 +1,280 @@
+"""Streaming early-classification benchmark behind ``make verify-streaming``.
+
+Drives the chunked streaming stack (:mod:`repro.streaming` through
+:class:`repro.serve.StreamingInferenceService`) over a planted dataset
+and gates the results into ``BENCH_streaming.json`` (machine-keyed like
+``BENCH_serve.json``):
+
+* **per-append latency** — p50/p99 over every ``submit_chunk`` call
+  (the interactive cost a streaming caller pays per chunk);
+* **early-emission fraction** — the share of test streams whose
+  decision latched before end-of-stream. Gated ``> 0`` at the
+  calibrated threshold: a streaming subsystem that never emits early
+  is an expensive batch path;
+* **final-label agreement** — every streamed label must equal the
+  batch ``IPSClassifier.predict`` label (streaming features converge
+  bit-identically to the batch ``direct`` engine, so a disagreement at
+  the calibrated threshold is a correctness bug, not noise);
+* **throughput ratio** — streaming wall clock over batch wall clock
+  for the same test matrix, bounded against the previous record for
+  this machine (3x in either direction).
+
+The default margin threshold (2.5) and minimum fraction (0.7) are the
+calibrated operating point on the planted workload: ~80% of streams
+emit early with zero label disagreement.
+
+Run as::
+
+    PYTHONPATH=src python -m repro.benchlib.streambench
+    PYTHONPATH=src python -m repro.benchlib.streambench --margin-threshold 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.benchlib.perfbench import machine_key, persist
+
+#: Throughput-ratio regression tolerance vs the previous record (3x).
+REGRESSION_FACTOR = 3.0
+
+#: Calibrated operating point on the planted workload (see module doc).
+DEFAULT_MARGIN_THRESHOLD = 2.5
+DEFAULT_MIN_FRACTION = 0.7
+
+
+def _fit_model(seed: int = 1):
+    """Planted-dataset classifier + held-out streams for the benchmark."""
+    from repro.core.config import IPSConfig
+    from repro.core.pipeline import IPSClassifier
+    from repro.datasets.generators import make_planted_dataset
+
+    train = make_planted_dataset(2, 16, 120, seed=seed, name="streambench")
+    test = make_planted_dataset(2, 30, 120, seed=seed + 100, name="streambench")
+    classifier = IPSClassifier(
+        IPSConfig(k=3, q_n=6, q_s=3, seed=seed)
+    ).fit_dataset(train)
+    return classifier, test
+
+
+def _percentile(values: list[float], p: float) -> float:
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    return float(ordered[min(len(ordered) - 1, int(p * len(ordered)))])
+
+
+def run_stream_benchmark(
+    margin_threshold: float = DEFAULT_MARGIN_THRESHOLD,
+    min_fraction: float = DEFAULT_MIN_FRACTION,
+    chunk_size: int = 16,
+    seed: int = 1,
+) -> dict:
+    """Run the streaming workload; returns the full record (gates included)."""
+    from repro.serve import StreamConfig, StreamingInferenceService
+
+    classifier, test = _fit_model(seed)
+    X = test.X
+    length = test.series_length
+
+    batch_start = time.perf_counter()
+    batch_labels = classifier.predict(X)
+    batch_wall = time.perf_counter() - batch_start
+
+    stream_config = StreamConfig(
+        margin_threshold=margin_threshold, min_fraction=min_fraction
+    )
+    append_latencies: list[float] = []
+    decisions = []
+    stream_start = time.perf_counter()
+    with StreamingInferenceService(
+        classifier, stream_config=stream_config
+    ) as service:
+        from repro.datasets.replay import iter_chunks
+
+        for row in X:
+            session_id = service.open_stream()
+            decision = None
+            for chunk in iter_chunks(row, chunk_size):
+                t0 = time.perf_counter()
+                decision = service.submit_chunk(session_id, chunk)
+                append_latencies.append(time.perf_counter() - t0)
+                if decision.final:
+                    break
+            if decision is None or not decision.final:
+                decision = service.close_stream(session_id)
+            else:
+                service._drop_session(session_id)
+            decisions.append(decision)
+        stats = service.stats()
+    stream_wall = time.perf_counter() - stream_start
+
+    labels = np.array([d.label for d in decisions])
+    n_early = sum(1 for d in decisions if d.early)
+    early_ts = [d.t_emitted for d in decisions if d.early]
+    agreement = float(np.mean(labels == batch_labels))
+    throughput_ratio = stream_wall / batch_wall if batch_wall > 0 else float("inf")
+
+    record = {
+        "workload": {
+            "n_streams": int(X.shape[0]),
+            "series_length": int(length),
+            "chunk_size": chunk_size,
+            "margin_threshold": margin_threshold,
+            "min_fraction": min_fraction,
+            "seed": seed,
+        },
+        "latency": {
+            "n_appends": len(append_latencies),
+            "p50_append_s": _percentile(append_latencies, 0.50),
+            "p99_append_s": _percentile(append_latencies, 0.99),
+        },
+        "early": {
+            "n_early": n_early,
+            "fraction": n_early / len(decisions),
+            "mean_t_emitted": float(np.mean(early_ts)) if early_ts else None,
+            "mean_t_fraction": (
+                float(np.mean(early_ts)) / length if early_ts else None
+            ),
+        },
+        "labels": {
+            "agreement_with_batch": agreement,
+            "disagreements": int(np.sum(labels != batch_labels)),
+        },
+        "throughput": {
+            "batch_wall_s": batch_wall,
+            "stream_wall_s": stream_wall,
+            "stream_over_batch_ratio": throughput_ratio,
+        },
+        "service_stats": stats["streaming"],
+        "gate": {
+            "early_emission": n_early > 0,
+            "labels_match_batch": agreement == 1.0,
+        },
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    return record
+
+
+def apply_regression_gate(record: dict, previous: dict | None) -> dict:
+    """Extend ``record['gate']`` with the vs-previous throughput verdict.
+
+    Only a previous record of the same workload (stream count, chunk
+    size, thresholds) is comparable — the stream/batch ratio scales with
+    how early streams terminate, which the thresholds control.
+    """
+    gate = record["gate"]
+    gate["regression_factor"] = REGRESSION_FACTOR
+    comparable = ("n_streams", "chunk_size", "margin_threshold", "min_fraction")
+    if not previous:
+        gate["vs_previous"] = "no previous record"
+        gate["no_regression"] = True
+    elif any(
+        previous.get("workload", {}).get(key) != record["workload"][key]
+        for key in comparable
+    ):
+        gate["vs_previous"] = "previous record not comparable (different workload)"
+        gate["no_regression"] = True
+    else:
+        prev_ratio = previous.get("throughput", {}).get("stream_over_batch_ratio")
+        prev_p99 = previous.get("latency", {}).get("p99_append_s")
+        ratio_ok = (
+            prev_ratio is None
+            or record["throughput"]["stream_over_batch_ratio"]
+            <= prev_ratio * REGRESSION_FACTOR
+        )
+        p99_ok = (
+            prev_p99 is None
+            or record["latency"]["p99_append_s"] <= prev_p99 * REGRESSION_FACTOR
+        )
+        gate["vs_previous"] = {
+            "stream_over_batch_ratio": prev_ratio,
+            "p99_append_s": prev_p99,
+        }
+        gate["no_regression"] = bool(ratio_ok and p99_ok)
+    gate["passed"] = bool(
+        gate["early_emission"]
+        and gate["labels_match_batch"]
+        and gate["no_regression"]
+    )
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--margin-threshold", type=float, default=DEFAULT_MARGIN_THRESHOLD
+    )
+    parser.add_argument("--min-fraction", type=float, default=DEFAULT_MIN_FRACTION)
+    parser.add_argument("--chunk-size", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parents[3] / "BENCH_streaming.json",
+        help="machine-keyed results file (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    previous = None
+    if args.output.exists():
+        try:
+            previous = json.loads(args.output.read_text()).get(machine_key())
+        except (OSError, json.JSONDecodeError):
+            previous = None
+
+    record = run_stream_benchmark(
+        margin_threshold=args.margin_threshold,
+        min_fraction=args.min_fraction,
+        chunk_size=args.chunk_size,
+        seed=args.seed,
+    )
+    record = apply_regression_gate(record, previous)
+    persist(record, args.output)
+
+    latency, early, labels = record["latency"], record["early"], record["labels"]
+    throughput, gate = record["throughput"], record["gate"]
+    print(f"machine            {machine_key()}")
+    print(
+        f"per-append         p50 {latency['p50_append_s'] * 1e3:.3f}ms   "
+        f"p99 {latency['p99_append_s'] * 1e3:.3f}ms   "
+        f"({latency['n_appends']} appends)"
+    )
+    mean_t = early["mean_t_fraction"]
+    print(
+        f"early emission     {early['n_early']}/{record['workload']['n_streams']} "
+        f"streams ({100 * early['fraction']:.0f}%)"
+        + (f", mean at {100 * mean_t:.0f}% of the series" if mean_t else "")
+    )
+    print(
+        f"labels             {100 * labels['agreement_with_batch']:.2f}% "
+        f"agreement with batch ({labels['disagreements']} disagreements)"
+    )
+    print(
+        f"throughput         stream {throughput['stream_wall_s']:.3f}s vs "
+        f"batch {throughput['batch_wall_s']:.3f}s "
+        f"(ratio {throughput['stream_over_batch_ratio']:.2f}x)"
+    )
+    print(f"results written to {args.output}")
+    if not gate["passed"]:
+        failed = [
+            name
+            for name in ("early_emission", "labels_match_batch", "no_regression")
+            if not gate[name]
+        ]
+        print(
+            f"FAIL: streaming gate violated: {', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

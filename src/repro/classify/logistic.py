@@ -115,6 +115,21 @@ class LogisticRegression(ParamsMixin):
         totals[totals == 0.0] = 1.0
         return probs / totals
 
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Per-class linear scores, always shape ``(M, C)``.
+
+        Binary models hold one weight vector with score ``s``; the matrix
+        form is ``[-s, s]`` in ``classes_`` order, matching the repo-wide
+        :class:`repro.types.Predictor` convention.
+        """
+        if self.coef_ is None or self.classes_ is None:
+            raise NotFittedError("call fit before decision_function")
+        X = np.asarray(X, dtype=np.float64)
+        scores = X @ self.coef_.T + self.intercept_
+        if self.classes_.size == 2:
+            return np.column_stack([-scores[:, 0], scores[:, 0]])
+        return scores
+
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predicted original labels."""
         if self.classes_ is None:

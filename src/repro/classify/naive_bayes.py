@@ -79,6 +79,15 @@ class GaussianNB(ParamsMixin):
         probs = np.exp(jll)
         return probs / probs.sum(axis=1, keepdims=True)
 
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Joint log-likelihood per class, shape ``(M, C)``.
+
+        The natural decision values of a generative model: softmax of
+        these rows is exactly :meth:`predict_proba`, so margins and
+        probabilities agree (:class:`repro.types.Predictor` contract).
+        """
+        return self._joint_log_likelihood(X)
+
     def score(self, X: np.ndarray, y: np.ndarray) -> float:
         """Accuracy on a labelled set."""
         from repro.classify.metrics import accuracy_score

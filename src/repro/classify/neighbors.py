@@ -12,10 +12,10 @@ import numpy as np
 
 from repro.exceptions import NotFittedError, ValidationError
 from repro.ts.dtw import dtw_distance, lb_keogh
-from repro.types import ParamsMixin
+from repro.types import ParamsMixin, PredictorMixin
 
 
-class OneNearestNeighbor(ParamsMixin):
+class OneNearestNeighbor(PredictorMixin, ParamsMixin):
     """1NN classifier under Euclidean or DTW distance.
 
     Parameters
@@ -34,6 +34,7 @@ class OneNearestNeighbor(ParamsMixin):
         self.band = band
         self._X: np.ndarray | None = None
         self._y: np.ndarray | None = None
+        self.classes_: np.ndarray | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "OneNearestNeighbor":
         """Memorize the training set."""
@@ -43,6 +44,7 @@ class OneNearestNeighbor(ParamsMixin):
             raise ValidationError("X must be (M, N) with matching non-empty y")
         self._X = X
         self._y = y
+        self.classes_ = np.unique(y)
         return self
 
     def _check_fitted(self) -> tuple[np.ndarray, np.ndarray]:

@@ -13,10 +13,10 @@ import numpy as np
 from repro.classify.pca import PCA
 from repro.classify.tree import DecisionTree
 from repro.exceptions import NotFittedError, ValidationError
-from repro.types import ParamsMixin
+from repro.types import ParamsMixin, PredictorMixin
 
 
-class RotationForest(ParamsMixin):
+class RotationForest(PredictorMixin, ParamsMixin):
     """Rotation Forest classifier.
 
     Parameters
@@ -97,8 +97,7 @@ class RotationForest(ParamsMixin):
             self._members.append((rotation, tree))
         return self
 
-    def predict(self, X: np.ndarray) -> np.ndarray:
-        """Majority vote over the rotated trees."""
+    def _vote_matrix(self, X: np.ndarray) -> np.ndarray:
         if self.classes_ is None or not self._members:
             raise NotFittedError("call fit before predict")
         X = np.asarray(X, dtype=np.float64)
@@ -108,7 +107,21 @@ class RotationForest(ParamsMixin):
             preds = tree.predict(X @ rotation)
             for row, pred in enumerate(preds):
                 votes[row, class_index[int(pred)]] += 1
+        return votes
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority vote over the rotated trees."""
+        votes = self._vote_matrix(X)
         return self.classes_[np.argmax(votes, axis=1)].astype(np.int64)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Vote shares per class, shape ``(M, C)`` rows summing to 1."""
+        votes = self._vote_matrix(X)
+        return votes.astype(np.float64) / self.n_estimators
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Raw vote counts per class, shape ``(M, C)``."""
+        return self._vote_matrix(X).astype(np.float64)
 
     def score(self, X: np.ndarray, y: np.ndarray) -> float:
         """Accuracy on a labelled set."""

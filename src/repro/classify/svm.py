@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import NotFittedError, ValidationError
-from repro.types import ParamsMixin
+from repro.types import ParamsMixin, PredictorMixin
 
 
 class LinearSVM(ParamsMixin):
@@ -137,11 +137,15 @@ class LinearSVM(ParamsMixin):
         return accuracy_score(np.asarray(y, dtype=np.int64), self.predict(X))
 
 
-class OneVsRestSVM(ParamsMixin):
+class OneVsRestSVM(PredictorMixin, ParamsMixin):
     """Multi-class linear SVM via one-vs-rest decision-value argmax.
 
     Accepts arbitrary integer labels; binary problems collapse to a single
-    underlying :class:`LinearSVM`.
+    underlying :class:`LinearSVM`. Conforms to the repo-wide
+    :class:`repro.types.Predictor` surface: ``decision_function`` is always
+    ``(M, C)`` (the binary single-model score ``s`` becomes the column pair
+    ``[-s, s]``), and ``predict_proba`` is the softmax of the decision
+    values (via :class:`~repro.types.PredictorMixin`).
     """
 
     def __init__(
@@ -186,14 +190,23 @@ class OneVsRestSVM(ParamsMixin):
         return self
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
-        """Per-class decision values, shape ``(M, |C|)`` (binary: ``(M,)``)."""
+        """Per-class decision values, always shape ``(M, C)``.
+
+        Binary problems train a single underlying machine with score
+        ``s``; its matrix form is the column pair ``[-s, s]`` (column
+        order follows ``classes_``), so argmax, margins, and softmax all
+        work uniformly across class counts. The pre-streaming flat
+        ``(M,)`` binary shape is gone — see docs/api.md.
+        """
         if self.classes_ is None:
             raise NotFittedError("call fit before decision_function")
         X = np.asarray(X, dtype=np.float64)
         if not self._models:
-            return np.zeros(X.shape[0])
-        scores = np.column_stack([m.decision_function(X) for m in self._models])
-        return scores[:, 0] if self.classes_.size == 2 else scores
+            return np.zeros((X.shape[0], max(1, self.classes_.size)))
+        if self.classes_.size == 2:
+            scores = self._models[0].decision_function(X)
+            return np.column_stack([-scores, scores])
+        return np.column_stack([m.decision_function(X) for m in self._models])
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predicted original labels."""

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import NotFittedError, ValidationError
-from repro.types import ParamsMixin
+from repro.types import ParamsMixin, PredictorMixin
 
 
 @dataclass
@@ -39,7 +39,7 @@ def _gini_from_counts(counts: np.ndarray, total: np.ndarray) -> np.ndarray:
     return 1.0 - np.sum(proportions * proportions, axis=1)
 
 
-class DecisionTree(ParamsMixin):
+class DecisionTree(PredictorMixin, ParamsMixin):
     """CART classifier.
 
     Parameters

@@ -18,6 +18,11 @@ Commands
     predictions from one through the fault-hardened
     :mod:`repro.serve` service, and drive the serving load-generator
     gate (``BENCH_serve.json``).
+``stream``
+    Replay a dataset's test split as chunked streams through the
+    streaming service (:mod:`repro.streaming`) and report the early-
+    emission fraction, mean emission time, and streaming-vs-batch
+    accuracy.
 ``campaign run`` / ``campaign resume`` / ``campaign status`` /
 ``campaign report``
     Run the dataset x method x scenario matrix as a crash-safe,
@@ -252,6 +257,68 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     return loadgen_main(argv)
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    """``repro stream <dataset>``"""
+    import numpy as np
+
+    from repro.core.pipeline import IPSClassifier
+    from repro.serve import StreamConfig, StreamingInferenceService
+
+    data = _load(args)
+    config = IPSConfig(
+        k=args.k,
+        q_n=10,
+        q_s=3,
+        seed=args.seed,
+        streaming_margin_threshold=args.margin_threshold,
+        streaming_min_fraction=args.min_fraction,
+        streaming_chunk_size=args.chunk_size,
+    )
+    classifier = IPSClassifier(config).fit_dataset(data.train)
+    stream_config = StreamConfig(
+        margin_threshold=config.streaming_margin_threshold,
+        min_fraction=config.streaming_min_fraction,
+    )
+    X = data.test.X
+    y_true = data.test.classes_[data.test.y]
+    batch_labels = classifier.predict(X)
+    with StreamingInferenceService(
+        classifier, stream_config=stream_config
+    ) as service:
+        decisions = [
+            service.stream_series(row, chunk_size=config.streaming_chunk_size)
+            for row in X
+        ]
+    length = X.shape[1]
+    labels = np.array([d.label for d in decisions])
+    early = [d for d in decisions if d.early]
+    agreement = float(np.mean(labels == batch_labels))
+    accuracy = float(np.mean(labels == y_true))
+    batch_accuracy = float(np.mean(batch_labels == y_true))
+    print(
+        f"streamed {len(decisions)} test series of {args.dataset} "
+        f"(chunk size {config.streaming_chunk_size}, margin threshold "
+        f"{stream_config.margin_threshold}, min fraction "
+        f"{stream_config.min_fraction})"
+    )
+    print(
+        f"  early emissions: {len(early)}/{len(decisions)} "
+        f"({100 * len(early) / max(1, len(decisions)):.0f}%)"
+    )
+    if early:
+        mean_t = float(np.mean([d.t_emitted for d in early]))
+        print(
+            f"  mean early-emission time: {mean_t:.1f}/{length} samples "
+            f"({100 * mean_t / length:.0f}% of the series)"
+        )
+    print(f"  agreement with batch labels: {100 * agreement:.2f}%")
+    print(
+        f"  accuracy streaming {100 * accuracy:.2f}% "
+        f"vs batch {100 * batch_accuracy:.2f}%"
+    )
+    return 0
+
+
 def _print_campaign_status(status: dict) -> None:
     print(
         f"campaign {status['campaign']} in {status['dir']}: "
@@ -482,6 +549,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--validation", default="repair", choices=["strict", "repair", "off"]
     )
     serve_bench.set_defaults(func=cmd_serve_bench)
+
+    stream = sub.add_parser(
+        "stream",
+        help="replay test series as chunked streams (early classification)",
+    )
+    _add_common_dataset_args(stream)
+    stream.add_argument(
+        "--margin-threshold",
+        type=float,
+        default=IPSConfig.__dataclass_fields__["streaming_margin_threshold"].default,
+        help="decision margin required for early emission",
+    )
+    stream.add_argument(
+        "--min-fraction",
+        type=float,
+        default=IPSConfig.__dataclass_fields__["streaming_min_fraction"].default,
+        help="fraction of the series that must arrive before early emission",
+    )
+    stream.add_argument(
+        "--chunk-size",
+        type=int,
+        default=IPSConfig.__dataclass_fields__["streaming_chunk_size"].default,
+        help="replay chunk size in samples",
+    )
+    stream.set_defaults(func=cmd_stream)
 
     campaign = sub.add_parser(
         "campaign", help="crash-safe, resumable evaluation campaigns"

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import dataclasses
+import difflib
+import functools
 from dataclasses import dataclass, field
 
 from repro.core.budget import Budget
-from repro.exceptions import ValidationError
+from repro.exceptions import ConfigError, ValidationError
 
 #: Accepted values of ``IPSConfig.validation_mode``.
 VALIDATION_MODES: tuple[str, ...] = ("strict", "repair", "off")
@@ -195,6 +198,21 @@ class IPSConfig:
         Destination of the ``"trace+jsonl"`` sink; ``None`` uses
         ``.repro-obs/last-run.jsonl`` (what ``repro obs report`` reads
         by default).
+    streaming_margin_threshold:
+        Decision-margin threshold of
+        :class:`repro.streaming.EarlyClassifier`: once the classifier's
+        :func:`repro.types.decision_margin` on the partial series clears
+        it (and ``streaming_min_fraction`` is satisfied), the label is
+        emitted early. ``0.0`` emits at the first eligible window.
+    streaming_min_fraction:
+        Fraction of the training series length that must have arrived
+        before early emission is allowed — a guard against confident
+        nonsense on the first few samples. ``1.0`` disables early
+        emission entirely (decisions only at end of stream).
+    streaming_chunk_size:
+        Default chunk size of the chunked-replay driver
+        (:func:`repro.datasets.iter_chunks`) and the ``repro stream``
+        CLI.
     """
 
     k: int = 5
@@ -224,6 +242,9 @@ class IPSConfig:
     spectra_cache_dir: str | None = None
     observability: str = "counters"
     obs_jsonl_path: str | None = None
+    streaming_margin_threshold: float = 1.0
+    streaming_min_fraction: float = 0.3
+    streaming_chunk_size: int = 32
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -286,3 +307,77 @@ class IPSConfig:
                 "kernel_tile_budget must be >= 64 KiB when set, got "
                 f"{self.kernel_tile_budget}"
             )
+        if self.streaming_margin_threshold < 0:
+            raise ValidationError(
+                "streaming_margin_threshold must be >= 0, got "
+                f"{self.streaming_margin_threshold}"
+            )
+        if not 0.0 <= self.streaming_min_fraction <= 1.0:
+            raise ValidationError(
+                "streaming_min_fraction must be in [0, 1], got "
+                f"{self.streaming_min_fraction}"
+            )
+        if self.streaming_chunk_size < 1:
+            raise ValidationError(
+                "streaming_chunk_size must be >= 1, got "
+                f"{self.streaming_chunk_size}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IPSConfig":
+        """Rebuild a config from its manifest form (``dataclasses.asdict``).
+
+        Run manifests serialize the config as a plain dict (nested
+        dataclasses become dicts, tuples become lists); this inverts
+        that: ``fault_tolerance``/``budget`` dicts are reconstructed into
+        their dataclasses and ``length_ratios`` is re-tupled, so
+        ``IPSConfig.from_dict(asdict(config)) == config`` round-trips —
+        including the ``streaming_*`` fields. Unknown keys raise
+        :class:`~repro.exceptions.ConfigError` (strict, with a
+        did-you-mean hint), never silently drop.
+        """
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"IPSConfig.from_dict expects a dict, got {type(data).__name__}"
+            )
+        kwargs = dict(data)
+        value = kwargs.get("fault_tolerance")
+        if isinstance(value, dict):
+            kwargs["fault_tolerance"] = FaultToleranceConfig(**value)
+        value = kwargs.get("budget")
+        if isinstance(value, dict):
+            kwargs["budget"] = Budget(**value)
+        value = kwargs.get("length_ratios")
+        if isinstance(value, list):
+            kwargs["length_ratios"] = tuple(value)
+        return cls(**kwargs)
+
+
+#: Every field name IPSConfig accepts, for strict unknown-kwarg rejection.
+_CONFIG_FIELDS: frozenset[str] = frozenset(
+    f.name for f in dataclasses.fields(IPSConfig)
+)
+
+_generated_init = IPSConfig.__init__
+
+
+@functools.wraps(_generated_init)
+def _strict_init(self, *args, **kwargs) -> None:
+    unknown = sorted(set(kwargs) - _CONFIG_FIELDS)
+    if unknown:
+        hints = []
+        for name in unknown:
+            close = difflib.get_close_matches(name, _CONFIG_FIELDS, n=1)
+            hints.append(
+                f"{name!r} (did you mean {close[0]!r}?)" if close else repr(name)
+            )
+        raise ConfigError(
+            f"unknown IPSConfig field(s): {', '.join(hints)}"
+        )
+    _generated_init(self, *args, **kwargs)
+
+
+# A mistyped field name historically raised a bare TypeError from the
+# dataclass-generated __init__; manifests written by a newer version (or
+# plain typos) now fail with a typed, suggestion-bearing ConfigError.
+IPSConfig.__init__ = _strict_init

@@ -33,7 +33,7 @@ from repro.obs import (
     run_manifest,
 )
 from repro.ts.series import Dataset
-from repro.types import DiscoveryResult, ParamsMixin, Shapelet
+from repro.types import DiscoveryResult, ParamsMixin, PredictorMixin, Shapelet
 
 
 def resolve_kernel_backend(config: IPSConfig, dataset: Dataset):
@@ -372,7 +372,7 @@ class IPS:
         )
 
 
-class _Feature1NN:
+class _Feature1NN(PredictorMixin):
     """1NN on the shapelet-feature space (one of the classic choices).
 
     Non-finite feature cells (a degenerate transform can emit them) are
@@ -383,6 +383,7 @@ class _Feature1NN:
     def __init__(self) -> None:
         self._X: np.ndarray | None = None
         self._y: np.ndarray | None = None
+        self.classes_: np.ndarray | None = None
 
     @staticmethod
     def _sanitize(X: np.ndarray) -> np.ndarray:
@@ -395,6 +396,7 @@ class _Feature1NN:
         """Memorize the feature matrix."""
         self._X = self._sanitize(X)
         self._y = np.asarray(y, dtype=np.int64)
+        self.classes_ = np.unique(self._y)
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
@@ -564,6 +566,37 @@ class IPSClassifier(ParamsMixin):
         features = self._scaler.transform(self._transform.transform(X))
         internal = self._svm.predict(features)
         return self._dataset.classes_[internal]
+
+    @property
+    def classes_(self) -> np.ndarray:
+        """Original-valued class labels, sorted (Predictor contract)."""
+        return self._fitted_classes()
+
+    def _inner_scores(self, X: np.ndarray, method: str) -> np.ndarray:
+        """Run the inner classifier's score surface on transformed features.
+
+        The inner model is trained on internal labels ``0..C-1`` (the
+        positions of :attr:`classes_`), and every final classifier sees
+        all of them at fit time, so its columns already line up with the
+        original class order — no re-indexing needed.
+        """
+        self._check_fitted()
+        features = self._scaler.transform(self._transform.transform(X))
+        scores = np.asarray(getattr(self._svm, method)(features), dtype=np.float64)
+        if scores.shape[1] != self._fitted_classes().size:
+            raise ValidationError(
+                f"inner classifier produced {scores.shape[1]} columns for "
+                f"{self._fitted_classes().size} classes"
+            )
+        return scores
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Per-class probabilities, ``(M, C)`` in :attr:`classes_` order."""
+        return self._inner_scores(X, "predict_proba")
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Per-class decision values, ``(M, C)`` in :attr:`classes_` order."""
+        return self._inner_scores(X, "decision_function")
 
     def score(self, X: np.ndarray, y: np.ndarray) -> float:
         """Accuracy against original-valued labels."""

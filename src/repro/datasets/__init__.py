@@ -25,16 +25,19 @@ from repro.datasets.generators import make_multivariate_planted, make_planted_da
 from repro.datasets.io import load_ucr_directory, read_ucr_file, write_ucr_file
 from repro.datasets.loader import TrainTestData, dataset_names, load_dataset
 from repro.datasets.registry import REGISTRY, DatasetProfile
+from repro.datasets.replay import iter_chunks, replay_dataset
 
 __all__ = [
     "REGISTRY",
     "DatasetProfile",
     "TrainTestData",
     "dataset_names",
+    "iter_chunks",
     "load_dataset",
     "load_ucr_directory",
     "make_multivariate_planted",
     "make_planted_dataset",
     "read_ucr_file",
+    "replay_dataset",
     "write_ucr_file",
 ]

@@ -1,0 +1,86 @@
+"""Chunked replay: feed stored series to the streaming stack as streams.
+
+The streaming subsystem consumes unbounded chunk sequences; the datasets
+subpackage produces fixed-length arrays. :func:`iter_chunks` bridges the
+two — it replays one series as a deterministic sequence of chunks (fixed
+size, or random sizes from a seeded RNG, including size-1 chunks), and
+:func:`replay_dataset` drives a whole dataset through a per-series
+consumer, which is how the CLI, the streaming benchmark, and the
+domain-generator test suites (ECG beats, sensor traces from
+:mod:`repro.datasets.special`) exercise early classification.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def iter_chunks(
+    series,
+    chunk_size: int = 32,
+    *,
+    jitter_seed: int | np.random.Generator | None = None,
+) -> Iterator[np.ndarray]:
+    """Yield ``series`` as consecutive chunks covering every sample once.
+
+    Parameters
+    ----------
+    series:
+        1-D array to replay.
+    chunk_size:
+        Chunk length; the final chunk carries the remainder. With
+        ``jitter_seed`` set this becomes the *maximum* size.
+    jitter_seed:
+        When given, each chunk's size is drawn uniformly from
+        ``[1, chunk_size]`` by a seeded RNG — deterministic per seed, and
+        the way the property suite exercises ragged (including size-1)
+        chunkings.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 1:
+        raise ValidationError(f"series must be 1-D, got ndim={series.ndim}")
+    if chunk_size < 1:
+        raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
+    rng = None
+    if jitter_seed is not None:
+        rng = (
+            jitter_seed
+            if isinstance(jitter_seed, np.random.Generator)
+            else np.random.default_rng(jitter_seed)
+        )
+    pos = 0
+    while pos < series.size:
+        step = chunk_size if rng is None else int(rng.integers(1, chunk_size + 1))
+        yield series[pos : pos + step]
+        pos += step
+
+
+def replay_dataset(
+    X,
+    consume: Callable[[int, Iterator[np.ndarray]], object],
+    chunk_size: int = 32,
+    *,
+    jitter_seed: int | None = None,
+) -> list:
+    """Replay every row of ``X`` as a chunk stream through ``consume``.
+
+    ``consume(row_index, chunks)`` receives the row's chunk iterator and
+    its return values are collected in row order. With ``jitter_seed``
+    set, row ``i`` streams under seed ``jitter_seed + i`` so chunkings
+    differ across rows but are reproducible across runs.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValidationError(f"X must be 2-D (M, N), got ndim={X.ndim}")
+    results = []
+    for i, row in enumerate(X):
+        seed = None if jitter_seed is None else jitter_seed + i
+        results.append(consume(i, iter_chunks(row, chunk_size, jitter_seed=seed)))
+    return results
+
+
+__all__ = ["iter_chunks", "replay_dataset"]

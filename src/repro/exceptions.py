@@ -25,6 +25,16 @@ class LengthError(ValidationError):
     """A subsequence length is incompatible with the series it applies to."""
 
 
+class ConfigError(ValidationError):
+    """An :class:`~repro.core.config.IPSConfig` was built from bad input.
+
+    Raised for unknown field names (with a did-you-mean suggestion when a
+    close match exists) and for manifest round-trips that reference fields
+    this version does not know. Subclasses :class:`ValidationError`, so
+    existing ``except ValidationError`` call sites keep working.
+    """
+
+
 class NotFittedError(ReproError, RuntimeError):
     """A model method requiring a fitted estimator was called before ``fit``."""
 
@@ -168,3 +178,17 @@ class CircuitOpenError(ServeError):
 
 class ServiceClosedError(ServeError):
     """The service is stopped (or stopping) and accepts no requests."""
+
+
+class SessionError(ServeError):
+    """Base class for streaming-session failures in :mod:`repro.serve`."""
+
+
+class UnknownSessionError(SessionError, KeyError):
+    """A chunk or close was submitted for a session id that does not
+    exist (never opened, already closed, or expired past its TTL)."""
+
+
+class SessionLimitError(SessionError):
+    """Opening a new streaming session would exceed the service's
+    ``max_sessions`` cap (backpressure signal to the caller)."""

@@ -37,12 +37,16 @@ from repro.kernels.backends import (
     register_backend,
 )
 from repro.kernels.cache import SeriesCache
+from repro.kernels.rolling import RollingStats
 from repro.kernels.store import SpectraStore
 from repro.kernels.engine import (
     batch_distance_profile,
     batch_mass,
     batch_min_distance,
     batch_sliding_dot,
+    direct_distance_profile,
+    direct_min_distance,
+    direct_window_dots,
     distance_profile,
     euclidean_distance,
     mass,
@@ -63,6 +67,7 @@ __all__ = [
     "BackendSpec",
     "NullPerfCounters",
     "PerfCounters",
+    "RollingStats",
     "SeriesCache",
     "SpectraStore",
     "backend_names",
@@ -71,6 +76,9 @@ __all__ = [
     "batch_min_distance",
     "batch_sliding_dot",
     "choose_backend",
+    "direct_distance_profile",
+    "direct_min_distance",
+    "direct_window_dots",
     "distance_profile",
     "euclidean_distance",
     "get_backend",

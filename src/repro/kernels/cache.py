@@ -45,6 +45,7 @@ from scipy import fft as sp_fft
 from repro.exceptions import CacheIntegrityError
 from repro.kernels.backends import BackendSpec, get_backend
 from repro.kernels.perf import PerfCounters
+from repro.kernels.rolling import RollingStats
 from repro.kernels.store import SpectraStore, content_digest, spectrum_key
 
 
@@ -54,7 +55,7 @@ class _Entry:
     __slots__ = (
         "original",
         "array",
-        "cumsums",
+        "rolling",
         "mean_std",
         "ssq",
         "spectra",
@@ -64,7 +65,10 @@ class _Entry:
     def __init__(self, original, array: np.ndarray) -> None:
         self.original = original  # strong ref: pins id(), prevents aliasing
         self.array = array
-        self.cumsums: tuple[np.ndarray, np.ndarray] | None = None
+        #: Cumulative statistics, shared with the streaming path — the
+        #: batch cache is a :class:`RollingStats` fed one whole-array
+        #: chunk, so batch and streaming derive from identical formulas.
+        self.rolling: RollingStats | None = None
         self.mean_std: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self.ssq: dict[int, np.ndarray] = {}
         #: Keyed by ``(n_fft, dtype char)`` — float32 and float64 spectra
@@ -155,6 +159,23 @@ class SeriesCache:
         """The cached float64 view/copy of ``arr``."""
         return self._entry(arr).array
 
+    def _rolling(self, entry: _Entry) -> RollingStats:
+        if entry.rolling is None:
+            self.counters.cache_misses += 1
+            entry.rolling = RollingStats(entry.array)
+        else:
+            self.counters.cache_hits += 1
+        return entry.rolling
+
+    def rolling_stats(self, arr) -> RollingStats:
+        """The cached :class:`RollingStats` of ``arr``.
+
+        The same object the cumulative-sum accessors below derive from —
+        handing it to a streaming consumer therefore yields quantities
+        bit-identical to the batch path.
+        """
+        return self._rolling(self._entry(arr))
+
     def cumsums(self, arr) -> tuple[np.ndarray, np.ndarray]:
         """Zero-prefixed cumulative sums of values and squares (last axis).
 
@@ -162,21 +183,7 @@ class SeriesCache:
         the layout of the historical per-call computation so every
         consumer's arithmetic (and bits) is unchanged.
         """
-        entry = self._entry(arr)
-        if entry.cumsums is not None:
-            self.counters.cache_hits += 1
-            return entry.cumsums
-        self.counters.cache_misses += 1
-        a = entry.array
-        if a.ndim == 1:
-            csum = np.concatenate([[0.0], np.cumsum(a)])
-            csum2 = np.concatenate([[0.0], np.cumsum(a * a)])
-        else:
-            zeros = np.zeros(a.shape[:-1] + (1,), dtype=np.float64)
-            csum = np.concatenate([zeros, np.cumsum(a, axis=-1)], axis=-1)
-            csum2 = np.concatenate([zeros, np.cumsum(a * a, axis=-1)], axis=-1)
-        entry.cumsums = (csum, csum2)
-        return entry.cumsums
+        return self._rolling(self._entry(arr)).cumsums()
 
     def sliding_mean_std(self, arr, window: int) -> tuple[np.ndarray, np.ndarray]:
         """Rolling mean/std of every length-``window`` subsequence.
@@ -191,13 +198,7 @@ class SeriesCache:
             self.counters.cache_hits += 1
             return cached
         self.counters.cache_misses += 1
-        csum, csum2 = self.cumsums(arr)
-        sums = csum[..., window:] - csum[..., :-window]
-        sums2 = csum2[..., window:] - csum2[..., :-window]
-        means = sums / window
-        variances = np.maximum(sums2 / window - means * means, 0.0)
-        stds = np.sqrt(variances)
-        entry.mean_std[window] = (means, stds)
+        entry.mean_std[window] = self._rolling(entry).sliding_mean_std(window)
         return entry.mean_std[window]
 
     def window_ssq(self, arr, window: int) -> np.ndarray:
@@ -208,8 +209,7 @@ class SeriesCache:
             self.counters.cache_hits += 1
             return cached
         self.counters.cache_misses += 1
-        _csum, csum2 = self.cumsums(arr)
-        entry.ssq[window] = csum2[..., window:] - csum2[..., :-window]
+        entry.ssq[window] = self._rolling(entry).window_ssq(window)
         return entry.ssq[window]
 
     def spectrum(self, arr, n_fft: int, dtype=np.float64) -> np.ndarray:

@@ -612,3 +612,92 @@ def batch_min_distance(
         profiles = batch_distance_profile(group, X, cache=cache, backend=backend)
         out[:, idxs] = profiles.min(axis=-1) / length
     return out
+
+
+# ---------------------------------------------------------------------------
+# Direct (streaming-equivalent) kernels
+# ---------------------------------------------------------------------------
+
+
+def direct_window_dots(series, query, start: int = 0, stop: int | None = None):
+    """Per-window dot products of ``query`` with ``series``, direct method.
+
+    Computes ``dot_j = series[j:j+L] . query`` for window starts in
+    ``[start, stop)`` with one BLAS dot per window — no FFT. This is the
+    kernel both the batch ``direct`` engine and the incremental
+    :class:`~repro.streaming.StreamingMatcher` call, which is what makes
+    the streaming transform *bit-identical* to the batch direct engine:
+    each window's dot product is evaluated by the same routine on the
+    same contiguous slice, regardless of how much of the series has
+    arrived.
+    """
+    series = np.ascontiguousarray(series, dtype=np.float64)
+    query = np.ascontiguousarray(query, dtype=np.float64)
+    length = query.size
+    n_out = num_windows(series.size, length)
+    if stop is None:
+        stop = n_out
+    if not 0 <= start <= stop <= n_out:
+        raise ValidationError(
+            f"window range [{start}, {stop}) outside [0, {n_out})"
+        )
+    out = np.empty(stop - start, dtype=np.float64)
+    for j in range(start, stop):
+        out[j - start] = np.dot(series[j : j + length], query)
+    return out
+
+
+def direct_distance_profile(series, query, window_sq, q_ssq: float,
+                            start: int = 0, stop: int | None = None):
+    """Squared-distance profile over a window range, direct method.
+
+    ``window_sq`` must hold the window sums of squares for exactly the
+    requested range (from :class:`~repro.kernels.RollingStats` or a
+    :class:`~repro.kernels.SeriesCache` slice); ``q_ssq`` is
+    ``float(np.dot(query, query))``. Same elementwise formula as
+    :func:`distance_profile`, with the sliding dots computed directly.
+    """
+    dots = direct_window_dots(series, query, start, stop)
+    profile = window_sq - 2.0 * dots + q_ssq
+    return np.maximum(profile, 0.0)
+
+
+def direct_min_distance(queries, X, *, cache: SeriesCache | None = None):
+    """Def.-4 distances computed by the direct method (no FFT).
+
+    Same ``(M, Q)`` layout and formulas as :func:`batch_min_distance`,
+    but every sliding dot product is an explicit per-window BLAS dot
+    instead of an FFT convolution. Slower at batch scale — its purpose is
+    the *streaming equivalence anchor*: a chunk-fed
+    :class:`~repro.streaming.StreamingTransform` is bit-identical to this
+    path on the full series, because both call
+    :func:`direct_window_dots` / :func:`direct_distance_profile` on the
+    same windows. Against the FFT engine it agrees to FFT round-off
+    (~1e-9 relative), which the streaming test suite also pins.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValidationError("X must be a 2-D (M, N) matrix")
+    query_arrays = [np.ascontiguousarray(q, dtype=np.float64) for q in queries]
+    for i, q in enumerate(query_arrays):
+        if q.ndim != 1:
+            raise ValidationError("direct_min_distance queries must be 1-D")
+        if q.size > X.shape[1]:
+            raise LengthError(
+                f"query {i} of length {q.size} exceeds series length {X.shape[1]}"
+            )
+    if cache is not None:
+        cache.counters.batch_calls += 1
+    q_ssqs = [float(np.dot(q, q)) for q in query_arrays]
+    out = np.empty((X.shape[0], len(query_arrays)), dtype=np.float64)
+    ssq_by_length = {
+        length: _window_ssq_any(X, length, cache)
+        for length in {q.size for q in query_arrays}
+    }
+    for j in range(X.shape[0]):
+        row = X[j]
+        for i, q in enumerate(query_arrays):
+            ssq = ssq_by_length[q.size][j]
+            profile = direct_distance_profile(row, q, ssq, q_ssqs[i])
+            out[j, i] = profile.min() / q.size
+    return out

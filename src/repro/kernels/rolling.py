@@ -1,0 +1,203 @@
+"""Append-friendly rolling statistics shared by batch and streaming paths.
+
+:class:`RollingStats` is the statistics half of
+:class:`~repro.kernels.SeriesCache`, restructured so a series can grow:
+it maintains zero-prefixed cumulative sums of values and squares over the
+last axis and derives rolling window means/stds/sum-of-squares from them
+— the exact formulas (and bits) of the historical per-run computation.
+
+Bit-compatibility contract
+--------------------------
+``numpy.cumsum`` accumulates *sequentially* (no pairwise regrouping), so
+a cumulative sum extended chunk-by-chunk is bit-identical to one computed
+over the full array in one shot, provided each extension continues from
+the running total with the same sequential accumulation.
+:meth:`RollingStats.append` does exactly that: it prepends the running
+total to the incoming chunk and takes ``numpy.cumsum`` of the result,
+which reproduces ``((total + x_0) + x_1) + ...`` — the same association
+order as one big ``cumsum``. Every derived quantity
+(:meth:`sliding_mean_std`, :meth:`window_ssq`, :meth:`cumsums`) therefore
+matches the batch :class:`~repro.kernels.SeriesCache` computation
+bit-for-bit, whether the series arrived whole or one sample at a time.
+The chunked-equals-batch property test in
+``tests/test_streaming_property.py`` pins this down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+#: Initial last-axis capacity of a growable (streaming) instance.
+_MIN_CAPACITY = 64
+
+
+class RollingStats:
+    """Cumulative value/square sums over the last axis, append-friendly.
+
+    Accepts 1-D series (the streaming case) and 2-D ``(M, N)`` dataset
+    matrices (the batch case — all quantities are computed row-wise in
+    one vectorized shot). Appending extends the last axis; buffers grow
+    by doubling, so appends are amortized O(chunk).
+
+    Parameters
+    ----------
+    values:
+        Optional initial values. ``RollingStats()`` starts an empty 1-D
+        stream; ``RollingStats(arr)`` seeds from an existing array
+        (equivalent to appending it in one chunk).
+    """
+
+    __slots__ = ("_values", "_csum", "_csum2", "_n", "_lead")
+
+    def __init__(self, values=None) -> None:
+        self._n = 0
+        self._lead: tuple[int, ...] = ()
+        self._values: np.ndarray | None = None
+        self._csum: np.ndarray | None = None
+        self._csum2: np.ndarray | None = None
+        if values is not None:
+            self.append(values)
+
+    # -- growth -----------------------------------------------------------
+
+    def _allocate(self, lead: tuple[int, ...], capacity: int) -> None:
+        self._lead = lead
+        self._values = np.empty(lead + (capacity,), dtype=np.float64)
+        self._csum = np.zeros(lead + (capacity + 1,), dtype=np.float64)
+        self._csum2 = np.zeros(lead + (capacity + 1,), dtype=np.float64)
+
+    def _reserve(self, extra: int) -> None:
+        capacity = self._values.shape[-1]
+        needed = self._n + extra
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        grown = np.empty(self._lead + (capacity,), dtype=np.float64)
+        grown[..., : self._n] = self._values[..., : self._n]
+        self._values = grown
+        for name in ("_csum", "_csum2"):
+            old = getattr(self, name)
+            new = np.zeros(self._lead + (capacity + 1,), dtype=np.float64)
+            new[..., : self._n + 1] = old[..., : self._n + 1]
+            setattr(self, name, new)
+
+    def append(self, chunk) -> None:
+        """Extend the series along the last axis with ``chunk``.
+
+        1-D streams accept scalars, 0-D arrays, and 1-D chunks of any
+        size (including size 1); 2-D instances accept ``(M, c)`` blocks
+        with the same leading shape. Empty chunks are a no-op.
+        """
+        chunk = np.asarray(chunk, dtype=np.float64)
+        if chunk.ndim == 0:
+            chunk = chunk.reshape(1)
+        if chunk.ndim > 2:
+            raise ValidationError(
+                f"RollingStats accepts 1-D or 2-D data, got ndim={chunk.ndim}"
+            )
+        if self._values is None:
+            lead = chunk.shape[:-1]
+            self._allocate(lead, max(_MIN_CAPACITY, chunk.shape[-1]))
+        elif chunk.shape[:-1] != self._lead:
+            raise ValidationError(
+                f"chunk leading shape {chunk.shape[:-1]} does not match the "
+                f"stream's leading shape {self._lead}"
+            )
+        count = chunk.shape[-1]
+        if count == 0:
+            return
+        self._reserve(count)
+        n = self._n
+        self._values[..., n : n + count] = chunk
+        # Continue each cumulative sum from its running total with one
+        # sequential cumsum — the association order (and bits) of a
+        # single cumsum over the full series (see module docstring).
+        for buffer, block in (
+            (self._csum, chunk),
+            (self._csum2, chunk * chunk),
+        ):
+            carried = np.empty(self._lead + (count + 1,), dtype=np.float64)
+            carried[..., 0] = buffer[..., n]
+            carried[..., 1:] = block
+            buffer[..., n + 1 : n + count + 1] = np.cumsum(carried, axis=-1)[
+                ..., 1:
+            ]
+        self._n = n + count
+
+    # -- views ------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Samples seen so far (length of the last axis)."""
+        return self._n
+
+    @property
+    def values(self) -> np.ndarray:
+        """The series so far, shape ``(..., n)`` (read-only view)."""
+        if self._values is None:
+            return np.empty(0, dtype=np.float64)
+        return self._values[..., : self._n]
+
+    def cumsums(self) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-prefixed ``(csum, csum2)``, each shape ``(..., n + 1)``.
+
+        The exact layout of the historical
+        :meth:`~repro.kernels.SeriesCache.cumsums` — one leading zero per
+        row — so every consumer's arithmetic (and bits) is unchanged.
+        """
+        if self._csum is None:
+            zero = np.zeros(1, dtype=np.float64)
+            return zero, zero.copy()
+        stop = self._n + 1
+        return self._csum[..., :stop], self._csum2[..., :stop]
+
+    # -- derived rolling quantities ---------------------------------------
+
+    def n_windows(self, window: int) -> int:
+        """Number of complete length-``window`` windows seen so far."""
+        if window < 1:
+            raise ValidationError(f"window must be >= 1, got {window}")
+        return max(0, self._n - window + 1)
+
+    def _window_range(self, window: int, start: int, stop: int | None):
+        total = self.n_windows(window)
+        if stop is None:
+            stop = total
+        if not 0 <= start <= stop <= total:
+            raise ValidationError(
+                f"window range [{start}, {stop}) outside [0, {total})"
+            )
+        return start, stop
+
+    def sliding_mean_std(
+        self, window: int, start: int = 0, stop: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Rolling mean/std of windows starting at ``[start, stop)``.
+
+        Defaults cover every complete window — identical formula (and
+        bits) to the historical batch computation; negative variances
+        from cancellation are clipped at zero.
+        """
+        start, stop = self._window_range(window, start, stop)
+        csum, csum2 = self.cumsums()
+        sums = csum[..., start + window : stop + window] - csum[..., start:stop]
+        sums2 = (
+            csum2[..., start + window : stop + window] - csum2[..., start:stop]
+        )
+        means = sums / window
+        variances = np.maximum(sums2 / window - means * means, 0.0)
+        return means, np.sqrt(variances)
+
+    def window_ssq(
+        self, window: int, start: int = 0, stop: int | None = None
+    ) -> np.ndarray:
+        """Sum of squares of windows starting at ``[start, stop)``."""
+        start, stop = self._window_range(window, start, stop)
+        _csum, csum2 = self.cumsums()
+        return csum2[..., start + window : stop + window] - csum2[..., start:stop]
+
+
+__all__ = ["RollingStats"]

@@ -37,7 +37,13 @@ from repro.serve.artifact import (
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.faults import CORRUPT_LABEL, RequestFaultInjector
 from repro.serve.queueing import SHED_POLICIES, AdmissionQueue
-from repro.serve.service import InferenceService, ServeConfig, ServeFuture
+from repro.serve.service import (
+    REQUEST_MODES,
+    InferenceService,
+    ServeConfig,
+    ServeFuture,
+)
+from repro.serve.streaming import StreamConfig, StreamingInferenceService
 
 __all__ = [
     "ARTIFACT_FORMAT_VERSION",
@@ -45,10 +51,13 @@ __all__ = [
     "CORRUPT_LABEL",
     "CircuitBreaker",
     "InferenceService",
+    "REQUEST_MODES",
     "RequestFaultInjector",
     "SHED_POLICIES",
     "ServeConfig",
     "ServeFuture",
+    "StreamConfig",
+    "StreamingInferenceService",
     "load_artifact",
     "read_manifest",
     "save_artifact",

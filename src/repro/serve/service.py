@@ -45,12 +45,15 @@ from repro.exceptions import (
     ServiceClosedError,
     ValidationError,
 )
-from repro.kernels import SeriesCache
+from repro.kernels import SeriesCache, warn_deprecated_once
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.faults import CORRUPT_LABEL, RequestFaultInjector
 from repro.serve.queueing import SHED_POLICIES, AdmissionQueue
 from repro.validation import pad_or_truncate, validate_series
 from repro.validation.contracts import VALIDATION_MODES
+
+#: Request output modes: a label, a probability row, or a decision row.
+REQUEST_MODES: tuple[str, ...] = ("label", "proba", "scores")
 
 
 @dataclass(frozen=True)
@@ -172,6 +175,9 @@ class _Request:
     future: ServeFuture
     submitted_at: float = 0.0
     attempts: int = 0
+    #: What the caller asked for: ``"label"`` (predict), ``"proba"``
+    #: (predict_proba row), or ``"scores"`` (decision_function row).
+    mode: str = "label"
 
 
 class InferenceService:
@@ -345,6 +351,7 @@ class InferenceService:
         deadline_s: float | None = None,
         *,
         seed: int | None = None,
+        mode: str = "label",
     ) -> ServeFuture:
         """Validate and enqueue one series; returns its future.
 
@@ -357,6 +364,10 @@ class InferenceService:
         """
         if not self._running:
             raise ServiceClosedError("service is not running; call start()")
+        if mode not in REQUEST_MODES:
+            raise InvalidRequestError(
+                f"unknown request mode {mode!r}; choose from {REQUEST_MODES}"
+            )
         now = self._clock()
         if deadline_s is None:
             deadline_s = self.config.default_deadline_s
@@ -380,6 +391,7 @@ class InferenceService:
             deadline=None if deadline_s is None else now + deadline_s,
             future=ServeFuture(request_id),
             submitted_at=now,
+            mode=mode,
         )
         try:
             shed = self.queue.put(request)
@@ -398,9 +410,60 @@ class InferenceService:
             )
         return request.future
 
-    def predict(self, series, deadline_s: float | None = None):
-        """Blocking single-request convenience: submit and wait."""
+    @property
+    def classes_(self) -> np.ndarray:
+        """Original-valued class labels of the served model, sorted."""
+        return self._classes
+
+    def predict_one(self, series, deadline_s: float | None = None):
+        """Blocking single-series convenience: submit one row and wait."""
         return self.submit(series, deadline_s).result()
+
+    def predict(self, X, deadline_s: float | None = None):
+        """Predict labels for every row of ``X``; ``(M,)`` int64.
+
+        The :class:`repro.types.Predictor` surface: takes a 2-D matrix,
+        returns one label per row, and raises the first request's typed
+        error on failure (use :meth:`predict_many` for per-row outcomes).
+        A 1-D input is the pre-streaming single-series signature — it
+        still works (returning a scalar) but warns ``DeprecationWarning``
+        once per process; call :meth:`predict_one` instead.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            warn_deprecated_once(
+                "InferenceService.predict(series) with a 1-D series",
+                "predict_one (or a 2-D matrix for the Predictor protocol)",
+            )
+            return self.predict_one(X, deadline_s)
+        futures = [self.submit(row, deadline_s) for row in X]
+        return np.asarray(
+            [future.result() for future in futures], dtype=np.int64
+        )
+
+    def _gather_rows(self, X, deadline_s, mode: str) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        futures = [self.submit(row, deadline_s, mode=mode) for row in X]
+        rows = [np.asarray(future.result(), dtype=np.float64) for future in futures]
+        return (
+            np.vstack(rows)
+            if rows
+            else np.empty((0, self._classes.size), dtype=np.float64)
+        )
+
+    def predict_proba(self, X, deadline_s: float | None = None) -> np.ndarray:
+        """Per-class probabilities, ``(M, C)`` in :attr:`classes_` order.
+
+        Served through the same admission/deadline/breaker ladder as
+        :meth:`predict` — score requests degrade (and fail) identically.
+        """
+        return self._gather_rows(X, deadline_s, "proba")
+
+    def decision_function(self, X, deadline_s: float | None = None) -> np.ndarray:
+        """Per-class decision values, ``(M, C)`` in :attr:`classes_` order."""
+        return self._gather_rows(X, deadline_s, "scores")
 
     def predict_many(self, X, deadline_s: float | None = None) -> list:
         """Submit every row of ``X``; returns ``(label | None, error | None)``
@@ -469,22 +532,25 @@ class InferenceService:
         serial: list = []
         if self.breaker.allow():
             try:
-                predictions = self._run_batched(live)
+                payloads = self._run_batched(live)
             except Exception:  # noqa: BLE001 - batch death = worker failure
                 self.breaker.record_failure()
                 serial = live
             else:
-                corrupt = ~np.isin(predictions, self._classes)
-                if corrupt.any():
+                corrupt = [
+                    self._payload_corrupt(request, payload)
+                    for request, payload in zip(live, payloads)
+                ]
+                if any(corrupt):
                     self.breaker.record_failure()
                 else:
                     self.breaker.record_success()
-                for request, label, bad in zip(live, predictions, corrupt):
+                for request, payload, bad in zip(live, payloads, corrupt):
                     if bad:
                         serial.append(request)
                     else:
                         self._count("completed")
-                        self._complete(request, value=label)
+                        self._complete(request, value=payload)
         else:
             serial = live
         for request in serial:
@@ -500,8 +566,46 @@ class InferenceService:
         internal = classifier._svm.predict(features)
         return self._classes[internal]
 
-    def _run_batched(self, requests: list) -> np.ndarray:
-        """One kernel pass over the microbatch, with fault hooks applied."""
+    def _compute_matrix(self, X: np.ndarray, mode: str) -> np.ndarray:
+        """One microbatch through the kernel path in the requested mode.
+
+        ``label`` goes through :meth:`_predict_matrix` (the historical —
+        and chaos-test-interceptable — hook); score modes run the inner
+        classifier's Predictor surface on the same features.
+        """
+        if mode == "label":
+            return self._predict_matrix(X)
+        if len(self._cache) > self.config.cache_max_entries:
+            self._cache.clear()
+        classifier = self.classifier
+        features = classifier._scaler.transform(self._transform.transform(X))
+        method = "predict_proba" if mode == "proba" else "decision_function"
+        return np.asarray(
+            getattr(classifier._svm, method)(features), dtype=np.float64
+        )
+
+    def _payload_corrupt(self, request, payload) -> bool:
+        """Payload validation: the corrupt-response detector per mode."""
+        if request.mode == "label":
+            return not np.isin(payload, self._classes)
+        payload = np.asarray(payload)
+        return payload.shape != (self._classes.size,) or not np.isfinite(
+            payload
+        ).all()
+
+    def _corrupted_payload(self, request):
+        """What a corrupted response looks like in the request's mode."""
+        if request.mode == "label":
+            return CORRUPT_LABEL
+        return np.full(self._classes.size, np.nan)
+
+    def _run_batched(self, requests: list) -> list:
+        """One kernel pass over the microbatch, with fault hooks applied.
+
+        Returns one payload per request (a label, or a score row for the
+        ``proba``/``scores`` modes); mixed-mode batches share the single
+        transform pass through per-mode sub-batches.
+        """
         attempt = 0
         if self._injector is not None:
             # A crash/hang anywhere in the batch takes the whole batch
@@ -510,13 +614,20 @@ class InferenceService:
                 self._injector.pre_compute(request.seed, attempt)
         for request in requests:
             request.attempts += 1
-        X = np.vstack([request.series for request in requests])
-        predictions = self._predict_matrix(X)
+        payloads: list = [None] * len(requests)
+        for mode in {request.mode for request in requests}:
+            indices = [
+                i for i, request in enumerate(requests) if request.mode == mode
+            ]
+            X = np.vstack([requests[i].series for i in indices])
+            out = self._compute_matrix(X, mode)
+            for row, i in enumerate(indices):
+                payloads[i] = out[row]
         if self._injector is not None:
             for i, request in enumerate(requests):
                 if self._injector.corrupts(request.seed, attempt):
-                    predictions[i] = CORRUPT_LABEL
-        return predictions
+                    payloads[i] = self._corrupted_payload(request)
+        return payloads
 
     def _serve_serial(self, request) -> None:
         """Degraded path: one request at a time, bounded retries.
@@ -543,18 +654,18 @@ class InferenceService:
             try:
                 if self._injector is not None:
                     self._injector.pre_compute(request.seed, attempt)
-                prediction = self._predict_matrix(
-                    request.series.reshape(1, -1)
+                prediction = self._compute_matrix(
+                    request.series.reshape(1, -1), request.mode
                 )[0]
                 if self._injector is not None and self._injector.corrupts(
                     request.seed, attempt
                 ):
-                    prediction = CORRUPT_LABEL
+                    prediction = self._corrupted_payload(request)
             except Exception as exc:  # noqa: BLE001 - retryable by design
                 last_error = f"{type(exc).__name__}: {exc}"
                 continue
-            if not np.isin(prediction, self._classes):
-                last_error = "corrupt payload (prediction outside the class set)"
+            if self._payload_corrupt(request, prediction):
+                last_error = "corrupt payload (response failed validation)"
                 continue
             self._count("completed")
             self._complete(request, value=prediction)
@@ -593,4 +704,4 @@ class InferenceService:
         return stats
 
 
-__all__ = ["InferenceService", "ServeConfig", "ServeFuture"]
+__all__ = ["InferenceService", "REQUEST_MODES", "ServeConfig", "ServeFuture"]

@@ -9,8 +9,16 @@ utility score.
 The module also defines the repo-wide estimator contract: the
 :class:`Estimator` and :class:`Transformer` protocols every public model
 conforms to (enforced by the registry-driven conformance tests over
-:mod:`repro.estimators`), and :class:`ParamsMixin`, which derives
-``get_params`` from the constructor signature.
+:mod:`repro.estimators`), :class:`ParamsMixin`, which derives
+``get_params`` from the constructor signature, and — since the streaming
+redesign — the unified :class:`Predictor` protocol: one prediction
+surface (``predict`` / ``predict_proba`` / ``decision_function`` /
+``classes_``) with pinned shapes, dtypes, and a single documented margin
+convention (:func:`decision_margin`), shared by :class:`IPSClassifier
+<repro.core.pipeline.IPSClassifier>`, every baseline, every
+:mod:`repro.classify` model, and the online
+:class:`~repro.serve.InferenceService` — which is what lets
+:class:`repro.streaming.EarlyClassifier` wrap *any* of them.
 """
 
 from __future__ import annotations
@@ -44,6 +52,45 @@ class Estimator(Protocol):
     def score(self, X: Any, y: Any) -> float: ...
 
     def get_params(self) -> dict: ...
+
+
+@runtime_checkable
+class Predictor(Protocol):
+    """The unified prediction surface every fitted classifier exposes.
+
+    Shape/dtype contract (``M`` rows in, ``C = len(classes_)``):
+
+    * ``classes_`` — 1-D ``int64`` array of the class labels (original
+      caller values), sorted ascending; column ``c`` of the matrix
+      outputs below always refers to ``classes_[c]``.
+    * ``predict(X) -> (M,) int64`` — one label per row, drawn from
+      ``classes_``.
+    * ``predict_proba(X) -> (M, C) float64`` — rows are probability
+      distributions (non-negative, each summing to 1). Models without a
+      native probabilistic read derive one (softmax over decision
+      values, or a one-hot vote); see :class:`PredictorMixin`.
+    * ``decision_function(X) -> (M, C) float64`` — per-class support,
+      larger = more confident, *always* 2-D (the historical flat binary
+      ``(M,)`` shape is gone; see docs/api.md for the migration table).
+
+    Margin convention: the decision margin of a row is the gap between
+    its largest and second-largest decision values —
+    :func:`decision_margin`. This single convention is what streaming
+    early-emission thresholds, drift gauges, and the serve layer all
+    speak.
+
+    ``isinstance`` checks verify the surface exists; the behavioural
+    half is enforced by the Predictor conformance suite in
+    ``tests/test_estimators.py``.
+    """
+
+    classes_: Any
+
+    def predict(self, X: Any) -> np.ndarray: ...
+
+    def predict_proba(self, X: Any) -> np.ndarray: ...
+
+    def decision_function(self, X: Any) -> np.ndarray: ...
 
 
 @runtime_checkable
@@ -90,6 +137,90 @@ class ParamsMixin:
                     "or override get_params"
                 )
         return params
+
+
+def decision_margin(scores: np.ndarray) -> np.ndarray:
+    """Per-row decision margin: top score minus runner-up score.
+
+    This is *the* margin convention of the repo (documented on
+    :class:`Predictor`): given an ``(M, C)`` decision matrix, row ``i``'s
+    margin is ``sorted(scores[i])[-1] - sorted(scores[i])[-2]`` — always
+    non-negative, and zero exactly when the top two classes tie. Streaming
+    early emission (:class:`repro.streaming.EarlyClassifier`) compares
+    this value against its threshold; drift gauges and serve metrics
+    report the same quantity.
+
+    A single-column matrix (one known class) has nothing to be confused
+    with, so its margin is ``+inf``.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError(
+            f"decision_margin expects an (M, C) matrix, got ndim={scores.ndim}"
+        )
+    if scores.shape[1] == 1:
+        return np.full(scores.shape[0], np.inf)
+    # Partition brings the two largest values into the last two slots.
+    top2 = np.partition(scores, scores.shape[1] - 2, axis=1)[:, -2:]
+    return top2[:, 1] - top2[:, 0]
+
+
+def softmax_rows(scores: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-subtraction for numerical stability."""
+    scores = np.asarray(scores, dtype=np.float64)
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def one_hot_scores(labels: np.ndarray, classes: np.ndarray) -> np.ndarray:
+    """``(M, C)`` one-hot matrix placing mass 1 on each row's label.
+
+    The degenerate probability/decision matrix of a hard-vote model:
+    column order follows ``classes`` (the model's ``classes_``).
+    """
+    labels = np.asarray(labels)
+    classes = np.asarray(classes)
+    out = np.zeros((labels.shape[0], classes.shape[0]), dtype=np.float64)
+    columns = np.searchsorted(classes, labels)
+    out[np.arange(labels.shape[0]), columns] = 1.0
+    return out
+
+
+class PredictorMixin:
+    """Fill in the missing half of the :class:`Predictor` surface.
+
+    A model that natively produces only one of ``predict_proba`` /
+    ``decision_function`` inherits the other, derived consistently:
+
+    * native ``predict_proba`` → ``decision_function`` is the log of the
+      (clipped) probabilities — monotone in the probabilities, so argmax
+      and margins rank identically;
+    * native ``decision_function`` → ``predict_proba`` is the row softmax
+      of the decision values;
+    * neither → both collapse to the one-hot vote of ``predict``.
+
+    Overrides are detected by comparing the bound implementation against
+    the mixin's own (``type(self).predict_proba is not
+    PredictorMixin.predict_proba``), so subclasses simply define whichever
+    methods they natively support.
+    """
+
+    def _has_native(self, name: str) -> bool:
+        return getattr(type(self), name) is not getattr(PredictorMixin, name)
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        """Per-class probabilities, ``(M, C)`` float64 rows summing to 1."""
+        if self._has_native("decision_function"):
+            return softmax_rows(self.decision_function(X))
+        return one_hot_scores(self.predict(X), np.asarray(self.classes_))
+
+    def decision_function(self, X: Any) -> np.ndarray:
+        """Per-class support, ``(M, C)`` float64, larger = more confident."""
+        if self._has_native("predict_proba"):
+            proba = np.asarray(self.predict_proba(X), dtype=np.float64)
+            return np.log(np.clip(proba, 1e-300, None))
+        return one_hot_scores(self.predict(X), np.asarray(self.classes_))
 
 
 class CandidateKind(str, Enum):

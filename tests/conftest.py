@@ -49,6 +49,10 @@ def pytest_collection_modifyitems(items):
             item.add_marker(pytest.mark.serve)
         if item.fspath.basename.startswith("test_campaign"):
             item.add_marker(pytest.mark.campaign)
+        if item.fspath.basename.startswith(
+            ("test_streaming", "test_serve_streaming")
+        ):
+            item.add_marker(pytest.mark.streaming)
 
 
 @pytest.fixture()

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro.core.config import DEFAULT_LENGTH_RATIOS, IPSConfig
-from repro.exceptions import ValidationError
+from repro.exceptions import ConfigError, ValidationError
 
 
 class TestIPSConfig:
@@ -41,3 +43,84 @@ class TestIPSConfig:
     def test_extra_dict_usable(self):
         config = IPSConfig(extra={"note": "ablation"})
         assert config.extra["note"] == "ablation"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"streaming_margin_threshold": -0.5},
+            {"streaming_min_fraction": 1.5},
+            {"streaming_min_fraction": -0.1},
+            {"streaming_chunk_size": 0},
+        ],
+    )
+    def test_invalid_streaming_parameters_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            IPSConfig(**kwargs)
+
+    def test_streaming_defaults(self):
+        config = IPSConfig()
+        assert config.streaming_margin_threshold == 1.0
+        assert config.streaming_min_fraction == 0.3
+        assert config.streaming_chunk_size == 32
+
+
+class TestStrictConstruction:
+    """Unknown fields are typed errors, not silently ignored."""
+
+    def test_unknown_field_raises_config_error(self):
+        with pytest.raises(ConfigError, match="unknown IPSConfig field"):
+            IPSConfig(totally_bogus=1)
+
+    def test_config_error_is_a_validation_error(self):
+        assert issubclass(ConfigError, ValidationError)
+
+    def test_did_you_mean_suggestion(self):
+        with pytest.raises(ConfigError, match="streaming_margin_threshold"):
+            IPSConfig(streaming_margin_treshold=2.0)  # typo'd field
+
+    def test_positional_construction_still_works(self):
+        config = IPSConfig(7)  # k is the first field
+        assert config.k == 7
+
+    def test_signature_preserved(self):
+        import inspect
+
+        assert "k" in inspect.signature(IPSConfig.__init__).parameters
+
+
+class TestFromDict:
+    def test_round_trips_through_asdict(self):
+        from repro.core.budget import Budget
+        from repro.core.config import FaultToleranceConfig
+
+        config = IPSConfig(
+            k=3,
+            seed=9,
+            streaming_margin_threshold=2.5,
+            streaming_min_fraction=0.7,
+            streaming_chunk_size=16,
+            budget=Budget(max_seconds=1.0, max_candidates=100),
+            fault_tolerance=FaultToleranceConfig(max_retries=4),
+        )
+        rebuilt = IPSConfig.from_dict(dataclasses.asdict(config))
+        assert rebuilt == config
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = dataclasses.asdict(IPSConfig())
+        data["not_a_field"] = True
+        with pytest.raises(ConfigError):
+            IPSConfig.from_dict(data)
+
+    def test_streaming_fields_survive_manifest_round_trip(self, tmp_path):
+        """The run-manifest path: asdict -> JSON -> from_dict."""
+        import json
+
+        config = IPSConfig(
+            streaming_margin_threshold=3.0, streaming_min_fraction=0.5
+        )
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(dataclasses.asdict(config)))
+        rebuilt = IPSConfig.from_dict(json.loads(path.read_text()))
+        assert rebuilt.streaming_margin_threshold == 3.0
+        assert rebuilt.streaming_min_fraction == 0.5
+        assert rebuilt == config

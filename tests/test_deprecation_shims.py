@@ -107,6 +107,28 @@ def test_shim_matches_kernel(shim, replacement, args):
     np.testing.assert_array_equal(np.asarray(old), np.asarray(new))
 
 
+def test_serve_1d_predict_shim(frozen_classifier):
+    """``InferenceService.predict(series)`` with a 1-D series: warn once,
+    still answer, and match the ``predict_one`` replacement exactly."""
+    from repro.serve import InferenceService
+
+    series = np.asarray(frozen_classifier._dataset.X[0])
+    with InferenceService(frozen_classifier) as service:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            old_a = service.predict(series)
+            old_b = service.predict(series)
+        new = service.predict_one(series)
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1, "must warn exactly once per process"
+    message = str(deprecations[0].message)
+    assert "deprecated" in message
+    assert "predict_one" in message
+    assert old_a == old_b == new
+
+
 def test_reset_reenables_the_warning():
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")

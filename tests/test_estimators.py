@@ -140,6 +140,102 @@ class TestConformance:
         assert rebuilt.get_params().keys() == params.keys()
 
 
+def _predictor_specs():
+    """Registry entries whose fitted model exposes the Predictor surface."""
+    selected = []
+    for spec in SPECS:
+        if spec.fit_style not in ("features", "binary_pm1", "series"):
+            continue
+        model = spec.make()
+        if all(
+            callable(getattr(model, name, None))
+            for name in ("predict", "predict_proba", "decision_function")
+        ):
+            selected.append(spec)
+    return selected
+
+
+_PREDICTOR_SPECS = _predictor_specs()
+
+
+@pytest.mark.parametrize(
+    "spec", _PREDICTOR_SPECS, ids=[s.name for s in _PREDICTOR_SPECS]
+)
+class TestPredictorConformance:
+    """The repro.types.Predictor contract: shapes, dtypes, consistency."""
+
+    def test_protocol_membership(self, spec):
+        from repro.types import Predictor
+
+        assert isinstance(_fitted(spec), Predictor)
+
+    def test_classes_sorted_int64(self, spec):
+        model = _fitted(spec)
+        classes = np.asarray(model.classes_)
+        assert classes.ndim == 1 and classes.size >= 1
+        assert np.issubdtype(classes.dtype, np.integer)
+        assert np.all(np.diff(classes) > 0), "classes_ must be sorted unique"
+
+    def test_proba_rows_are_distributions(self, spec):
+        model = _fitted(spec)
+        _, X = _fit_args(spec)
+        proba = model.predict_proba(X)
+        classes = np.asarray(model.classes_)
+        assert proba.shape == (X.shape[0], classes.size)
+        assert proba.dtype == np.float64
+        assert np.all(proba >= 0.0)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_decision_function_always_2d(self, spec):
+        """Binary models included: no flat (M,) shape in the contract."""
+        model = _fitted(spec)
+        _, X = _fit_args(spec)
+        scores = model.decision_function(X)
+        classes = np.asarray(model.classes_)
+        assert scores.shape == (X.shape[0], classes.size)
+        assert np.issubdtype(scores.dtype, np.floating)
+        assert np.isfinite(scores).all()
+
+    def test_argmax_consistency(self, spec):
+        """Column c scores class classes_[c]: argmax recovers predict."""
+        model = _fitted(spec)
+        _, X = _fit_args(spec)
+        classes = np.asarray(model.classes_)
+        scores = model.decision_function(X)
+        np.testing.assert_array_equal(
+            classes[np.argmax(scores, axis=1)], model.predict(X)
+        )
+
+    def test_decision_margin_shape(self, spec):
+        from repro.types import decision_margin
+
+        model = _fitted(spec)
+        _, X = _fit_args(spec)
+        margins = decision_margin(model.decision_function(X))
+        assert margins.shape == (X.shape[0],)
+        assert np.all(margins >= 0.0)
+
+
+def test_package_exports_importable():
+    """Every name in repro.__all__ must resolve (the curated facade)."""
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, (
+            f"repro.__all__ exports {name!r} but it does not resolve"
+        )
+    assert len(set(repro.__all__)) == len(repro.__all__), (
+        "repro.__all__ has duplicates"
+    )
+
+
+def test_streaming_package_exports_importable():
+    import repro.streaming as streaming
+
+    for name in streaming.__all__:
+        assert getattr(streaming, name, None) is not None, name
+
+
 def _public_estimator_classes():
     """Every public class with fit+predict under repro.classify/baselines."""
     import repro.baselines

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.classify.metrics import accuracy_score, confusion_matrix
@@ -29,6 +29,12 @@ def _blob_problem(data: st.DataObject):
 @given(data=st.data())
 def test_svm_separates_separated_blobs(data):
     X, y = _blob_problem(data)
+    # Small blobs at the minimum gap occasionally overlap (the draw
+    # controls the blob *means*, not the samples); only actually
+    # separated samples state the property.
+    direction = X[y == 1].mean(axis=0) - X[y == 0].mean(axis=0)
+    projected = X @ direction
+    assume(projected[y == 1].min() > projected[y == 0].max())
     model = OneVsRestSVM(C=10.0, seed=0).fit(X, y)
     assert model.score(X, y) >= 0.95
 
