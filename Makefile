@@ -29,13 +29,17 @@ verify-perf:
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_kernels.py tests/test_kernel_backends.py
 	PYTHONPATH=src $(PYTHON) -m repro.benchlib.perfbench
 
-# Observability gate: span-tree/metrics/manifest/JSONL tests, then the
-# overhead benchmark — counters mode (the default) must stay within 2%
-# of off mode on a full IPS.discover. Writes the "observability" section
-# of BENCH_kernels.json.
+# Observability gate: span-tree/metrics/manifest/JSONL + telemetry
+# tests (the `obs` marker), then the overhead benchmark — counters mode
+# (the default) must stay within 2% of off mode on a full IPS.discover,
+# and the telemetry-instrumented serve path within 2% of (and
+# bit-identical to) the bare one. Writes the "observability" section of
+# BENCH_kernels.json and appends the run to BENCH_history.jsonl, then
+# smoke-checks `repro obs bench-diff` against the committed BENCH files.
 verify-obs:
-	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_obs.py
+	PYTHONPATH=src $(PYTHON) -m pytest -q -m obs tests/
 	PYTHONPATH=src $(PYTHON) -m repro.benchlib.perfbench --obs-only
+	PYTHONPATH=src $(PYTHON) -m repro obs bench-diff --kinds kernels
 
 # Serving gate: artifact/queue/breaker unit tests plus the chaos suite
 # (crash, hang, slow, corrupt payload, corrupt artifact, overload), then

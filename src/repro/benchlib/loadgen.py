@@ -36,6 +36,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.benchlib.history import HISTORY_FILENAME, append_history
 from repro.benchlib.perfbench import machine_key, persist
 
 #: Regression tolerance against the previous record (3x in either
@@ -295,6 +296,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     record = apply_regression_gate(record, previous)
     persist(record, args.output)
+    append_history(
+        "serve", machine_key(), record, args.output.parent / HISTORY_FILENAME
+    )
 
     steady, overload, gate = record["steady"], record["overload"], record["gate"]
     print(f"machine            {machine_key()}")

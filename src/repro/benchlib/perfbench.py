@@ -360,6 +360,88 @@ def run_observability_benchmark(repeats: int = 5, seed: int = 0) -> dict:
     }
 
 
+def run_serve_overhead_benchmark(repeats: int = 5, seed: int = 0) -> dict:
+    """Time the serving path with and without telemetry attached.
+
+    The ``observability="off"`` contract extended to serving: an
+    :class:`~repro.serve.service.InferenceService` built without a
+    registry must predict bit-identically to an instrumented one, and
+    the instrumented path (shared registry + SLO tracker feeding every
+    request) must stay within :data:`OBS_MAX_COUNTERS_OVERHEAD` of the
+    bare path. Same methodology as the discovery-mode benchmark: the
+    two services serve the identical request matrix back-to-back within
+    each repeat, and the overhead is the minimum over repeats of the
+    within-repeat ratio, so noise can hide overhead but never fabricate
+    it.
+    """
+    from repro.core.config import IPSConfig
+    from repro.core.pipeline import IPSClassifier
+    from repro.datasets.generators import make_planted_dataset
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.telemetry import SLOTracker
+    from repro.serve.service import InferenceService, ServeConfig
+
+    dataset = make_planted_dataset(
+        n_classes=2, n_instances=16, length=100, seed=seed, name="obs-serve"
+    )
+    classifier = IPSClassifier(
+        IPSConfig(k=3, q_n=6, q_s=3, seed=seed)
+    ).fit_dataset(dataset)
+    rng = np.random.default_rng(seed)
+    X = dataset.X[rng.integers(0, dataset.X.shape[0], size=200)]
+    config = ServeConfig(queue_depth=256, max_batch=32)
+
+    def serve(instrumented: bool) -> tuple[np.ndarray, float]:
+        kwargs = (
+            {
+                "metrics": MetricsRegistry(),
+                "slo": SLOTracker(
+                    latency_target_s=0.5,
+                    latency_fraction=0.99,
+                    error_rate_target=0.01,
+                ),
+            }
+            if instrumented
+            else {}
+        )
+        with InferenceService(classifier, config, **kwargs) as service:
+            start = time.perf_counter()
+            predictions = service.predict(X)
+            return predictions, time.perf_counter() - start
+
+    baseline, _ = serve(False)  # warmup + reference predictions
+    best = {"off": np.inf, "telemetry": np.inf}
+    best_ratio = np.inf
+    bit_identical = True
+    for _ in range(repeats):
+        off_pred, off_s = serve(False)
+        tel_pred, tel_s = serve(True)
+        bit_identical = bit_identical and bool(
+            np.array_equal(baseline, off_pred)
+            and np.array_equal(baseline, tel_pred)
+        )
+        best["off"] = min(best["off"], off_s)
+        best["telemetry"] = min(best["telemetry"], tel_s)
+        best_ratio = min(best_ratio, tel_s / off_s)
+    overhead = best_ratio - 1.0
+    return {
+        "workload": {
+            "n_requests": int(X.shape[0]),
+            "series_length": int(X.shape[1]),
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "seconds": dict(best),
+        "overhead": {"telemetry": overhead},
+        "bit_identical": bit_identical,
+        "gate": {
+            "telemetry_max_overhead": OBS_MAX_COUNTERS_OVERHEAD,
+            "passed": bit_identical and overhead <= OBS_MAX_COUNTERS_OVERHEAD,
+        },
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
 def persist(record: dict, path: Path) -> None:
     """Merge the record into the machine-keyed results file.
 
@@ -379,6 +461,24 @@ def persist(record: dict, path: Path) -> None:
     merged.update(record)
     existing[machine_key()] = merged
     path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+
+
+def _append_history(output: Path) -> None:
+    """Append this machine's merged record to the trajectory ledger.
+
+    Reads back the just-persisted BENCH file so the ledger line covers
+    every section, whichever flags this invocation ran with.
+    """
+    from repro.benchlib.history import HISTORY_FILENAME, append_history
+
+    try:
+        merged = json.loads(output.read_text()).get(machine_key(), {})
+    except (OSError, json.JSONDecodeError):
+        return
+    if merged:
+        append_history(
+            "kernels", machine_key(), merged, output.parent / HISTORY_FILENAME
+        )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -414,7 +514,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.obs_only:
         record = run_observability_benchmark(repeats=max(args.repeats, 5))
+        record["serve"] = run_serve_overhead_benchmark(
+            repeats=max(args.repeats, 5)
+        )
         persist({"observability": record}, args.output)
+        _append_history(args.output)
         seconds, overhead = record["seconds"], record["overhead"]
         print(f"machine            {machine_key()}")
         for mode in ("off", "counters", "trace"):
@@ -422,15 +526,34 @@ def main(argv: list[str] | None = None) -> int:
             if mode in overhead:
                 line += f"   overhead {overhead[mode]:+.2%}"
             print(line)
+        serve = record["serve"]
+        print(
+            f"serve telemetry    {serve['seconds']['telemetry']:.4f}s   "
+            f"overhead {serve['overhead']['telemetry']:+.2%}   "
+            + ("bit-identical" if serve["bit_identical"] else "MISMATCH")
+        )
         print(f"results written to {args.output}")
+        failed = False
         if not record["gate"]["passed"]:
             print(
                 f"FAIL: counters-mode overhead {overhead['counters']:+.2%} "
                 f"exceeds the {OBS_MAX_COUNTERS_OVERHEAD:.0%} budget",
                 file=sys.stderr,
             )
-            return 1
-        return 0
+            failed = True
+        if not serve["gate"]["passed"]:
+            print(
+                "FAIL: instrumented serve path "
+                + (
+                    f"overhead {serve['overhead']['telemetry']:+.2%} exceeds "
+                    f"the {OBS_MAX_COUNTERS_OVERHEAD:.0%} budget"
+                    if serve["bit_identical"]
+                    else "is not bit-identical to the bare path"
+                ),
+                file=sys.stderr,
+            )
+            failed = True
+        return 1 if failed else 0
 
     record = run_benchmark(
         n_queries=args.queries,
@@ -491,6 +614,7 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"FAIL: {failure}", file=sys.stderr)
             failed = True
 
+    _append_history(args.output)
     print(f"results written to {args.output}")
     return 1 if failed else 0
 

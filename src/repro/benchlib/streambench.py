@@ -39,6 +39,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.benchlib.history import HISTORY_FILENAME, append_history
 from repro.benchlib.perfbench import machine_key, persist
 
 #: Throughput-ratio regression tolerance vs the previous record (3x).
@@ -237,6 +238,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     record = apply_regression_gate(record, previous)
     persist(record, args.output)
+    append_history(
+        "streaming", machine_key(), record, args.output.parent / HISTORY_FILENAME
+    )
 
     latency, early, labels = record["latency"], record["early"], record["labels"]
     throughput, gate = record["throughput"], record["gate"]

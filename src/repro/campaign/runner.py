@@ -144,6 +144,11 @@ class CampaignRunner:
         retryable timeout failure.
     worker_fn:
         Override of :func:`run_cell` (tests substitute fast fakes).
+    metrics:
+        Optional shared :class:`~repro.obs.metrics.MetricsRegistry`;
+        when set, :meth:`run` publishes live ``campaign.*`` counters
+        (cells done / failed / retried) plus a per-cell wall-clock
+        sliding window. ``None`` (the default) adds no work.
     """
 
     def __init__(
@@ -157,6 +162,7 @@ class CampaignRunner:
         max_delay: float = 2.0,
         max_cell_seconds: float | None = None,
         worker_fn=None,
+        metrics=None,
     ) -> None:
         if retries < 0:
             raise CampaignError("retries must be >= 0")
@@ -173,6 +179,7 @@ class CampaignRunner:
         self.max_delay = max_delay
         self.max_cell_seconds = max_cell_seconds
         self._worker = worker_fn if worker_fn is not None else run_cell
+        self.metrics = metrics
         self.store = CellStore(self.campaign_dir)
         self.journal = Journal(self.campaign_dir / "journal.jsonl")
 
@@ -365,6 +372,8 @@ class CampaignRunner:
                 )
                 done[cell.cell_id] = record
                 n_run += 1
+                if self.metrics is not None:
+                    self._note_cell(record)
             interrupted = interrupt.triggered
         if interrupted:
             self.journal.append(
@@ -388,6 +397,20 @@ class CampaignRunner:
                 }
             )
         return self.status()
+
+    def _note_cell(self, record: dict) -> None:
+        """Publish one finished cell's telemetry (registry is set)."""
+        payload = record["payload"]
+        ok = payload["status"] == "ok"
+        self.metrics.counter("campaign.cells_done" if ok else "campaign.cells_failed")
+        # attempts counts every try; anything past the first is a retry.
+        retries = max(0, int(payload.get("attempts", 1)) - 1)
+        if retries:
+            self.metrics.counter("campaign.cells_retried")
+            self.metrics.counter("campaign.retries", retries)
+        elapsed = record["timing"].get("elapsed")
+        if elapsed is not None:
+            self.metrics.observe_window("campaign.cell_seconds", elapsed)
 
     # -- inspection -------------------------------------------------------
 

@@ -13,6 +13,13 @@ Commands
 ``obs report``
     Render the per-phase time breakdown of a saved JSONL trace
     (written by ``--obs trace+jsonl`` or ``observability="trace+jsonl"``).
+``obs top``
+    Terminal dashboard over a live :class:`~repro.obs.TelemetryServer`
+    (``--url``) or a saved trace file (``--path``).
+``obs bench-diff``
+    Per-metric deltas of the latest benchmark runs against their
+    baselines from ``BENCH_history.jsonl``; exits non-zero on a
+    regression beyond ``--threshold``.
 ``serve save`` / ``serve run`` / ``serve bench``
     Export a fitted classifier as a checksummed model artifact, serve
     predictions from one through the fault-hardened
@@ -136,6 +143,128 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_top_frame(snapshot: dict, health: dict | None) -> str:
+    """One ``repro obs top`` dashboard frame from a registry snapshot."""
+    lines: list[str] = []
+    if health is not None:
+        status = health.get("status", "unknown")
+        lines.append(f"health: {status}")
+        for reason in health.get("reasons", []):
+            lines.append(
+                f"  [{reason.get('severity')}] {reason.get('code')}: "
+                f"{reason.get('detail')}"
+            )
+    windows = snapshot.get("windows", {})
+    if windows:
+        rows = [
+            [
+                name,
+                win.get("count", 0),
+                _fmt_quantile(win.get("p50")),
+                _fmt_quantile(win.get("p90")),
+                _fmt_quantile(win.get("p99")),
+            ]
+            for name, win in sorted(windows.items())
+        ]
+        lines.append(
+            format_table(
+                ["window", "count", "p50", "p90", "p99"],
+                rows,
+                title="latency windows",
+            )
+        )
+    counters = snapshot.get("counters", {})
+    if counters:
+        rows = [[name, value] for name, value in sorted(counters.items())]
+        lines.append(format_table(["counter", "value"], rows, title="counters"))
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        rows = [[name, value] for name, value in sorted(gauges.items())]
+        lines.append(
+            format_table(["gauge", "value"], rows, precision=4, title="gauges")
+        )
+    if not lines:
+        lines.append("no metrics recorded yet")
+    return "\n".join(lines)
+
+
+def _fmt_quantile(value) -> str:
+    return "-" if value is None else f"{value:.6g}"
+
+
+def cmd_obs_top(args: argparse.Namespace) -> int:
+    """``repro obs top --url URL | --path JSONL``"""
+    import json as _json
+    import time as _time
+    import urllib.error
+    import urllib.request
+
+    if (args.url is None) == (args.path is None):
+        print(
+            "obs top needs exactly one of --url (live server) or "
+            "--path (trace JSONL)",
+            file=sys.stderr,
+        )
+        return 1
+
+    def frame() -> tuple[dict, dict | None]:
+        if args.url is not None:
+            base = args.url.rstrip("/")
+            with urllib.request.urlopen(f"{base}/metrics.json", timeout=5) as r:
+                snapshot = _json.loads(r.read().decode("utf-8"))
+            try:
+                with urllib.request.urlopen(f"{base}/healthz", timeout=5) as r:
+                    health = _json.loads(r.read().decode("utf-8"))
+            except urllib.error.HTTPError as err:
+                # /healthz answers 503 when unhealthy — still a report.
+                health = _json.loads(err.read().decode("utf-8"))
+            return snapshot, health
+        from repro.obs import load_trace
+
+        trace = load_trace(args.path)
+        return trace.metrics.snapshot(), None
+
+    iteration = 0
+    while True:
+        try:
+            snapshot, health = frame()
+        except (OSError, ValueError) as err:
+            print(f"obs top: {err}", file=sys.stderr)
+            return 1
+        print(_render_top_frame(snapshot, health))
+        iteration += 1
+        if not args.watch and iteration >= args.iterations:
+            return 0
+        _time.sleep(args.interval)
+
+
+def cmd_obs_bench_diff(args: argparse.Namespace) -> int:
+    """``repro obs bench-diff [--history PATH] [--threshold R]``"""
+    from repro.benchlib.history import (
+        diff_history,
+        load_history,
+        render_bench_diff,
+    )
+    from repro.benchlib.perfbench import machine_key
+    from repro.exceptions import ValidationError
+
+    machine = args.machine or machine_key()
+    entries = load_history(args.history)
+    try:
+        rows = diff_history(
+            entries,
+            machine=machine,
+            threshold=args.threshold,
+            kinds=tuple(args.kinds.split(",")) if args.kinds else None,
+            bench_dir=args.bench_dir,
+        )
+    except ValidationError as err:
+        print(f"bench-diff: {err}", file=sys.stderr)
+        return 2
+    print(render_bench_diff(rows, args.threshold))
+    return 1 if any(row["regression"] for row in rows) else 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     """``repro compare <dataset> --methods IPS,BASE``"""
     data = _load(args)
@@ -203,6 +332,15 @@ def cmd_serve_save(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_telemetry(port: int | None):
+    """(registry, slo) for the serve/stream commands, or (None, None)."""
+    if port is None:
+        return None, None
+    from repro.obs import MetricsRegistry, SLOTracker
+
+    return MetricsRegistry(), SLOTracker()
+
+
 def cmd_serve_run(args: argparse.Namespace) -> int:
     """``repro serve run --artifact DIR``"""
     from repro.exceptions import ServeError
@@ -229,8 +367,25 @@ def cmd_serve_run(args: argparse.Namespace) -> int:
     X = dataset.X[rows] + 0.05 * rng.normal(
         size=(args.requests, dataset.series_length)
     )
-    with InferenceService(classifier, config) as service:
-        results = service.predict_many(X)
+    registry, slo = _make_telemetry(args.telemetry_port)
+    server = None
+    with InferenceService(
+        classifier, config, metrics=registry, slo=slo
+    ) as service:
+        if registry is not None:
+            from repro.obs import TelemetryServer
+
+            server = TelemetryServer(
+                registry, health_fn=service.health, port=args.telemetry_port
+            ).start()
+            print(
+                f"telemetry on {server.url} (/metrics, /metrics.json, /healthz)"
+            )
+        try:
+            results = service.predict_many(X)
+        finally:
+            if server is not None:
+                server.close()
     n_ok = sum(1 for _value, error in results if error is None)
     stats = service.stats()
     print(
@@ -282,13 +437,30 @@ def cmd_stream(args: argparse.Namespace) -> int:
     X = data.test.X
     y_true = data.test.classes_[data.test.y]
     batch_labels = classifier.predict(X)
+    registry, slo = _make_telemetry(args.telemetry_port)
+    server = None
     with StreamingInferenceService(
-        classifier, stream_config=stream_config
+        classifier, stream_config=stream_config, metrics=registry, slo=slo
     ) as service:
-        decisions = [
-            service.stream_series(row, chunk_size=config.streaming_chunk_size)
-            for row in X
-        ]
+        if registry is not None:
+            from repro.obs import TelemetryServer
+
+            server = TelemetryServer(
+                registry, health_fn=service.health, port=args.telemetry_port
+            ).start()
+            print(
+                f"telemetry on {server.url} (/metrics, /metrics.json, /healthz)"
+            )
+        try:
+            decisions = [
+                service.stream_series(
+                    row, chunk_size=config.streaming_chunk_size
+                )
+                for row in X
+            ]
+        finally:
+            if server is not None:
+                server.close()
     length = X.shape[1]
     labels = np.array([d.label for d in decisions])
     early = [d for d in decisions if d.early]
@@ -527,6 +699,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["strict", "repair", "off"],
         help="per-request data-contract mode",
     )
+    serve_run.add_argument(
+        "--telemetry-port",
+        type=int,
+        default=None,
+        help="expose /metrics + /healthz on this port (0 = OS-assigned)",
+    )
     serve_run.set_defaults(func=cmd_serve_run)
 
     serve_bench = serve_sub.add_parser(
@@ -572,6 +750,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=IPSConfig.__dataclass_fields__["streaming_chunk_size"].default,
         help="replay chunk size in samples",
+    )
+    stream.add_argument(
+        "--telemetry-port",
+        type=int,
+        default=None,
+        help="expose /metrics + /healthz on this port (0 = OS-assigned)",
     )
     stream.set_defaults(func=cmd_stream)
 
@@ -675,6 +859,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace file (default: .repro-obs/last-run.jsonl)",
     )
     report.set_defaults(func=cmd_obs_report)
+
+    top = obs_sub.add_parser(
+        "top", help="terminal dashboard: live /metrics.json or a trace file"
+    )
+    top.add_argument(
+        "--url", default=None, help="base URL of a live TelemetryServer"
+    )
+    top.add_argument(
+        "--path", default=None, help="saved obs JSONL trace to render instead"
+    )
+    top.add_argument(
+        "--watch",
+        action="store_true",
+        help="refresh forever (default: print --iterations frames and exit)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=1,
+        help="frames to print without --watch (default: 1)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between frames",
+    )
+    top.set_defaults(func=cmd_obs_top)
+
+    bench_diff = obs_sub.add_parser(
+        "bench-diff",
+        help="benchmark trajectory deltas from BENCH_history.jsonl "
+        "(exits non-zero on regression)",
+    )
+    bench_diff.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        help="trajectory ledger (default: ./BENCH_history.jsonl)",
+    )
+    bench_diff.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative bad-direction move that counts as a regression",
+    )
+    bench_diff.add_argument(
+        "--kinds",
+        default=None,
+        help="comma-separated subset of kernels,serve,streaming",
+    )
+    bench_diff.add_argument(
+        "--machine",
+        default=None,
+        help="machine key to compare (default: this machine)",
+    )
+    bench_diff.add_argument(
+        "--bench-dir",
+        default=".",
+        help="directory holding the BENCH_*.json fallback baselines",
+    )
+    bench_diff.set_defaults(func=cmd_obs_bench_diff)
 
     return parser
 

@@ -338,8 +338,12 @@ class IPS:
             perf = counters.snapshot()
             extra["perf"] = perf
             global_metrics().accumulate_perf(perf)
+            global_metrics().counter(f"kernels.backend_runs.{backend.name}")
             if tracer.active:
                 tracer.metrics.absorb_perf(perf)
+                tracer.metrics.counter(
+                    f"kernels.backend_runs.{backend.name}"
+                )
         completed = True
         if tracker is not None:
             tracker.record_phase(

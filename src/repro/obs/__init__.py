@@ -21,7 +21,13 @@ Four pieces:
   versions, and git SHA, attached to every trace so a
   ``DiscoveryResult`` is reproducible from its trace alone;
 * :func:`render_report` — the per-phase time-breakdown tree behind
-  ``repro obs report``.
+  ``repro obs report``;
+* :mod:`repro.obs.telemetry` — the *live* layer: Prometheus text
+  exposition (:func:`render_prometheus`), a stdlib
+  :class:`TelemetryServer` serving ``/metrics`` + ``/healthz``,
+  :class:`SLOTracker` error-budget burn, and typed
+  :class:`HealthReport` reasons, all over
+  :class:`~repro.obs.metrics.WindowedHistogram` sliding windows.
 
 Select a mode with ``IPSConfig(observability=...)``: ``"off"`` (no
 observability work at all — the null tracer and the no-op perf-counter
@@ -40,11 +46,22 @@ from repro.obs.manifest import (
     run_manifest,
 )
 from repro.obs.metrics import (
+    BUCKET_BOUNDS,
     MetricsRegistry,
+    WindowedHistogram,
     global_metrics,
     reset_global_metrics,
 )
 from repro.obs.report import load_trace, render_report
+from repro.obs.telemetry import (
+    HEALTH_STATES,
+    HealthReason,
+    HealthReport,
+    SLOTracker,
+    TelemetryServer,
+    prometheus_name,
+    render_prometheus,
+)
 from repro.obs.trace import (
     DEFAULT_JSONL_PATH,
     NULL_TRACER,
@@ -57,14 +74,21 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "BUCKET_BOUNDS",
     "DEFAULT_JSONL_PATH",
+    "HEALTH_STATES",
+    "HealthReason",
+    "HealthReport",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "OBSERVABILITY_MODES",
+    "SLOTracker",
     "Span",
+    "TelemetryServer",
     "Trace",
     "UNKNOWN_GIT_SHA",
+    "WindowedHistogram",
     "dataset_fingerprint",
     "git_sha",
     "global_metrics",
@@ -72,6 +96,8 @@ __all__ = [
     "load_trace",
     "make_tracer",
     "package_versions",
+    "prometheus_name",
+    "render_prometheus",
     "render_report",
     "reset_global_metrics",
     "run_manifest",

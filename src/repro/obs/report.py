@@ -85,6 +85,12 @@ def render_report(trace: Trace) -> str:
             )
         )
 
+    cache_section = _render_kernel_caches(
+        metrics["counters"], metrics["gauges"]
+    )
+    if cache_section:
+        sections.append(cache_section)
+
     manifest = trace.manifest or {}
     if manifest:
         lines = ["manifest"]
@@ -111,6 +117,46 @@ def render_report(trace: Trace) -> str:
         sections.append("\n".join(lines))
 
     return "\n\n".join(sections)
+
+
+def _render_kernel_caches(counters: dict, gauges: dict) -> str | None:
+    """Cache-effectiveness summary of the kernel engine's counters.
+
+    Surfaces the in-memory series cache and the persistent spectra
+    store (disk hits/misses + hit rates, PR 8's counters) plus which
+    backend ran, so cache behaviour is readable straight from
+    ``repro obs report`` instead of raw JSONL.
+    """
+    mem_hits = counters.get("kernels.cache_hits")
+    disk_hits = counters.get("kernels.spectra_disk_hits")
+    backends = {
+        name.split(".", 2)[2]: int(value)
+        for name, value in counters.items()
+        if name.startswith("kernels.backend_runs.")
+    }
+    if mem_hits is None and disk_hits is None and not backends:
+        return None
+    lines = ["kernel engine"]
+    if backends:
+        chosen = ", ".join(
+            f"{name} x{count}" for name, count in sorted(backends.items())
+        )
+        lines.append(f"  backend runs: {chosen}")
+    if mem_hits is not None:
+        misses = counters.get("kernels.cache_misses", 0)
+        rate = gauges.get("kernels.cache_hit_rate", 0.0)
+        lines.append(
+            f"  series cache: {int(mem_hits)} hits / {int(misses)} misses "
+            f"(hit rate {rate:.1%})"
+        )
+    if disk_hits is not None:
+        misses = counters.get("kernels.spectra_disk_misses", 0)
+        rate = gauges.get("kernels.spectra_disk_hit_rate", 0.0)
+        lines.append(
+            f"  spectra store: {int(disk_hits)} disk hits / "
+            f"{int(misses)} misses (hit rate {rate:.1%})"
+        )
+    return "\n".join(lines)
 
 
 def load_trace(path: str | Path) -> Trace:

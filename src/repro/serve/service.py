@@ -46,7 +46,8 @@ from repro.exceptions import (
     ValidationError,
 )
 from repro.kernels import SeriesCache, warn_deprecated_once
-from repro.serve.breaker import CircuitBreaker
+from repro.obs.telemetry import HealthReason, HealthReport
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from repro.serve.faults import CORRUPT_LABEL, RequestFaultInjector
 from repro.serve.queueing import SHED_POLICIES, AdmissionQueue
 from repro.validation import pad_or_truncate, validate_series
@@ -54,6 +55,14 @@ from repro.validation.contracts import VALIDATION_MODES
 
 #: Request output modes: a label, a probability row, or a decision row.
 REQUEST_MODES: tuple[str, ...] = ("label", "proba", "scores")
+
+#: Queue fill ratio at which ``health()`` reports ``queue_saturation``
+#: as degraded; at 1.0 (requests being rejected/shed) it is unhealthy.
+QUEUE_SATURATION_DEGRADED = 0.8
+
+#: Numeric encoding of breaker states for the ``serve.breaker_state``
+#: gauge (Prometheus gauges are numbers): closed=0, half-open=1, open=2.
+BREAKER_STATE_GAUGE = {CLOSED: 0.0, HALF_OPEN: 1.0, OPEN: 2.0}
 
 
 @dataclass(frozen=True)
@@ -196,6 +205,17 @@ class InferenceService:
         injection (the chaos-test substrate).
     clock:
         Monotonic clock, injectable for deterministic deadline tests.
+    metrics:
+        Optional shared :class:`~repro.obs.metrics.MetricsRegistry`.
+        When set, the service publishes live ``serve.*`` counters,
+        gauges, and sliding-window latency histograms (the catalog in
+        ``docs/observability.md``); when ``None`` (the default, the
+        ``observability="off"`` contract) every instrumentation branch
+        is skipped and the request path does no extra work.
+    slo:
+        Optional :class:`~repro.obs.telemetry.SLOTracker` fed one
+        (latency, error) sample per completed request; its burn feeds
+        :meth:`health` and ``/healthz``.
     """
 
     def __init__(
@@ -204,6 +224,9 @@ class InferenceService:
         config: ServeConfig | None = None,
         fault_plan=None,
         clock=time.monotonic,
+        *,
+        metrics=None,
+        slo=None,
     ) -> None:
         if (
             getattr(classifier, "_svm", None) is None
@@ -215,6 +238,8 @@ class InferenceService:
         self.classifier = classifier
         self.config = config or ServeConfig()
         self._clock = clock
+        self.metrics = metrics
+        self.slo = slo
         self._injector = (
             RequestFaultInjector(fault_plan) if fault_plan is not None else None
         )
@@ -526,6 +551,8 @@ class InferenceService:
 
     def _process_batch(self, batch: list) -> None:
         self._count("batches")
+        if self.metrics is not None:
+            self._observe_batch(batch)
         live = self._expire_due(batch)
         if not live:
             return
@@ -689,10 +716,36 @@ class InferenceService:
         future._value = value
         future._error = error
         future._event.set()
+        if self.metrics is not None:
+            with self._lock:
+                self.metrics.observe_window(
+                    "serve.request_latency_seconds", future.latency
+                )
+        if self.slo is not None:
+            self.slo.record(future.latency, error=error is not None)
 
     def _count(self, key: str, n: int = 1) -> None:
         with self._lock:
             self._stats[key] += n
+            # Mirrored under the same lock: the registry itself is not
+            # synchronized, and chaos tests reconcile these totals.
+            if self.metrics is not None:
+                self.metrics.counter(f"serve.{key}", n)
+
+    def _observe_batch(self, batch: list) -> None:
+        """Per-microbatch telemetry (only called when a registry is set)."""
+        now = self._clock()
+        with self._lock:
+            metrics = self.metrics
+            metrics.observe_window("serve.batch_size", len(batch))
+            for request in batch:
+                metrics.observe_window(
+                    "serve.admission_wait_seconds", now - request.submitted_at
+                )
+            metrics.gauge("serve.queue_depth", len(self.queue))
+            metrics.gauge(
+                "serve.breaker_state", BREAKER_STATE_GAUGE[self.breaker.state]
+            )
 
     def stats(self) -> dict:
         """Aggregate service / queue / breaker counters."""
@@ -701,7 +754,77 @@ class InferenceService:
         stats["queue"] = self.queue.stats()
         stats["breaker"] = self.breaker.stats()
         stats["cache_entries"] = len(self._cache)
+        if self.slo is not None:
+            stats["slo"] = self.slo.snapshot()
         return stats
 
+    def health_reasons(self) -> list:
+        """Typed degraded/unhealthy reasons for the current state."""
+        reasons: list[HealthReason] = []
+        if not self._running:
+            reasons.append(
+                HealthReason(
+                    code="service_stopped",
+                    severity="unhealthy",
+                    detail="worker pool is not running",
+                )
+            )
+        state = self.breaker.state
+        if state == OPEN:
+            reasons.append(
+                HealthReason(
+                    code="breaker_open",
+                    severity="unhealthy",
+                    detail="batched path tripped; serving serial fallback only",
+                )
+            )
+        elif state == HALF_OPEN:
+            reasons.append(
+                HealthReason(
+                    code="breaker_half_open",
+                    severity="degraded",
+                    detail="probing the batched path after an open period",
+                )
+            )
+        waiting = len(self.queue)
+        ratio = waiting / self.config.queue_depth
+        if ratio >= 1.0:
+            reasons.append(
+                HealthReason(
+                    code="queue_saturation",
+                    severity="unhealthy",
+                    detail=(
+                        f"admission queue full ({waiting}/"
+                        f"{self.config.queue_depth}); requests are being "
+                        f"{'shed' if self.config.shed_policy == 'shed-oldest' else 'rejected'}"
+                    ),
+                )
+            )
+        elif ratio >= QUEUE_SATURATION_DEGRADED:
+            reasons.append(
+                HealthReason(
+                    code="queue_saturation",
+                    severity="degraded",
+                    detail=(
+                        f"admission queue {ratio:.0%} full "
+                        f"({waiting}/{self.config.queue_depth})"
+                    ),
+                )
+            )
+        if self.slo is not None:
+            reasons.extend(self.slo.reasons())
+        return reasons
 
-__all__ = ["InferenceService", "REQUEST_MODES", "ServeConfig", "ServeFuture"]
+    def health(self) -> HealthReport:
+        """Aggregate :class:`HealthReport` — what ``/healthz`` serves."""
+        return HealthReport.from_reasons(self.health_reasons())
+
+
+__all__ = [
+    "BREAKER_STATE_GAUGE",
+    "InferenceService",
+    "QUEUE_SATURATION_DEGRADED",
+    "REQUEST_MODES",
+    "ServeConfig",
+    "ServeFuture",
+]

@@ -50,7 +50,12 @@ from repro.exceptions import (
     ValidationError,
 )
 from repro.obs.metrics import MetricsRegistry
-from repro.serve.service import InferenceService, ServeConfig
+from repro.obs.telemetry import HealthReason
+from repro.serve.service import (
+    QUEUE_SATURATION_DEGRADED,
+    InferenceService,
+    ServeConfig,
+)
 from repro.streaming import EarlyClassifier, StreamingDecision
 
 
@@ -99,6 +104,9 @@ class _Session:
     last_seen: float
     lock: threading.Lock = field(default_factory=threading.Lock)
     chunks: int = 0
+    #: Whether this session's drift detector has already been counted
+    #: (the latch fires once per session in ``streaming.drift_flags``).
+    drift_counted: bool = False
 
 
 class StreamingInferenceService(InferenceService):
@@ -114,8 +122,12 @@ class StreamingInferenceService(InferenceService):
         :class:`StreamConfig` for the session table.
     metrics:
         Optional :class:`~repro.obs.metrics.MetricsRegistry` shared by
-        every session's early classifier (margins, emit times,
-        per-append latency).
+        the batch path, every session's early classifier (margins, emit
+        times, per-append latency), and the session table itself
+        (``streaming.*`` counters/gauges/windows).
+    slo:
+        Optional :class:`~repro.obs.telemetry.SLOTracker` for the batch
+        request path (chunk appends do not feed it).
     """
 
     def __init__(
@@ -125,12 +137,19 @@ class StreamingInferenceService(InferenceService):
         stream_config: StreamConfig | None = None,
         *,
         metrics: MetricsRegistry | None = None,
+        slo=None,
         fault_plan=None,
         clock=time.monotonic,
     ) -> None:
-        super().__init__(classifier, config, fault_plan=fault_plan, clock=clock)
+        super().__init__(
+            classifier,
+            config,
+            fault_plan=fault_plan,
+            clock=clock,
+            metrics=metrics,
+            slo=slo,
+        )
         self.stream_config = stream_config or StreamConfig()
-        self.metrics = metrics
         self._sessions: dict[int, _Session] = {}
         self._sessions_lock = threading.Lock()
         self._next_session_id = 0
@@ -144,6 +163,25 @@ class StreamingInferenceService(InferenceService):
 
     # -- session table -----------------------------------------------------
 
+    def _stream_note(self, key: str, n: int = 1) -> None:
+        """Bump a session-table stat (``_sessions_lock`` must be held).
+
+        Mirrored as ``streaming.*`` counters/gauges in the shared
+        registry — except ``early_emits``, which the sessions' own
+        :class:`EarlyClassifier` instances already count there.
+        """
+        self._stream_stats[key] += n
+        if self.metrics is None:
+            return
+        if key != "early_emits":
+            self.metrics.counter(f"streaming.{key}", n)
+        self.metrics.gauge("streaming.open_sessions", len(self._sessions))
+        opened = self._stream_stats["sessions_opened"]
+        self.metrics.gauge(
+            "streaming.early_emit_fraction",
+            self._stream_stats["early_emits"] / opened if opened else 0.0,
+        )
+
     def _expire_sessions(self, now: float) -> None:
         ttl = self.stream_config.session_ttl_s
         if ttl is None:
@@ -155,7 +193,7 @@ class StreamingInferenceService(InferenceService):
         ]
         for sid in expired:
             del self._sessions[sid]
-            self._stream_stats["sessions_expired"] += 1
+            self._stream_note("sessions_expired")
 
     def _get_session(self, session_id: int) -> _Session:
         with self._sessions_lock:
@@ -214,7 +252,7 @@ class StreamingInferenceService(InferenceService):
                 deadline=None if deadline_s is None else now + deadline_s,
                 last_seen=now,
             )
-            self._stream_stats["sessions_opened"] += 1
+            self._stream_note("sessions_opened")
         return session_id
 
     def _validate_chunk(self, chunk) -> np.ndarray:
@@ -261,6 +299,7 @@ class StreamingInferenceService(InferenceService):
             )
         with session.lock:
             was_final = session.early.final
+            appended_at = self._clock()
             try:
                 decision = session.early.append(arr)
             except ValidationError:
@@ -273,10 +312,24 @@ class StreamingInferenceService(InferenceService):
             self.breaker.record_success()
             session.chunks += 1
             session.last_seen = self._clock()
+            append_seconds = session.last_seen - appended_at
+            drift_flagged = (
+                not session.drift_counted
+                and session.early.drift_detector is not None
+                and session.early.drift_detector.drifted
+            )
+            if drift_flagged:
+                session.drift_counted = True
         with self._sessions_lock:
-            self._stream_stats["chunks"] += 1
+            self._stream_note("chunks")
             if decision.early and not was_final:
-                self._stream_stats["early_emits"] += 1
+                self._stream_note("early_emits")
+            if self.metrics is not None:
+                self.metrics.observe_window(
+                    "streaming.append_latency_seconds", append_seconds
+                )
+                if drift_flagged:
+                    self.metrics.counter("streaming.drift_flags")
         return decision
 
     def close_stream(self, session_id: int) -> StreamingDecision:
@@ -290,7 +343,7 @@ class StreamingInferenceService(InferenceService):
             decision = session.early.finalize()
         self._drop_session(session_id)
         with self._sessions_lock:
-            self._stream_stats["sessions_closed"] += 1
+            self._stream_note("sessions_closed")
         return decision
 
     def _drop_session(self, session_id: int) -> None:
@@ -328,6 +381,34 @@ class StreamingInferenceService(InferenceService):
             stats["streaming"] = dict(self._stream_stats)
             stats["streaming"]["open_sessions"] = len(self._sessions)
         return stats
+
+    def health_reasons(self) -> list:
+        """Batch-path reasons plus session-table capacity."""
+        reasons = super().health_reasons()
+        with self._sessions_lock:
+            open_sessions = len(self._sessions)
+        cap = self.stream_config.max_sessions
+        ratio = open_sessions / cap
+        if ratio >= 1.0:
+            reasons.append(
+                HealthReason(
+                    code="session_capacity",
+                    severity="unhealthy",
+                    detail=(
+                        f"session table full ({open_sessions}/{cap}); "
+                        "open_stream is refusing new sessions"
+                    ),
+                )
+            )
+        elif ratio >= QUEUE_SATURATION_DEGRADED:
+            reasons.append(
+                HealthReason(
+                    code="session_capacity",
+                    severity="degraded",
+                    detail=f"session table {ratio:.0%} full ({open_sessions}/{cap})",
+                )
+            )
+        return reasons
 
 
 __all__ = ["StreamConfig", "StreamingInferenceService"]

@@ -53,6 +53,8 @@ def pytest_collection_modifyitems(items):
             ("test_streaming", "test_serve_streaming")
         ):
             item.add_marker(pytest.mark.streaming)
+        if item.fspath.basename.startswith(("test_obs", "test_telemetry")):
+            item.add_marker(pytest.mark.obs)
 
 
 @pytest.fixture()

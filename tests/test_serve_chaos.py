@@ -57,11 +57,13 @@ def offline(frozen_classifier, request_matrix):
     return frozen_classifier.predict(request_matrix)
 
 
-def run_campaign(classifier, X, plan, config=None):
+def run_campaign(classifier, X, plan, config=None, metrics=None):
     config = config or ServeConfig(
         queue_depth=len(X), max_batch=8, breaker_reset_s=0.01
     )
-    with InferenceService(classifier, config, fault_plan=plan) as service:
+    with InferenceService(
+        classifier, config, fault_plan=plan, metrics=metrics
+    ) as service:
         results = service.predict_many(X)
         stats = service.stats()
     return results, stats
@@ -263,6 +265,135 @@ class TestFaultCampaigns:
         assert stats["submitted"] == len(request_matrix)
         assert (
             stats["completed"] + stats["failed"] + stats["expired"]
+            == len(request_matrix)
+        )
+
+
+class TestChaosTelemetry:
+    """Chaos-path metric assertions: the live ``serve.*`` counters must
+    reconcile exactly with the typed per-request outcomes — telemetry
+    that drifts from the futures under faults is worse than none."""
+
+    @staticmethod
+    def _error_counts(results):
+        counts: dict[type, int] = {}
+        for _label, error in results:
+            if error is not None:
+                counts[type(error)] = counts.get(type(error), 0) + 1
+        return counts
+
+    def test_shed_counters_reconcile_under_overload(
+        self, frozen_classifier, request_matrix, offline
+    ):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        results, stats = run_campaign(
+            frozen_classifier,
+            request_matrix,
+            FaultPlan(slow_rate=1.0, slow_seconds=0.01, seed=5),
+            config=ServeConfig(
+                queue_depth=4, shed_policy="shed-oldest", max_batch=2
+            ),
+            metrics=registry,
+        )
+        assert_all_terminated(results, offline, (RequestSheddedError,))
+        counters = registry.snapshot()["counters"]
+        shed_errors = self._error_counts(results).get(RequestSheddedError, 0)
+        assert shed_errors > 0
+        assert counters["serve.shed"] == stats["shed"] == shed_errors
+        assert counters["serve.submitted"] == len(request_matrix)
+        assert (
+            counters["serve.completed"] + counters["serve.shed"]
+            == len(request_matrix)
+        )
+
+    def test_reject_counters_reconcile_under_backpressure(
+        self, frozen_classifier, request_matrix, offline
+    ):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        results, stats = run_campaign(
+            frozen_classifier,
+            request_matrix,
+            FaultPlan(slow_rate=1.0, slow_seconds=0.01, seed=5),
+            config=ServeConfig(
+                queue_depth=4, shed_policy="reject-newest", max_batch=2
+            ),
+            metrics=registry,
+        )
+        assert_all_terminated(results, offline, (QueueFullError,))
+        counters = registry.snapshot()["counters"]
+        rejected = self._error_counts(results).get(QueueFullError, 0)
+        assert rejected > 0
+        assert counters["serve.rejected"] == stats["rejected"] == rejected
+        # Rejected requests never enter the queue, so submitted counts
+        # only the admitted ones — and they all completed.
+        assert counters["serve.submitted"] == len(request_matrix) - rejected
+        assert counters["serve.completed"] == counters["serve.submitted"]
+
+    def test_breaker_open_reaches_gauge_and_failed_counter(
+        self, frozen_classifier, request_matrix, offline
+    ):
+        from repro.obs import MetricsRegistry
+        from repro.serve.service import BREAKER_STATE_GAUGE
+
+        registry = MetricsRegistry()
+        results, stats = run_campaign(
+            frozen_classifier,
+            request_matrix[:12],
+            FaultPlan(crash_rate=1.0, seed=3),
+            config=ServeConfig(
+                # reset_s far above the campaign length: the breaker
+                # stays open once tripped, so the final gauge is stable.
+                queue_depth=12, max_batch=2, breaker_reset_s=60.0
+            ),
+            metrics=registry,
+        )
+        assert all(error is not None for _label, error in results)
+        assert stats["breaker"]["times_opened"] >= 1
+        snap = registry.snapshot()
+        failed = self._error_counts(results).get(RequestFailedError, 0)
+        assert snap["counters"]["serve.failed"] == stats["failed"] == failed
+        assert snap["counters"]["serve.serial_fallbacks"] > 0
+        assert snap["gauges"]["serve.breaker_state"] == BREAKER_STATE_GAUGE["open"]
+
+    def test_mixed_fault_totals_reconcile(
+        self, frozen_classifier, request_matrix, offline
+    ):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        results, _stats = run_campaign(
+            frozen_classifier,
+            request_matrix,
+            FaultPlan(
+                crash_rate=0.15,
+                hang_rate=0.1,
+                nan_rate=0.15,
+                slow_rate=0.15,
+                slow_seconds=0.002,
+                seed=97,
+            ),
+            metrics=registry,
+        )
+        assert_all_terminated(results, offline, (RequestFailedError,))
+        counters = registry.snapshot()["counters"]
+        typed = self._error_counts(results)
+        n_errors = sum(typed.values())
+        # Counters appear on first increment; absent means zero.
+        expired = counters.get("serve.expired", 0)
+        assert (
+            counters["serve.completed"] + counters["serve.failed"] + expired
+            == counters["serve.submitted"]
+            == len(request_matrix)
+        )
+        assert counters["serve.failed"] + expired == n_errors
+        # Latency telemetry covered every terminated request.
+        windows = registry.snapshot()["windows"]
+        assert (
+            windows["serve.request_latency_seconds"]["count"]
             == len(request_matrix)
         )
 
